@@ -1,0 +1,26 @@
+# Convenience targets for the VIX reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples all clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

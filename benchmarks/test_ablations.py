@@ -1,0 +1,44 @@
+"""Bench ABL — ablation studies for design choices (beyond the paper).
+
+Quantifies each design decision in isolation: the Section 2.3 VC policy,
+the input-arbiter pointer policy, the VC partition, the SPAROFLO
+alternative, and the virtual-input count.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_studies(run_once):
+    result = run_once(ablations.run, seed=1)
+    print()
+    print(ablations.report(result))
+    v = result.values
+
+    # A1: the dimension-aware policy must not lose to naive assignment,
+    # and VIX must beat the IF baseline with either policy.
+    assert v[("vc_policy", "vix_dimension")] >= v[("vc_policy", "max_credit")] * 0.97
+    assert v[("vc_policy", "vix_dimension")] > v[("vc_policy", "if_baseline")]
+
+    # A2: pointer policy is a second-order effect for both schemes.
+    for name in ("if", "vix"):
+        plain = v[("pointer", f"{name}/plain")]
+        on_grant = v[("pointer", f"{name}/on_grant")]
+        assert abs(on_grant / plain - 1.0) < 0.10
+
+    # A3: partition is a layout choice, not a throughput one.
+    ratio = v[("partition", "interleaved")] / v[("partition", "contiguous")]
+    assert 0.95 < ratio < 1.05
+
+    # A4: Section 5's argument — SPAROFLO(static) lands between IF and VIX.
+    assert v[("sparoflo", "if")] < v[("sparoflo", "sparoflo_static")]
+    assert v[("sparoflo", "sparoflo_static")] < v[("sparoflo", "vix")]
+
+    # A5: throughput is monotone in the virtual-input count.
+    ks = [v[("vinputs", f"k={k}")] for k in (1, 2, 3, 6)]
+    assert ks == sorted(ks)
+    # ...with diminishing returns: k=2 captures most of the k=6 gain.
+    assert (ks[1] - ks[0]) > 0.5 * (ks[3] - ks[0]) * 0.8
+
+    # A6: virtual inputs help both separable phase orders.
+    assert v[("phase_order", "input_first_vix")] > v[("phase_order", "input_first")]
+    assert v[("phase_order", "output_first_vix")] > v[("phase_order", "output_first")]

@@ -1,0 +1,17 @@
+"""Bench F10 — regenerate Figure 10 (Packet Chaining comparison)."""
+
+from repro.experiments import fig10_packet_chaining
+
+
+def test_fig10_packet_chaining_comparison(run_once):
+    result = run_once(fig10_packet_chaining.run, seed=1)
+    print()
+    print(fig10_packet_chaining.report(result))
+
+    pc_gain = result.gain_over_if("packet_chaining")
+    vix_gain = result.gain_over_if("vix")
+    # Paper: PC improves ~9%, VIX ~16% — both positive, VIX ahead.
+    assert pc_gain > 0.02
+    assert vix_gain > pc_gain
+    # The paper's conclusion: exposing requests beats eliminating them.
+    assert result.throughput["vix"] == max(result.throughput.values())

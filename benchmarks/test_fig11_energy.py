@@ -1,0 +1,19 @@
+"""Bench F11 — regenerate Figure 11 (network energy per bit)."""
+
+from repro.experiments import fig11_energy
+
+
+def test_fig11_energy_per_bit(run_once):
+    result = run_once(fig11_energy.run, seed=1)
+    print()
+    print(fig11_energy.report(result))
+
+    # Paper: total network energy/bit increases ~4% for VIX (bigger xbar).
+    overhead = result.vix_total_overhead()
+    assert 0.0 < overhead < 0.10
+    base = result.breakdowns["input_first"].per_bit_components()
+    vix = result.breakdowns["vix"].per_bit_components()
+    # Only the crossbar component grows materially.
+    assert vix["crossbar"] > base["crossbar"] * 1.3
+    for comp in ("buffer", "link"):
+        assert abs(vix[comp] / base[comp] - 1.0) < 0.10

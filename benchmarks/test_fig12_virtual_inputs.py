@@ -1,0 +1,25 @@
+"""Bench F12 — regenerate Figure 12 (virtual-input count sweep)."""
+
+from repro.experiments import fig12_virtual_inputs
+from repro.experiments.fig12_virtual_inputs import TOPOLOGIES, VC_COUNTS
+
+
+def test_fig12_virtual_input_sweep(run_once):
+    result = run_once(fig12_virtual_inputs.run, seed=1)
+    print()
+    print(fig12_virtual_inputs.report(result))
+
+    for topo in TOPOLOGIES:
+        for vcs in VC_COUNTS:
+            # 1:2 VIX beats the no-VIX baseline everywhere...
+            assert result.gain(topo, vcs) > 0.0, (topo, vcs)
+            # ...and never beats ideal VIX by more than noise.
+            assert result.throughput[(topo, vcs, "1:2 VIX")] <= result.throughput[
+                (topo, vcs, "ideal VIX")
+            ] * 1.05
+    # Paper: significant average improvements (21% @ 4 VCs, 16% @ 6 VCs).
+    assert result.average_gain(4) > 0.08
+    assert result.average_gain(6) > 0.06
+    # Paper: VIX with 4 VCs beats 6 VCs without VIX by >10% on the mesh
+    # (the 33% buffer-reduction headline); require the win at fast fidelity.
+    assert result.buffer_reduction_gain("mesh") > 0.0

@@ -1,0 +1,25 @@
+"""Bench F7 — regenerate Figure 7 (single-router allocation efficiency)."""
+
+from repro.experiments import fig7_single_router
+
+
+def test_fig7_single_router_efficiency(run_once):
+    result = run_once(fig7_single_router.run, seed=1)
+    print()
+    print(fig7_single_router.report(result))
+
+    for radix in fig7_single_router.RADICES:
+        # Paper: "AP above 30% higher throughput than separable IF for all
+        # radix configurations, VIX above 25%."
+        assert result.gain_over_if(radix, "augmenting_path") > 0.30
+        assert result.gain_over_if(radix, "vix") > 0.20
+        # Paper: "Both AP and VIX achieve efficiency very close to ideal."
+        ideal = result.throughput[(radix, "ideal_vix")]
+        assert result.throughput[(radix, "augmenting_path")] > 0.95 * ideal
+        assert result.throughput[(radix, "vix")] > 0.80 * ideal
+        # Ranking: IF < WF < ideal.
+        assert (
+            result.throughput[(radix, "input_first")]
+            < result.throughput[(radix, "wavefront")]
+            <= ideal
+        )

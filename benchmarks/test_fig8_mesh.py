@@ -1,0 +1,26 @@
+"""Bench F8 — regenerate Figure 8 (mesh latency and throughput)."""
+
+from repro.experiments import fig8_mesh
+
+
+def test_fig8_mesh_latency_and_throughput(run_once):
+    result = run_once(fig8_mesh.run, seed=1)
+    print()
+    print(fig8_mesh.report(result))
+
+    # Paper: VIX improves mesh throughput ~16% over IF; we require the
+    # double-digit shape at fast-mode fidelity.
+    assert result.throughput_gain("vix") > 0.08
+    # Paper: AP gains almost nothing at the network level (+0.3%);
+    # it must trail VIX by a clear margin.
+    assert result.throughput_gain("augmenting_path") < result.throughput_gain("vix")
+    assert result.saturation_flits_per_node("vix") > result.saturation_flits_per_node(
+        "augmenting_path"
+    )
+    # Low-load latency is allocator-insensitive (within a few cycles).
+    low_lat = [result.curves[a][0].avg_latency for a in result.curves]
+    assert max(low_lat) - min(low_lat) < 5.0
+    # At the highest drained load, VIX latency does not exceed IF latency.
+    assert result.high_load_latency("vix") <= result.high_load_latency(
+        "input_first"
+    ) * 1.05

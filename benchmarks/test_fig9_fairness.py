@@ -1,0 +1,19 @@
+"""Bench F9 — regenerate Figure 9 (fairness at saturation)."""
+
+from repro.experiments import fig9_fairness
+
+
+def test_fig9_network_fairness(run_once):
+    result = run_once(fig9_fairness.run, seed=1)
+    print()
+    print(fig9_fairness.report(result))
+
+    # Paper: AP is the most unfair scheme (6.4); VIX the fairest (1.99).
+    ap = result.fairness["augmenting_path"]
+    vix = result.fairness["vix"]
+    assert ap > vix, "AP must be less fair than VIX"
+    assert ap == max(result.fairness.values())
+    assert vix == min(result.fairness.values())
+    # Ratios are physically sensible.
+    for value in result.fairness.values():
+        assert value >= 1.0

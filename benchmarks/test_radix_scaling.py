@@ -1,0 +1,20 @@
+"""Bench RADIX — extension: the VIX high-radix scaling limit.
+
+Quantifies Section 2.4's caveat ("VIX may not scale to very high radices")
+with the calibrated timing models.
+"""
+
+from repro.experiments import radix_scaling
+
+
+def test_radix_scaling_limit(run_once):
+    result = run_once(radix_scaling.run)
+    print()
+    print(radix_scaling.report(result))
+
+    # All three of the paper's topologies fit (radix 5, 8, 10)...
+    fits = {p.radix: p.vix_fits for p in result.points}
+    assert fits[5] and fits[8] and fits[10]
+    # ...and the wire-dominated crossbar takes over shortly beyond.
+    limit = result.scaling_limit()
+    assert limit is not None and limit <= 14

@@ -1,0 +1,15 @@
+"""Bench T1 — regenerate Table 1 (router pipeline stage delays)."""
+
+from repro.experiments import table1_delays
+
+
+def test_table1_router_stage_delays(run_once):
+    rows = run_once(table1_delays.run)
+    print()
+    print(table1_delays.report(rows))
+
+    for row in rows:
+        va, sa, xbar = table1_delays.PAPER_VALUES[row.design]
+        assert (row.va_ps, row.sa_ps, row.xbar_ps) == (va, sa, xbar)
+        # The architectural conclusion: the crossbar never limits cycle time.
+        assert not row.xbar_on_critical_path

@@ -1,0 +1,15 @@
+"""Bench T3 — regenerate Table 3 (switch-allocator delays)."""
+
+import math
+
+from repro.experiments import table3_allocator_delays
+
+
+def test_table3_allocator_delays(run_once):
+    values = run_once(table3_allocator_delays.run)
+    print()
+    print(table3_allocator_delays.report(values))
+
+    assert values["input_first"] == 280.0
+    assert values["wavefront"] == 390.0  # the paper's 39% overhead
+    assert math.isinf(values["augmenting_path"])

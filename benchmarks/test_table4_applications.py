@@ -1,0 +1,22 @@
+"""Bench T4 — regenerate Table 4 (application-level speedups)."""
+
+from repro.experiments import table4_applications
+from repro.manycore.workloads import PAPER_MIX_MPKI
+
+
+def test_table4_application_speedups(run_once):
+    result = run_once(table4_applications.run, seed=1)
+    print()
+    print(table4_applications.report(result))
+
+    mixes = sorted(PAPER_MIX_MPKI)
+    # The catalogue reproduces the paper's per-mix average MPKI exactly.
+    for mix in mixes:
+        assert abs(result.avg_mpki[mix] - PAPER_MIX_MPKI[mix]) < 0.1
+    # Paper: VIX speeds up every mix (avg ~1.05, max 1.07); require a
+    # positive average and no mix materially hurt at fast fidelity.
+    assert result.average_speedup() > 1.0
+    for mix in mixes:
+        assert result.speedup(mix) > 0.98, mix
+    # Memory-bound mixes benefit at least as much as cache-resident ones.
+    assert result.speedup("Mix8") >= result.speedup("Mix1") - 0.02

@@ -1,0 +1,19 @@
+"""Bench TOPO — extension: topology comparison against wiring bounds."""
+
+from repro.experiments import topology_comparison
+from repro.experiments.topology_comparison import TOPOLOGIES
+
+
+def test_topology_comparison(run_once):
+    result = run_once(topology_comparison.run, seed=1)
+    print()
+    print(topology_comparison.report(result))
+
+    for topo in TOPOLOGIES:
+        # Nothing beats the wiring bound; VIX always closes some gap.
+        assert result.efficiency(topo, "input_first") <= 1.02
+        assert result.efficiency(topo, "vix") <= 1.02
+        assert result.vix_gain(topo) > 0.0
+        assert result.efficiency(topo, "vix") > result.efficiency(topo, "input_first")
+    # The torus bound is ~2x the mesh bound (wraparound halves max load).
+    assert result.bounds["torus"] > 1.5 * result.bounds["mesh"]

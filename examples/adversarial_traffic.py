@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""VIX across traffic patterns — where allocation efficiency matters.
+
+Sweeps the classic permutation/hotspot patterns and compares the VIX gain
+on each, plus the Section 2.3 dimension-aware VC assignment against a
+naive max-credit policy.  The sweep makes an instructive point the paper's
+uniform-random evaluation implies but never plots: VIX buys throughput
+where the bottleneck is *switch allocation* (uniform random keeps many
+differently-routed flits contending inside each router), while permutation
+patterns on a DOR mesh are *link-bandwidth* limited — every flit at a port
+wants the same few outputs, so no allocator can conjure extra link slots.
+
+Run:  python examples/adversarial_traffic.py
+"""
+
+from repro import paper_config, saturation_throughput
+
+PATTERNS = ("uniform", "transpose", "bit_complement", "shuffle", "tornado", "hotspot")
+
+
+def measure(allocator: str, pattern: str, vc_policy: str | None = None) -> float:
+    cfg = paper_config(allocator)
+    if vc_policy is not None:
+        cfg = cfg.with_router(vc_policy=vc_policy)
+    res = saturation_throughput(
+        cfg, pattern=pattern, seed=1, warmup=500, measure=1500
+    )
+    return res.throughput_flits_per_node
+
+
+def main() -> None:
+    print("Saturation throughput (flits/cycle/node), 8x8 mesh:")
+    print()
+    header = f"{'pattern':<15s} {'IF':>7s} {'VIX':>7s} {'gain':>7s} {'VIX naive-VC':>13s}"
+    print(header)
+    print("-" * len(header))
+    for pattern in PATTERNS:
+        base = measure("input_first", pattern)
+        vix = measure("vix", pattern)                    # Section 2.3 policy
+        naive = measure("vix", pattern, "max_credit")    # plain assignment
+        print(
+            f"{pattern:<15s} {base:>7.3f} {vix:>7.3f} {vix / base - 1:>+7.1%}"
+            f" {naive:>13.3f}"
+        )
+    print()
+    print("Reading the table: VIX shines under uniform random traffic, where")
+    print("routers juggle flits bound for many different outputs and the")
+    print("allocator is the bottleneck.  Permutation patterns saturate a few")
+    print("DOR links instead, so every scheme hits the same wiring limit.")
+    print("The last column shows the VC-assignment policy is second-order")
+    print("under these patterns (it exists to keep both virtual inputs fed).")
+
+
+if __name__ == "__main__":
+    main()

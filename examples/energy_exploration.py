@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Energy/bit vs load, and where the VIX crossbar overhead goes.
+
+Figure 11 reports a single operating point (0.1 packets/cycle/node); this
+example sweeps injection rate to show how energy/bit behaves across the
+load range — at low load fixed costs (clock + leakage) dominate and the
+VIX crossbar overhead disappears in them; near saturation the dynamic
+components take over and the overhead settles at the paper's ~4%.
+
+Run:  python examples/energy_exploration.py
+"""
+
+from repro.energy import ActivityCounters, EnergyModel
+from repro.network.config import paper_config
+from repro.report import line_chart
+from repro.sim import run_simulation
+
+RATES = (0.01, 0.03, 0.06, 0.09)
+
+
+def energy_per_bit(allocator: str, rate: float) -> float:
+    cfg = paper_config(allocator)
+    res = run_simulation(
+        cfg,
+        injection_rate=rate,
+        seed=1,
+        warmup=400,
+        measure=1200,
+        drain_limit=0,
+    )
+    model = EnergyModel(
+        radix=5,
+        num_vcs=cfg.router.num_vcs,
+        buffer_depth=cfg.router.buffer_depth,
+        virtual_inputs=cfg.router.effective_virtual_inputs,
+        num_routers=64,
+        flit_width_bits=cfg.flit_width_bits,
+    )
+    return model.evaluate(ActivityCounters(**res.counters)).per_bit
+
+
+def main() -> None:
+    print("Network energy per bit (pJ/bit) vs injection rate, 8x8 mesh:")
+    print()
+    series = {"IF": [], "VIX": []}
+    print(f"{'rate':>6s} {'IF':>8s} {'VIX':>8s} {'overhead':>9s}")
+    for rate in RATES:
+        base = energy_per_bit("input_first", rate)
+        vix = energy_per_bit("vix", rate)
+        series["IF"].append((rate, base))
+        series["VIX"].append((rate, vix))
+        print(f"{rate:>6.2f} {base:>8.3f} {vix:>8.3f} {vix / base - 1:>+9.1%}")
+    print()
+    print(line_chart(series, x_label="packets/cycle/node", y_label="pJ/bit"))
+    print()
+    print("Low load is dominated by clock + leakage (many idle cycles per")
+    print("delivered bit); as load rises, energy/bit falls toward the pure")
+    print("datapath cost and the bigger VIX crossbar shows up as a steady")
+    print("few-percent overhead — Figure 11's +4% at 0.1 pkt/cyc/node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Find each allocator's saturation point with bisection search.
+
+Latency-vs-load curves need many simulations; often all you want is the
+knee — the highest injection rate the network still sustains.  This
+example bisects for that rate per allocator across three mesh sizes and
+reports the VIX headroom at each.
+
+Run:  python examples/saturation_search.py
+"""
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.sim import find_saturation_rate
+
+
+def config(allocator: str, terminals: int) -> NetworkConfig:
+    return NetworkConfig(
+        topology="mesh",
+        num_terminals=terminals,
+        router=RouterConfig(
+            allocator=allocator,
+            vc_policy="vix_dimension" if allocator == "vix" else "max_credit",
+        ),
+        packet_length=4,
+    )
+
+
+def main() -> None:
+    print("Saturation injection rate (packets/cycle/node), bisection search:")
+    print()
+    for terminals in (16, 36, 64):
+        side = int(terminals**0.5)
+        rates = {}
+        for allocator in ("input_first", "vix"):
+            rates[allocator] = find_saturation_rate(
+                config(allocator, terminals),
+                high=0.4,
+                tolerance=0.01,
+                seed=1,
+                warmup=400,
+                measure=1200,
+            )
+        gain = rates["vix"] / rates["input_first"] - 1
+        print(
+            f"  {side}x{side} mesh: IF saturates at {rates['input_first']:.3f}, "
+            f"VIX at {rates['vix']:.3f}  ({gain:+.1%})"
+        )
+    print()
+    print("The knee moves down with mesh size (per-node capacity shrinks as")
+    print("average hop count grows), while the VIX headroom stays in the")
+    print("double digits at every scale.")
+
+
+if __name__ == "__main__":
+    main()

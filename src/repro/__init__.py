@@ -1,0 +1,61 @@
+"""repro — reproduction of "VIX: Virtual Input Crossbar for Efficient
+Switch Allocation" (DAC 2014).
+
+Public API highlights:
+
+* :func:`repro.core.make_allocator` — IF / WF / AP / PC / VIX allocators;
+* :func:`repro.network.paper_config` — the paper's network configurations;
+* :func:`repro.sim.run_simulation` — warmup/measure/drain network runs;
+* :class:`repro.sim.SingleRouterExperiment` — Fig. 7 testbench;
+* :mod:`repro.timing` / :mod:`repro.energy` — calibrated circuit models;
+* :mod:`repro.manycore` — the 64-core application-level substrate;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.core import (
+    AugmentingPathAllocator,
+    IdealVIXAllocator,
+    PacketChainingAllocator,
+    SeparableInputFirstAllocator,
+    VIXAllocator,
+    WavefrontAllocator,
+    make_allocator,
+)
+from repro.network import Network, NetworkConfig, RouterConfig, paper_config
+from repro.sim import (
+    Simulation,
+    SimulationResult,
+    SingleRouterExperiment,
+    run_simulation,
+    saturation_throughput,
+)
+from repro.analysis import channel_loads, saturation_bound
+from repro.topology import make_topology
+from repro.traffic import TrafficInjector, make_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AugmentingPathAllocator",
+    "IdealVIXAllocator",
+    "Network",
+    "NetworkConfig",
+    "PacketChainingAllocator",
+    "RouterConfig",
+    "SeparableInputFirstAllocator",
+    "Simulation",
+    "SimulationResult",
+    "SingleRouterExperiment",
+    "TrafficInjector",
+    "VIXAllocator",
+    "WavefrontAllocator",
+    "__version__",
+    "channel_loads",
+    "make_allocator",
+    "make_pattern",
+    "make_topology",
+    "paper_config",
+    "run_simulation",
+    "saturation_bound",
+    "saturation_throughput",
+]

@@ -1,0 +1,5 @@
+"""Analytic network analysis: exact channel loads and saturation bounds."""
+
+from .bounds import ChannelLoadAnalysis, channel_loads, saturation_bound
+
+__all__ = ["ChannelLoadAnalysis", "channel_loads", "saturation_bound"]

@@ -1,0 +1,97 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    vix-repro list              # show available experiments
+    vix-repro t1                # Table 1 (stage delays)
+    vix-repro f8 --full         # Figure 8 at paper-fidelity run lengths
+    vix-repro all               # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+_DESCRIPTIONS = {
+    "t1": "Table 1 — router pipeline stage delays",
+    "t3": "Table 3 — switch-allocator delays",
+    "f7": "Figure 7 — single-router allocation efficiency",
+    "f8": "Figure 8 — mesh latency and throughput",
+    "f9": "Figure 9 — fairness at saturation",
+    "f10": "Figure 10 — packet chaining comparison",
+    "f11": "Figure 11 — network energy per bit",
+    "f12": "Figure 12 — virtual-input count sweep",
+    "t4": "Table 4 — application-level speedups",
+    "abl": "Ablations — VC policy, pointer policy, partition, SPAROFLO, k-sweep",
+    "radix": "Extension — VIX radix-scaling limit from the timing models",
+    "topo": "Extension — topologies vs analytic wiring bounds",
+}
+
+
+def _list_experiments() -> str:
+    lines = ["available experiments:"]
+    for key in sorted(EXPERIMENTS):
+        lines.append(f"  {key:<4s} {_DESCRIPTIONS.get(key, '')}")
+    lines.append("  all  run every experiment in order")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="vix-repro",
+        description="Regenerate the VIX (DAC 2014) evaluation tables and figures.",
+        epilog=_list_experiments(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-fidelity run lengths (equivalent to REPRO_FULL=1)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also write each result as DIR/<experiment>.json",
+    )
+    args = parser.parse_args(argv)
+
+    key = args.experiment.strip().lower()
+    if key == "list":
+        print(_list_experiments())
+        return 0
+    targets = sorted(EXPERIMENTS) if key == "all" else [key]
+    fast = not args.full
+    for target in targets:
+        try:
+            module = get_experiment(target)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"=== {target.upper()}: {_DESCRIPTIONS.get(target, '')} ===")
+        run = module.run
+        kwargs = {}
+        if "fast" in run.__code__.co_varnames:
+            kwargs["fast"] = fast
+        if "seed" in run.__code__.co_varnames:
+            kwargs["seed"] = args.seed
+        result = run(**kwargs)
+        print(module.report(result))
+        if args.json:
+            from repro.experiments.export import save_result
+
+            path = save_result(
+                f"{args.json}/{target}.json", target, result, fast=fast
+            )
+            print(f"[result written to {path}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Switch-allocation core: arbiters, allocators, and VC assignment policies.
+
+This package implements the paper's contribution (:class:`VIXAllocator`)
+and every switch-allocation scheme the paper evaluates against:
+
+* ``"if"`` / ``"input_first"`` — separable input-first baseline (IF);
+* ``"wavefront"`` — Tamir & Chi wavefront allocator (WF);
+* ``"augmenting_path"`` — maximum port matching via augmenting paths (AP);
+* ``"packet_chaining"`` — Michelogiannakis et al. SameInput/anyVC (PC);
+* ``"vix"`` — VIX with 2 virtual inputs per port (the paper's 1:2 VIX);
+* ``"ideal_vix"`` — VIX with one virtual input per VC (optimal allocation).
+"""
+
+from __future__ import annotations
+
+from .allocator import SwitchAllocator
+from .arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    MatrixArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+from .augmenting import AugmentingPathAllocator
+from .matching import hopcroft_karp, kuhn_matching, matching_size
+from .output_first import SeparableOutputFirstAllocator
+from .packet_chaining import PacketChainingAllocator
+from .requests import NO_REQUEST, Grant, RequestMatrix, validate_grants
+from .separable import SeparableInputFirstAllocator
+from .sparoflo import SparofloAllocator
+from .vc_policy import (
+    DIR_X,
+    DIR_Y,
+    MaxCreditPolicy,
+    VCSelectionPolicy,
+    VixDimensionPolicy,
+    make_vc_policy,
+)
+from .vix import IdealVIXAllocator, VIXAllocator
+from .wavefront import WavefrontAllocator
+
+#: Canonical allocator names accepted by :func:`make_allocator`.
+ALLOCATOR_NAMES = (
+    "input_first",
+    "output_first",
+    "wavefront",
+    "augmenting_path",
+    "packet_chaining",
+    "sparoflo",
+    "vix",
+    "ideal_vix",
+)
+
+_ALIASES = {
+    "if": "input_first",
+    "of": "output_first",
+    "separable": "input_first",
+    "wf": "wavefront",
+    "ap": "augmenting_path",
+    "pc": "packet_chaining",
+    "spf": "sparoflo",
+    "ivix": "ideal_vix",
+    "ideal": "ideal_vix",
+}
+
+
+def canonical_allocator_name(name: str) -> str:
+    """Resolve an allocator name or alias to its canonical form."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in ALLOCATOR_NAMES:
+        raise ValueError(
+            f"unknown allocator {name!r}; expected one of "
+            f"{ALLOCATOR_NAMES} (or aliases {sorted(_ALIASES)})"
+        )
+    return key
+
+
+def make_allocator(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_vcs: int,
+    *,
+    virtual_inputs: int = 2,
+) -> SwitchAllocator:
+    """Build a switch allocator by name.
+
+    ``virtual_inputs`` only applies to ``"vix"`` (the paper always uses 2;
+    Section 4.6 sweeps it); other schemes use a conventional ``P x P``
+    crossbar.
+    """
+    key = canonical_allocator_name(name)
+    if key == "input_first":
+        return SeparableInputFirstAllocator(num_inputs, num_outputs, num_vcs)
+    if key == "output_first":
+        return SeparableOutputFirstAllocator(num_inputs, num_outputs, num_vcs)
+    if key == "wavefront":
+        return WavefrontAllocator(num_inputs, num_outputs, num_vcs)
+    if key == "augmenting_path":
+        return AugmentingPathAllocator(num_inputs, num_outputs, num_vcs)
+    if key == "packet_chaining":
+        return PacketChainingAllocator(num_inputs, num_outputs, num_vcs)
+    if key == "sparoflo":
+        return SparofloAllocator(num_inputs, num_outputs, num_vcs)
+    if key == "vix":
+        return VIXAllocator(num_inputs, num_outputs, num_vcs, virtual_inputs)
+    return IdealVIXAllocator(num_inputs, num_outputs, num_vcs)
+
+
+__all__ = [
+    "ALLOCATOR_NAMES",
+    "Arbiter",
+    "AugmentingPathAllocator",
+    "DIR_X",
+    "DIR_Y",
+    "FixedPriorityArbiter",
+    "Grant",
+    "IdealVIXAllocator",
+    "MatrixArbiter",
+    "MaxCreditPolicy",
+    "NO_REQUEST",
+    "PacketChainingAllocator",
+    "RequestMatrix",
+    "RoundRobinArbiter",
+    "SeparableInputFirstAllocator",
+    "SeparableOutputFirstAllocator",
+    "SparofloAllocator",
+    "SwitchAllocator",
+    "VCSelectionPolicy",
+    "VIXAllocator",
+    "VixDimensionPolicy",
+    "WavefrontAllocator",
+    "canonical_allocator_name",
+    "hopcroft_karp",
+    "kuhn_matching",
+    "make_allocator",
+    "make_arbiter",
+    "make_vc_policy",
+    "matching_size",
+    "validate_grants",
+]

@@ -1,0 +1,56 @@
+"""Switch-allocator base class.
+
+A switch allocator decides, once per cycle, which input VCs may traverse the
+crossbar.  All allocators in this package consume a
+:class:`~repro.core.requests.RequestMatrix` and return a list of
+:class:`~repro.core.requests.Grant` records.  The invariants each scheme
+must respect are described in DESIGN.md and checked by
+:func:`repro.core.requests.validate_grants`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .requests import Grant, RequestMatrix
+
+
+class SwitchAllocator(ABC):
+    """Base class for all switch allocators.
+
+    Parameters
+    ----------
+    num_inputs, num_outputs:
+        Router port counts (``P`` each for the radix-P routers studied).
+    num_vcs:
+        Virtual channels per input port (``v``).
+    """
+
+    #: Short scheme name used in experiment tables ("IF", "WF", ...).
+    name: str = "base"
+
+    def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
+        if min(num_inputs, num_outputs, num_vcs) < 1:
+            raise ValueError("allocator dimensions must be >= 1")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.num_vcs = num_vcs
+
+    #: How many grants a single input physical port may receive per cycle.
+    #: 1 for conventional crossbars, ``k`` for VIX with k virtual inputs.
+    @property
+    def max_grants_per_input_port(self) -> int:
+        return 1
+
+    #: Number of crossbar inputs per input port (``k``); used by the grant
+    #: validator and by the energy/timing models to size the crossbar.
+    @property
+    def virtual_inputs(self) -> int:
+        return 1
+
+    @abstractmethod
+    def allocate(self, matrix: RequestMatrix) -> list[Grant]:
+        """Compute this cycle's grants for ``matrix``."""
+
+    def reset(self) -> None:
+        """Restore power-on arbitration state (default: stateless)."""

@@ -1,0 +1,107 @@
+"""Maximum bipartite matching algorithms.
+
+Two independent implementations are provided so they can cross-check each
+other in tests:
+
+* :func:`kuhn_matching` — Ford–Fulkerson style augmenting-path search
+  (what the paper's "AP" allocator runs, citing Ford & Fulkerson 1956).
+  Deliberately deterministic: vertices are scanned in fixed ascending order,
+  which is the greedy, locally-optimal behaviour whose network-level
+  unfairness the paper measures in Figure 9.
+* :func:`hopcroft_karp` — the :math:`O(E \\sqrt V)` algorithm, used as an
+  oracle in tests and available for large matchings.
+
+Both take the left-vertex adjacency ``adj[i] = iterable of right vertices``
+and return ``match_left`` with ``match_left[i]`` the matched right vertex or
+``-1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+
+def kuhn_matching(
+    num_left: int, num_right: int, adj: Sequence[Sequence[int]]
+) -> list[int]:
+    """Maximum matching via repeated augmenting-path DFS (Kuhn's algorithm).
+
+    Deterministic: left vertices are processed ``0..num_left-1`` and each
+    adjacency list is scanned in the order given.
+    """
+    if len(adj) != num_left:
+        raise ValueError(f"adjacency has {len(adj)} rows, expected {num_left}")
+    match_left = [-1] * num_left
+    match_right = [-1] * num_right
+
+    def try_augment(u: int, visited: list[bool]) -> bool:
+        for v in adj[u]:
+            if not 0 <= v < num_right:
+                raise ValueError(f"right vertex {v} out of range 0..{num_right - 1}")
+            if visited[v]:
+                continue
+            visited[v] = True
+            if match_right[v] == -1 or try_augment(match_right[v], visited):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        return False
+
+    for u in range(num_left):
+        if adj[u]:
+            try_augment(u, [False] * num_right)
+    return match_left
+
+
+def hopcroft_karp(
+    num_left: int, num_right: int, adj: Sequence[Sequence[int]]
+) -> list[int]:
+    """Maximum matching via Hopcroft–Karp (BFS layering + DFS augmenting)."""
+    if len(adj) != num_left:
+        raise ValueError(f"adjacency has {len(adj)} rows, expected {num_left}")
+    INF = float("inf")
+    match_left = [-1] * num_left
+    match_right = [-1] * num_right
+    dist = [INF] * num_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(num_left):
+            if match_left[u] == -1:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                w = match_right[v]
+                if w == -1:
+                    found = True
+                elif dist[w] is INF or dist[w] == INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adj[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    while bfs():
+        for u in range(num_left):
+            if match_left[u] == -1 and adj[u]:
+                dfs(u)
+    return match_left
+
+
+def matching_size(match_left: Sequence[int]) -> int:
+    """Number of matched pairs in a ``match_left`` array."""
+    return sum(1 for v in match_left if v != -1)

@@ -1,0 +1,113 @@
+"""Output-first separable switch allocation (design-space counterpart).
+
+Becker & Dally's allocator study (the paper's reference [4]) treats
+separable allocators as a family: *input-first* (the paper's baseline)
+arbitrates per input port before per output port; *output-first* reverses
+the phases:
+
+* **Phase 1 (output arbitration).**  Each output port arbitrates among
+  **all** VCs requesting it (across every input port) and picks one.
+* **Phase 2 (input arbitration).**  Each crossbar input arbitrates among
+  the outputs that picked one of its VCs, accepting one grant.
+
+The same uncoordinated-decision problem appears mirrored: several outputs
+may pick VCs of the same input port and all but one are wasted.  Exposed
+here for ablation studies; VIX's virtual inputs help this variant exactly
+as they help input-first (phase-2 conflicts only arise within a crossbar
+input, so ``k`` virtual inputs accept up to ``k`` grants per port).
+"""
+
+from __future__ import annotations
+
+from .allocator import SwitchAllocator
+from .arbiter import RoundRobinArbiter
+from .requests import Grant, RequestMatrix
+
+
+class SeparableOutputFirstAllocator(SwitchAllocator):
+    """Output-first separable allocator with ``k`` crossbar inputs per port."""
+
+    name = "OF"
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_outputs: int,
+        num_vcs: int,
+        virtual_inputs: int = 1,
+    ) -> None:
+        super().__init__(num_inputs, num_outputs, num_vcs)
+        if virtual_inputs < 1:
+            raise ValueError(f"virtual_inputs must be >= 1, got {virtual_inputs}")
+        if virtual_inputs > num_vcs:
+            raise ValueError(
+                f"virtual_inputs ({virtual_inputs}) cannot exceed num_vcs ({num_vcs})"
+            )
+        if num_vcs % virtual_inputs != 0:
+            raise ValueError(
+                f"num_vcs ({num_vcs}) must divide evenly into "
+                f"virtual_inputs ({virtual_inputs}) sub-groups"
+            )
+        self._k = virtual_inputs
+        self._group_size = num_vcs // virtual_inputs
+        # Output arbiters see every (port, vc) requester.
+        self._output_arbiters = [
+            RoundRobinArbiter(num_inputs * num_vcs) for _ in range(num_outputs)
+        ]
+        # Input arbiters (phase 2) accept one output per crossbar input.
+        self._input_arbiters = [
+            [RoundRobinArbiter(num_outputs) for _ in range(virtual_inputs)]
+            for _ in range(num_inputs)
+        ]
+
+    @property
+    def virtual_inputs(self) -> int:
+        return self._k
+
+    @property
+    def max_grants_per_input_port(self) -> int:
+        return self._k
+
+    def vc_group(self, vc: int) -> int:
+        """Sub-group (crossbar input within the port) of VC ``vc``."""
+        return vc // self._group_size
+
+    def allocate(self, matrix: RequestMatrix) -> list[Grant]:
+        v = self.num_vcs
+
+        # Phase 1: every output picks one requesting VC network-wide.
+        # picks[(port, group)] = list of (out, vc)
+        picks: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for out in range(self.num_outputs):
+            requesters = [
+                p * v + w
+                for p in range(self.num_inputs)
+                for w in range(v)
+                if matrix.requests[p][w] == out
+            ]
+            if not requesters:
+                continue
+            arb = self._output_arbiters[out]
+            win = arb.grant(requesters)
+            assert win is not None
+            p, w = divmod(win, v)
+            picks.setdefault((p, self.vc_group(w)), []).append((out, w))
+
+        # Phase 2: each crossbar input accepts one of the outputs that
+        # picked it; the rest of those outputs idle this cycle.
+        grants: list[Grant] = []
+        for (p, g), offers in picks.items():
+            arb = self._input_arbiters[p][g]
+            by_out = {out: w for out, w in offers}
+            win = arb.arbitrate(by_out.keys())
+            assert win is not None
+            arb.update(win)
+            grants.append(Grant(p, by_out[win], win))
+        return grants
+
+    def reset(self) -> None:
+        for arb in self._output_arbiters:
+            arb.reset()
+        for port_arbs in self._input_arbiters:
+            for arb in port_arbs:
+                arb.reset()

@@ -1,0 +1,120 @@
+"""Packet Chaining (PC) switch allocation — Michelogiannakis et al.,
+MICRO-44 (the paper's Section 4.4 comparison point).
+
+Packet chaining improves a separable allocator by *inheriting* allocation
+decisions across cycles:
+
+* while a packet is in flight through the switch, its (input, output)
+  connection is held — body/tail flits bypass allocation;
+* when a packet's tail flit departs, the connection is *chained* to another
+  packet at the **same input** port that requests the **same output** port,
+  in **any VC** (the "SameInput, anyVC" scheme the paper simulates);
+* inputs and outputs tied up by held/chained connections do not participate
+  in the separable allocation of the remaining requests — fewer requests in
+  the matrix means fewer uncoordinated phase-1/phase-2 decisions.
+
+The paper's reading (Section 4.4): PC works *by elimination* of requests,
+VIX works by *exposing more non-conflicting requests*; both attack the same
+separable-allocator weakness from opposite directions.  PC is most effective
+for single-flit packets, which is why Figure 10 uses them.
+"""
+
+from __future__ import annotations
+
+from .arbiter import RoundRobinArbiter
+from .requests import NO_REQUEST, Grant, RequestMatrix
+from .separable import SeparableInputFirstAllocator
+
+
+class _Connection:
+    """A held or chainable switch connection for one output port."""
+
+    __slots__ = ("in_port", "vc", "chainable")
+
+    def __init__(self, in_port: int, vc: int, chainable: bool) -> None:
+        self.in_port = in_port
+        self.vc = vc
+        # chainable=False: mid-packet hold (the owning VC keeps the switch);
+        # chainable=True: the previous packet ended last cycle and any VC of
+        # in_port requesting this output may inherit the connection.
+        self.chainable = chainable
+
+
+class PacketChainingAllocator(SeparableInputFirstAllocator):
+    """Separable IF allocation augmented with packet chaining."""
+
+    name = "PC"
+
+    def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
+        super().__init__(num_inputs, num_outputs, num_vcs, virtual_inputs=1)
+        self._connections: dict[int, _Connection] = {}
+        self._chain_arbiters = [RoundRobinArbiter(num_vcs) for _ in range(num_inputs)]
+
+    @property
+    def active_connections(self) -> int:
+        """Connections currently held or offered for chaining."""
+        return len(self._connections)
+
+    def allocate(self, matrix: RequestMatrix) -> list[Grant]:
+        grants: list[Grant] = []
+        busy_inputs: set[int] = set()
+        busy_outputs: set[int] = set()
+
+        # Step 1: service held and chainable connections.
+        for out in sorted(self._connections):
+            conn = self._connections[out]
+            p = conn.in_port
+            if not conn.chainable:
+                # Mid-packet hold: only the owning VC may use the switch.
+                # The connection (and its input/output) stays reserved even
+                # on a bubble cycle (no flit / no credit).
+                busy_inputs.add(p)
+                busy_outputs.add(out)
+                if matrix.request_of(p, conn.vc) == out:
+                    grants.append(Grant(p, conn.vc, out))
+            else:
+                # Chain to any VC of the same input wanting the same output.
+                if p in busy_inputs:
+                    del self._connections[out]
+                    continue
+                vcs = matrix.vcs_requesting(p, out)
+                if vcs:
+                    vc = self._chain_arbiters[p].grant(vcs)
+                    assert vc is not None
+                    grants.append(Grant(p, vc, out))
+                    conn.vc = vc
+                    busy_inputs.add(p)
+                    busy_outputs.add(out)
+                else:
+                    # Nothing to chain: release the connection.
+                    del self._connections[out]
+
+        # Step 2: separable IF allocation over the remaining requests.
+        if len(busy_outputs) < self.num_outputs:
+            residual = RequestMatrix(self.num_inputs, self.num_outputs, self.num_vcs)
+            for p in range(self.num_inputs):
+                if p in busy_inputs:
+                    continue
+                row = matrix.requests[p]
+                trow = matrix.tails[p]
+                for v in range(self.num_vcs):
+                    out = row[v]
+                    if out != NO_REQUEST and out not in busy_outputs:
+                        residual.add(p, v, out, tail=trow[v])
+            grants.extend(super().allocate(residual))
+
+        # Step 3: update connection state from this cycle's grants.
+        for g in grants:
+            if matrix.is_tail(g.in_port, g.vc):
+                # Packet finished: offer the connection for chaining.
+                self._connections[g.out_port] = _Connection(g.in_port, g.vc, True)
+            else:
+                # Packet continues: hold the connection for its next flit.
+                self._connections[g.out_port] = _Connection(g.in_port, g.vc, False)
+        return grants
+
+    def reset(self) -> None:
+        super().reset()
+        self._connections.clear()
+        for arb in self._chain_arbiters:
+            arb.reset()

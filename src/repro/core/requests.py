@@ -1,0 +1,152 @@
+"""Request/grant model shared by all switch allocators.
+
+A *request matrix* describes, for one router and one cycle, which input VCs
+want which output ports.  Allocators consume a request matrix and produce a
+list of :class:`Grant` records subject to scheme-specific invariants (see
+:func:`validate_grants`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+NO_REQUEST = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Grant:
+    """One switch-allocation grant: input VC ``(in_port, vc)`` -> ``out_port``."""
+
+    in_port: int
+    vc: int
+    out_port: int
+
+
+class RequestMatrix:
+    """Per-cycle switch-allocation requests for a router.
+
+    ``requests[p][v]`` is the output port requested by VC ``v`` of input port
+    ``p``, or :data:`NO_REQUEST`.  ``tails[p][v]`` is True when the
+    requesting flit is a tail (or single-flit) — packet-chaining needs this.
+    """
+
+    __slots__ = (
+        "num_inputs",
+        "num_outputs",
+        "num_vcs",
+        "requests",
+        "tails",
+        "_blank_requests",
+        "_blank_tails",
+    )
+
+    def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
+        if num_inputs < 1 or num_outputs < 1 or num_vcs < 1:
+            raise ValueError("RequestMatrix dimensions must be >= 1")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.num_vcs = num_vcs
+        self.requests: list[list[int]] = [
+            [NO_REQUEST] * num_vcs for _ in range(num_inputs)
+        ]
+        self.tails: list[list[bool]] = [[False] * num_vcs for _ in range(num_inputs)]
+        # Templates for fast slice-assignment clearing (hot loop).
+        self._blank_requests = [NO_REQUEST] * num_vcs
+        self._blank_tails = [False] * num_vcs
+
+    def clear(self) -> None:
+        """Remove every request (reused across cycles to avoid reallocation)."""
+        blank_r = self._blank_requests
+        blank_t = self._blank_tails
+        for row, trow in zip(self.requests, self.tails):
+            row[:] = blank_r
+            trow[:] = blank_t
+
+    def add(self, in_port: int, vc: int, out_port: int, *, tail: bool = False) -> None:
+        """Register that VC ``vc`` of ``in_port`` requests ``out_port``."""
+        if not 0 <= in_port < self.num_inputs:
+            raise ValueError(f"in_port {in_port} out of range")
+        if not 0 <= vc < self.num_vcs:
+            raise ValueError(f"vc {vc} out of range")
+        if not 0 <= out_port < self.num_outputs:
+            raise ValueError(f"out_port {out_port} out of range")
+        self.requests[in_port][vc] = out_port
+        self.tails[in_port][vc] = tail
+
+    def request_of(self, in_port: int, vc: int) -> int:
+        """Requested output of ``(in_port, vc)``, or :data:`NO_REQUEST`."""
+        return self.requests[in_port][vc]
+
+    def is_tail(self, in_port: int, vc: int) -> bool:
+        """True when the head-of-line flit of ``(in_port, vc)`` is a tail."""
+        return self.tails[in_port][vc]
+
+    def vcs_requesting(self, in_port: int, out_port: int) -> list[int]:
+        """VC indices at ``in_port`` that request ``out_port``."""
+        row = self.requests[in_port]
+        return [v for v in range(self.num_vcs) if row[v] == out_port]
+
+    def port_request_sets(self) -> list[set[int]]:
+        """For each input port, the set of distinct requested output ports."""
+        return [
+            {out for out in row if out != NO_REQUEST} for row in self.requests
+        ]
+
+    def total_requests(self) -> int:
+        """Number of requesting VCs across the whole router."""
+        return sum(
+            1 for row in self.requests for out in row if out != NO_REQUEST
+        )
+
+    def has_requests(self) -> bool:
+        """True when at least one VC requests an output."""
+        return any(out != NO_REQUEST for row in self.requests for out in row)
+
+
+def validate_grants(
+    matrix: RequestMatrix,
+    grants: list[Grant],
+    *,
+    max_per_input_port: int | None = 1,
+    virtual_inputs: int = 1,
+    group_of=None,
+) -> None:
+    """Check allocator invariants; raise ``AssertionError`` on violation.
+
+    Invariants:
+
+    * every grant corresponds to an actual request;
+    * at most one grant per output port;
+    * at most one grant per *virtual input* — with ``virtual_inputs=k`` the
+      VCs of a port are split into ``k`` contiguous sub-groups and each
+      sub-group may send at most one flit per cycle;
+    * when ``max_per_input_port`` is not ``None``, at most that many grants
+      per input physical port (baseline schemes use 1; VIX uses ``k``;
+      pass ``None`` for the ideal allocator).
+
+    ``group_of`` overrides the default contiguous VC-to-virtual-input map
+    (pass the allocator's ``vc_group`` for interleaved partitions).
+    """
+    seen_outputs: set[int] = set()
+    seen_vinputs: set[tuple[int, int]] = set()
+    per_port: dict[int, int] = {}
+    group_size = max(1, matrix.num_vcs // max(1, virtual_inputs))
+    if group_of is None:
+        group_of = lambda vc: vc // group_size  # noqa: E731 - local default
+    for g in grants:
+        if matrix.request_of(g.in_port, g.vc) != g.out_port:
+            raise AssertionError(f"grant {g} does not match any request")
+        if g.out_port in seen_outputs:
+            raise AssertionError(f"output port {g.out_port} granted twice")
+        seen_outputs.add(g.out_port)
+        vin = (g.in_port, group_of(g.vc))
+        if vin in seen_vinputs:
+            raise AssertionError(f"virtual input {vin} granted twice")
+        seen_vinputs.add(vin)
+        per_port[g.in_port] = per_port.get(g.in_port, 0) + 1
+        if max_per_input_port is not None and per_port[g.in_port] > max_per_input_port:
+            raise AssertionError(
+                f"input port {g.in_port} granted {per_port[g.in_port]} times "
+                f"(limit {max_per_input_port})"
+            )

@@ -1,0 +1,197 @@
+"""Separable input-first switch allocation (the paper's baseline, and the
+machinery VIX builds on).
+
+An input-first separable allocator works in two phases:
+
+* **Phase 1 (input arbitration).**  Each crossbar input runs a ``v:1``
+  arbiter over the VCs connected to it and picks one candidate request.
+* **Phase 2 (output arbitration).**  Each output port runs an arbiter over
+  the phase-1 winners that request it and picks one.
+
+The two phases do not coordinate: two inputs may both put forward VCs that
+want the same output even though other pairings existed (the paper's
+*sub-optimal matching problem*), and only one VC per crossbar input can win
+(the *input port constraint*).  With ``virtual_inputs = 1`` (the baseline
+"IF" scheme) each physical port owns exactly one crossbar input, so both
+problems are in full effect.  :class:`~repro.core.vix.VIXAllocator`
+instantiates the same machinery with ``virtual_inputs = k > 1``.
+
+Two ablation knobs (beyond the paper's configurations) are exposed:
+
+* ``pointer_policy`` — ``"plain"`` rotates the input arbiters on every
+  phase-1 selection (the conventional separable allocator and the paper's
+  baseline); ``"on_grant"`` rotates them only when the selection survives
+  phase 2 (iSLIP-style desynchronising update).
+* ``partition`` — how VCs map onto virtual inputs: ``"contiguous"``
+  (VCs 0..v/k-1 on input 0, the paper's Fig. 2 wiring) or
+  ``"interleaved"`` (VC ``i`` on input ``i mod k``).
+"""
+
+from __future__ import annotations
+
+from .allocator import SwitchAllocator
+from .arbiter import RoundRobinArbiter
+from .requests import NO_REQUEST, Grant, RequestMatrix
+
+POINTER_POLICIES = ("plain", "on_grant")
+PARTITIONS = ("contiguous", "interleaved")
+
+
+class SeparableInputFirstAllocator(SwitchAllocator):
+    """Input-first separable allocator with ``k`` crossbar inputs per port.
+
+    Parameters
+    ----------
+    virtual_inputs:
+        Number of crossbar inputs per physical input port (``k``).  The
+        ``num_vcs`` VCs of a port are partitioned into ``k`` sub-groups of
+        ``num_vcs // k`` VCs; each sub-group owns one crossbar input and one
+        ``(v/k):1`` input arbiter.  Output arbiters grow to
+        ``k * num_inputs : 1``.  ``k = 1`` is the conventional router.
+    pointer_policy, partition:
+        Ablation knobs; see the module docstring.
+    """
+
+    name = "IF"
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_outputs: int,
+        num_vcs: int,
+        virtual_inputs: int = 1,
+        *,
+        pointer_policy: str = "plain",
+        partition: str = "contiguous",
+    ) -> None:
+        super().__init__(num_inputs, num_outputs, num_vcs)
+        if virtual_inputs < 1:
+            raise ValueError(f"virtual_inputs must be >= 1, got {virtual_inputs}")
+        if virtual_inputs > num_vcs:
+            raise ValueError(
+                f"virtual_inputs ({virtual_inputs}) cannot exceed num_vcs ({num_vcs})"
+            )
+        if num_vcs % virtual_inputs != 0:
+            raise ValueError(
+                f"num_vcs ({num_vcs}) must divide evenly into "
+                f"virtual_inputs ({virtual_inputs}) sub-groups"
+            )
+        if pointer_policy not in POINTER_POLICIES:
+            raise ValueError(
+                f"pointer_policy must be one of {POINTER_POLICIES}, "
+                f"got {pointer_policy!r}"
+            )
+        if partition not in PARTITIONS:
+            raise ValueError(
+                f"partition must be one of {PARTITIONS}, got {partition!r}"
+            )
+        self._k = virtual_inputs
+        self._group_size = num_vcs // virtual_inputs
+        self.pointer_policy = pointer_policy
+        self.partition = partition
+        # One input arbiter per crossbar input (per port, per sub-group).
+        self._input_arbiters = [
+            [RoundRobinArbiter(self._group_size) for _ in range(virtual_inputs)]
+            for _ in range(num_inputs)
+        ]
+        # One output arbiter per output port, over k*P crossbar inputs.
+        self._output_arbiters = [
+            RoundRobinArbiter(num_inputs * virtual_inputs) for _ in range(num_outputs)
+        ]
+
+    @property
+    def virtual_inputs(self) -> int:
+        return self._k
+
+    @property
+    def group_size(self) -> int:
+        """VCs per crossbar input (``v / k``)."""
+        return self._group_size
+
+    @property
+    def max_grants_per_input_port(self) -> int:
+        return self._k
+
+    def vc_group(self, vc: int) -> int:
+        """Sub-group (virtual-input index within the port) of VC ``vc``."""
+        if self.partition == "contiguous":
+            return vc // self._group_size
+        return vc % self._k
+
+    def _vc_of(self, group: int, local: int) -> int:
+        """Inverse of the partition map: (group, local slot) -> VC id."""
+        if self.partition == "contiguous":
+            return group * self._group_size + local
+        return local * self._k + group
+
+    def _local_of(self, vc: int) -> int:
+        """Slot of ``vc`` within its sub-group's input arbiter."""
+        if self.partition == "contiguous":
+            return vc % self._group_size
+        return vc // self._k
+
+    def allocate(self, matrix: RequestMatrix) -> list[Grant]:
+        plain = self.pointer_policy == "plain"
+        contiguous = self.partition == "contiguous"
+        gs = self._group_size
+
+        # Phase 1: each crossbar input picks one requesting VC.
+        # winners[(port, group)] = (vc, out_port)
+        winners: dict[tuple[int, int], tuple[int, int]] = {}
+        for p in range(self.num_inputs):
+            row = matrix.requests[p]
+            arbiters = self._input_arbiters[p]
+            for g in range(self._k):
+                if contiguous:
+                    base = g * gs
+                    local = [
+                        i
+                        for i, out in enumerate(row[base : base + gs])
+                        if out != NO_REQUEST
+                    ]
+                else:
+                    local = [
+                        i
+                        for i in range(gs)
+                        if row[self._vc_of(g, i)] != NO_REQUEST
+                    ]
+                if not local:
+                    continue
+                arb = arbiters[g]
+                if plain:
+                    # Conventional separable arbitration: the pointer
+                    # rotates on the phase-1 choice whether or not phase 2
+                    # grants it — exactly the uncoordinated behaviour the
+                    # paper targets.
+                    choice = arb.grant(local)
+                else:
+                    choice = arb.arbitrate(local)
+                assert choice is not None
+                vc = self._vc_of(g, choice)
+                winners[(p, g)] = (vc, row[vc])
+
+        # Phase 2: each output picks one crossbar input among the winners.
+        grants: list[Grant] = []
+        per_output: dict[int, list[tuple[int, int, int]]] = {}
+        for (p, g), (vc, out) in winners.items():
+            per_output.setdefault(out, []).append((p, g, vc))
+        for out, cands in per_output.items():
+            arb = self._output_arbiters[out]
+            index_of = {p * self._k + g: (p, g, vc) for (p, g, vc) in cands}
+            win = arb.arbitrate(index_of.keys())
+            assert win is not None
+            arb.update(win)
+            p, g, vc = index_of[win]
+            grants.append(Grant(p, vc, out))
+            if not plain:
+                # iSLIP-style update: only granted inputs rotate, which
+                # desynchronises the input arbiters over time.
+                self._input_arbiters[p][g].update(self._local_of(vc))
+        return grants
+
+    def reset(self) -> None:
+        for port_arbs in self._input_arbiters:
+            for arb in port_arbs:
+                arb.reset()
+        for arb in self._output_arbiters:
+            arb.reset()

@@ -1,0 +1,119 @@
+"""SPAROFLO-style switch allocation (Kumar et al., ICCD 2007).
+
+The paper's Section 5 contrasts VIX with SPAROFLO: SPAROFLO also presents
+*more than one request per input port* to the output arbiters, but keeps
+the conventional ``P x P`` crossbar.  Because there are no virtual inputs,
+only one request per port can ultimately be granted, so conflicts — two
+output arbiters picking the same input port — must be *detected after
+output arbitration* using priorities assigned during input arbitration,
+and every losing output goes idle that cycle.  Those dropped grants are
+exactly the efficiency gap to VIX that the paper describes.
+
+The implementation models the scheme's essence:
+
+1. **Input selection.**  Each port's round-robin arbiter picks up to ``r``
+   requests targeting *distinct* outputs, in priority order (first pick =
+   highest priority).  ``r`` adapts to load as in the original design:
+   multiple requests per port at low/medium load, a single one near
+   saturation (where extra requests mostly create conflicts).
+2. **Output arbitration.**  Each output's arbiter picks one candidate
+   port.
+3. **Conflict resolution.**  If several outputs picked the same input
+   port, only the candidate carrying the port's highest selection priority
+   survives; the other outputs idle.
+"""
+
+from __future__ import annotations
+
+from .allocator import SwitchAllocator
+from .arbiter import RoundRobinArbiter
+from .requests import NO_REQUEST, Grant, RequestMatrix
+
+
+class SparofloAllocator(SwitchAllocator):
+    """Multiple requests per port over a conventional crossbar."""
+
+    name = "SPAROFLO"
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_outputs: int,
+        num_vcs: int,
+        *,
+        max_requests_per_port: int = 2,
+        dynamic: bool = True,
+    ) -> None:
+        super().__init__(num_inputs, num_outputs, num_vcs)
+        if max_requests_per_port < 1:
+            raise ValueError(
+                f"max_requests_per_port must be >= 1, got {max_requests_per_port}"
+            )
+        self.max_requests_per_port = max_requests_per_port
+        self.dynamic = dynamic
+        self._input_arbiters = [RoundRobinArbiter(num_vcs) for _ in range(num_inputs)]
+        self._output_arbiters = [RoundRobinArbiter(num_inputs) for _ in range(num_outputs)]
+
+    def _requests_per_port(self, matrix: RequestMatrix) -> int:
+        """Load-adaptive request count (the scheme's 'dynamic' knob)."""
+        if not self.dynamic:
+            return self.max_requests_per_port
+        total = matrix.total_requests()
+        capacity = self.num_inputs * self.num_vcs
+        # Near saturation extra requests mostly collide; fall back to one.
+        if total > 0.75 * capacity:
+            return 1
+        return self.max_requests_per_port
+
+    def allocate(self, matrix: RequestMatrix) -> list[Grant]:
+        r = self._requests_per_port(matrix)
+
+        # Phase 1: per port, select up to r requests to distinct outputs,
+        # recording the selection order as the conflict priority.
+        # candidates[out] = list of (in_port, vc, priority)
+        candidates: dict[int, list[tuple[int, int, int]]] = {}
+        for p in range(self.num_inputs):
+            row = matrix.requests[p]
+            available = [v for v in range(self.num_vcs) if row[v] != NO_REQUEST]
+            chosen_outputs: set[int] = set()
+            arb = self._input_arbiters[p]
+            priority = 0
+            while available and priority < r:
+                vc = arb.grant(available)
+                assert vc is not None
+                out = row[vc]
+                chosen_outputs.add(out)
+                candidates.setdefault(out, []).append((p, vc, priority))
+                priority += 1
+                # Later picks must target outputs this port has not already
+                # requested (one candidate per (port, output) pair).
+                available = [
+                    v for v in available
+                    if v != vc and row[v] not in chosen_outputs
+                ]
+
+        # Phase 2: output arbitration among candidate ports.
+        picked: list[tuple[int, int, int, int]] = []  # (out, in, vc, prio)
+        for out, cands in candidates.items():
+            arb = self._output_arbiters[out]
+            by_port = {p: (vc, prio) for p, vc, prio in cands}
+            winner = arb.arbitrate(by_port.keys())
+            assert winner is not None
+            arb.update(winner)
+            vc, prio = by_port[winner]
+            picked.append((out, winner, vc, prio))
+
+        # Phase 3: conflict detection — one grant per input port survives,
+        # chosen by input-selection priority (ties by output index).
+        best: dict[int, tuple[int, int, int]] = {}  # in_port -> (prio, out, vc)
+        for out, p, vc, prio in picked:
+            incumbent = best.get(p)
+            if incumbent is None or (prio, out) < (incumbent[0], incumbent[1]):
+                best[p] = (prio, out, vc)
+        return [Grant(p, vc, out) for p, (_prio, out, vc) in best.items()]
+
+    def reset(self) -> None:
+        for arb in self._input_arbiters:
+            arb.reset()
+        for arb in self._output_arbiters:
+            arb.reset()

@@ -1,0 +1,137 @@
+"""Output virtual-channel assignment policies (paper Section 2.3).
+
+Before VC allocation, every packet is assigned an output VC — i.e. an input
+VC at the downstream router.  The baseline heuristic picks the free VC with
+the most free flit buffers.  Under VIX the downstream VCs are partitioned
+into sub-groups, each wired to a different virtual input of the downstream
+crossbar, so *which* VC a packet gets decides *which* crossbar input its
+requests will come from.
+
+The paper's Section 2.3 policy exploits this: using lookahead routing, the
+output direction the packet will take **at the downstream router** is known
+one hop in advance; packets heading in different dimensions are steered to
+different sub-groups so their downstream requests arrive on different
+virtual inputs (fewer output-port conflicts), and assignments are load
+balanced across sub-groups so every virtual input keeps seeing requests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+#: Direction classes produced by ``Topology.port_direction_class``.
+DIR_X = 0
+DIR_Y = 1
+
+
+class VCSelectionPolicy(ABC):
+    """Chooses one output VC among the currently-free candidates."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def select(
+        self,
+        candidates: Sequence[int],
+        credits: Sequence[int],
+        *,
+        num_vcs: int,
+        virtual_inputs: int,
+        downstream_direction: int | None,
+    ) -> int:
+        """Pick a VC id from ``candidates`` (non-empty, ids in ``[0, num_vcs)``).
+
+        ``credits[vc]`` is the free-buffer count of each VC.
+        ``downstream_direction`` is the direction class (:data:`DIR_X`,
+        :data:`DIR_Y`) of the output port the packet will request at the
+        downstream router, or ``None`` when the packet ejects there.
+        """
+
+
+class MaxCreditPolicy(VCSelectionPolicy):
+    """Baseline: the free output VC with the most free flit buffers."""
+
+    name = "max_credit"
+
+    def select(
+        self,
+        candidates: Sequence[int],
+        credits: Sequence[int],
+        *,
+        num_vcs: int,
+        virtual_inputs: int,
+        downstream_direction: int | None,
+    ) -> int:
+        if not candidates:
+            raise ValueError("no candidate VCs")
+        # Ties break to the lowest VC id (deterministic).
+        return max(candidates, key=lambda vc: (credits[vc], -vc))
+
+
+class VixDimensionPolicy(VCSelectionPolicy):
+    """Section 2.3: dimension-aware, load-balanced sub-group assignment.
+
+    Preference order:
+
+    1. the sub-group keyed by the packet's downstream output direction
+       (X-dimension traffic -> group 0, Y-dimension -> group 1, wrapping by
+       ``direction % k`` for ``k > 2``);
+    2. if the preferred group has no free VC (or the packet ejects
+       downstream), the group with the most free candidate VCs — this is the
+       load balancing that keeps every virtual input supplied with requests;
+    3. within the chosen group, the VC with the most free buffers.
+    """
+
+    name = "vix_dimension"
+
+    def select(
+        self,
+        candidates: Sequence[int],
+        credits: Sequence[int],
+        *,
+        num_vcs: int,
+        virtual_inputs: int,
+        downstream_direction: int | None,
+    ) -> int:
+        if not candidates:
+            raise ValueError("no candidate VCs")
+        k = max(1, virtual_inputs)
+        group_size = max(1, num_vcs // k)
+        by_group: dict[int, list[int]] = {}
+        for vc in candidates:
+            by_group.setdefault(vc // group_size, []).append(vc)
+
+        chosen_group: int | None = None
+        if downstream_direction is not None:
+            preferred = downstream_direction % k
+            if preferred in by_group:
+                chosen_group = preferred
+        if chosen_group is None:
+            # Load balance: group with most free VCs, then highest total
+            # credits, ties to the lowest group id.
+            chosen_group = max(
+                by_group,
+                key=lambda g: (
+                    len(by_group[g]),
+                    sum(credits[vc] for vc in by_group[g]),
+                    -g,
+                ),
+            )
+        group_candidates = by_group[chosen_group]
+        return max(group_candidates, key=lambda vc: (credits[vc], -vc))
+
+
+def make_vc_policy(name: str) -> VCSelectionPolicy:
+    """Factory for VC selection policies by name."""
+    policies = {
+        "max_credit": MaxCreditPolicy,
+        "vix_dimension": VixDimensionPolicy,
+    }
+    try:
+        cls = policies[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown VC policy {name!r}; expected one of {sorted(policies)}"
+        ) from None
+    return cls()

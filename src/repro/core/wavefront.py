@@ -1,0 +1,84 @@
+"""Wavefront (WF) switch allocation (Tamir & Chi symmetric crossbar arbiter).
+
+The wavefront allocator operates on the *port-level* request matrix
+``R[i][o]`` ("input port i has at least one VC requesting output o").  A
+priority diagonal sweeps the matrix; cells on the same anti-diagonal share
+no row or column, so every conflict-free (input, output) pair along a wave
+is granted simultaneously.  Later waves grant whatever rows/columns remain
+free.  The starting diagonal rotates every cycle for fairness.
+
+WF finds a *maximal* (not maximum) matching: it never leaves a grantable
+pair ungranted, but its greedy wave order can still miss the maximum
+matching.  The paper's Table 3 measures WF at 39% higher delay than a
+separable allocator; Section 4.1 evaluates both at equal cycle time to
+isolate allocation quality.
+
+Like every conventional (non-VIX) scheme, WF grants at most one flit per
+input physical port per cycle.  After port-level matching a per-port
+round-robin arbiter picks which requesting VC uses the grant.
+"""
+
+from __future__ import annotations
+
+from .allocator import SwitchAllocator
+from .arbiter import RoundRobinArbiter
+from .requests import Grant, RequestMatrix
+
+
+class WavefrontAllocator(SwitchAllocator):
+    """Wavefront allocator with a rotating priority diagonal."""
+
+    name = "WF"
+
+    def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
+        super().__init__(num_inputs, num_outputs, num_vcs)
+        # The wavefront sweep works on a square matrix; pad to the larger
+        # dimension (requests simply never appear in padded cells).
+        self._n = max(num_inputs, num_outputs)
+        self._diag = 0
+        self._vc_arbiters = [RoundRobinArbiter(num_vcs) for _ in range(num_inputs)]
+
+    @property
+    def priority_diagonal(self) -> int:
+        """Anti-diagonal that holds top priority this cycle."""
+        return self._diag
+
+    def allocate(self, matrix: RequestMatrix) -> list[Grant]:
+        n = self._n
+        port_requests = matrix.port_request_sets()
+        row_free = [True] * self.num_inputs
+        col_free = [True] * self.num_outputs
+        port_grants: list[tuple[int, int]] = []
+
+        granted = 0
+        want = sum(1 for s in port_requests if s)
+        for wave in range(n):
+            if granted >= want:
+                break
+            d = (self._diag + wave) % n
+            # Cells (i, o) with (i + o) mod n == d share no row/column.
+            for i in range(self.num_inputs):
+                if not row_free[i]:
+                    continue
+                o = (d - i) % n
+                if o >= self.num_outputs or not col_free[o]:
+                    continue
+                if o in port_requests[i]:
+                    port_grants.append((i, o))
+                    row_free[i] = False
+                    col_free[o] = False
+                    granted += 1
+        self._diag = (self._diag + 1) % n
+
+        grants: list[Grant] = []
+        for i, o in port_grants:
+            vcs = matrix.vcs_requesting(i, o)
+            vc = self._vc_arbiters[i].grant(vcs)
+            assert vc is not None
+            grants.append(Grant(i, vc, o))
+        return grants
+
+    def reset(self) -> None:
+        self._diag = 0
+        for arb in self._vc_arbiters:
+            arb.reset()

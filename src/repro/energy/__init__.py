@@ -1,0 +1,6 @@
+"""Network energy modelling: activity counters and per-component models."""
+
+from .activity import ActivityCounters
+from .energy_model import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["ActivityCounters", "EnergyBreakdown", "EnergyModel", "EnergyParams"]

@@ -1,0 +1,154 @@
+"""Network energy model (paper Section 4.5, Figure 11).
+
+The paper models links, buffers and switches in SPICE (45 nm), including
+clocking and leakage, and folds in activity factors from cycle-accurate
+simulation.  We substitute per-event energy constants representative of a
+45 nm NoC datapath (documented below) and the same activity-factor
+integration.  What Figure 11 establishes — and what the constants are
+calibrated to preserve — is the *component breakdown shape* and the ~4%
+total energy/bit overhead VIX pays for its larger crossbar at an injection
+rate of 0.1 packets/cycle/node.
+
+Component models (``flit`` = 128 bits):
+
+* buffer write / read: fixed pJ per flit (SRAM-style FIFO access);
+* crossbar traversal: proportional to the total wire span, i.e. to
+  ``rows + cols`` of the ``kP x P`` matrix crossbar — a 1:2 VIX mesh
+  crossbar (10x5) costs 1.5x the baseline (5x5) per traversal;
+* link traversal: fixed pJ per flit per hop (~1 mm inter-router wire);
+* clock: per router per cycle, growing with the clocked VC state;
+* leakage: per router per cycle, growing with buffer storage and crossbar
+  area (``rows * cols``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .activity import ActivityCounters
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy constants in pJ (128-bit flit, 45 nm class)."""
+
+    #: pJ per flit written into an input buffer.
+    buffer_write_pj: float = 1.5
+    #: pJ per flit read from an input buffer.
+    buffer_read_pj: float = 1.2
+    #: pJ per flit crossbar traversal, per unit of (rows + cols) wire span.
+    xbar_pj_per_span: float = 0.065
+    #: pJ per flit link traversal.
+    link_pj: float = 2.6
+    #: Clock tree energy per router per cycle: base + per-VC flop cost.
+    clock_base_pj: float = 0.9
+    clock_per_vc_pj: float = 0.02
+    #: Leakage per router per cycle: base + per buffered flit-slot +
+    #: per crossbar crosspoint.
+    leak_base_pj: float = 0.5
+    leak_per_buffer_flit_pj: float = 0.01
+    leak_per_crosspoint_pj: float = 0.002
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals (pJ) by component for one simulation."""
+
+    buffer: float
+    crossbar: float
+    link: float
+    clock: float
+    leakage: float
+    bits_delivered: int
+
+    @property
+    def total(self) -> float:
+        return self.buffer + self.crossbar + self.link + self.clock + self.leakage
+
+    @property
+    def per_bit(self) -> float:
+        """Total network energy per delivered bit (pJ/bit) — Figure 11's axis."""
+        if self.bits_delivered == 0:
+            raise ValueError("no bits delivered; energy/bit undefined")
+        return self.total / self.bits_delivered
+
+    def per_bit_components(self) -> dict[str, float]:
+        """Per-component energy per delivered bit (pJ/bit)."""
+        if self.bits_delivered == 0:
+            raise ValueError("no bits delivered; energy/bit undefined")
+        b = self.bits_delivered
+        return {
+            "buffer": self.buffer / b,
+            "crossbar": self.crossbar / b,
+            "link": self.link / b,
+            "clock": self.clock / b,
+            "leakage": self.leakage / b,
+        }
+
+
+class EnergyModel:
+    """Energy accounting for one homogeneous network configuration."""
+
+    def __init__(
+        self,
+        *,
+        radix: int,
+        num_vcs: int,
+        buffer_depth: int,
+        virtual_inputs: int = 1,
+        num_routers: int = 64,
+        flit_width_bits: int = 128,
+        params: EnergyParams | None = None,
+    ) -> None:
+        if min(radix, num_vcs, buffer_depth, virtual_inputs, num_routers) < 1:
+            raise ValueError("all structural parameters must be >= 1")
+        self.radix = radix
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.virtual_inputs = virtual_inputs
+        self.num_routers = num_routers
+        self.flit_width_bits = flit_width_bits
+        self.params = params or EnergyParams()
+
+    @property
+    def crossbar_rows(self) -> int:
+        return self.radix * self.virtual_inputs
+
+    @property
+    def crossbar_cols(self) -> int:
+        return self.radix
+
+    @property
+    def xbar_traversal_pj(self) -> float:
+        """Energy of one flit crossing this configuration's crossbar."""
+        return self.params.xbar_pj_per_span * (self.crossbar_rows + self.crossbar_cols)
+
+    def _clock_pj_per_router_cycle(self) -> float:
+        p = self.params
+        return p.clock_base_pj + p.clock_per_vc_pj * self.radix * self.num_vcs
+
+    def _leak_pj_per_router_cycle(self) -> float:
+        p = self.params
+        buffer_slots = self.radix * self.num_vcs * self.buffer_depth
+        crosspoints = self.crossbar_rows * self.crossbar_cols
+        return (
+            p.leak_base_pj
+            + p.leak_per_buffer_flit_pj * buffer_slots
+            + p.leak_per_crosspoint_pj * crosspoints
+        )
+
+    def evaluate(self, counters: ActivityCounters) -> EnergyBreakdown:
+        """Fold simulation activity into the component energy totals."""
+        p = self.params
+        router_cycles = counters.cycles * self.num_routers
+        return EnergyBreakdown(
+            buffer=(
+                counters.buffer_writes * p.buffer_write_pj
+                + counters.buffer_reads * p.buffer_read_pj
+            ),
+            crossbar=counters.xbar_traversals * self.xbar_traversal_pj,
+            link=counters.link_traversals * p.link_pj,
+            clock=router_cycles * self._clock_pj_per_router_cycle(),
+            leakage=router_cycles * self._leak_pj_per_router_cycle(),
+            bits_delivered=counters.flits_ejected * self.flit_width_bits,
+        )

@@ -1,0 +1,78 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+========= ===============================================================
+Id        Module
+========= ===============================================================
+T1        :mod:`repro.experiments.table1_delays`
+T3        :mod:`repro.experiments.table3_allocator_delays`
+F7        :mod:`repro.experiments.fig7_single_router`
+F8        :mod:`repro.experiments.fig8_mesh`
+F9        :mod:`repro.experiments.fig9_fairness`
+F10       :mod:`repro.experiments.fig10_packet_chaining`
+F11       :mod:`repro.experiments.fig11_energy`
+F12       :mod:`repro.experiments.fig12_virtual_inputs`
+T4        :mod:`repro.experiments.table4_applications`
+========= ===============================================================
+
+Every module exposes ``run(...)`` (returns a structured result),
+``report(result=None)`` (paper-style text rows) and ``main()``.
+Set ``REPRO_FULL=1`` for paper-fidelity run lengths.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from . import (
+    ablations,
+    fig7_single_router,
+    radix_scaling,
+    fig8_mesh,
+    fig9_fairness,
+    fig10_packet_chaining,
+    fig11_energy,
+    fig12_virtual_inputs,
+    table1_delays,
+    table3_allocator_delays,
+    table4_applications,
+    topology_comparison,
+)
+from .runner import FAST, FULL, RunLengths, format_table, improvement, run_lengths
+
+#: Experiment id -> driver module.
+EXPERIMENTS: dict[str, ModuleType] = {
+    "t1": table1_delays,
+    "t3": table3_allocator_delays,
+    "f7": fig7_single_router,
+    "f8": fig8_mesh,
+    "f9": fig9_fairness,
+    "f10": fig10_packet_chaining,
+    "f11": fig11_energy,
+    "f12": fig12_virtual_inputs,
+    "t4": table4_applications,
+    "abl": ablations,
+    "radix": radix_scaling,
+    "topo": topology_comparison,
+}
+
+
+def get_experiment(exp_id: str) -> ModuleType:
+    """Look up an experiment driver by id (case-insensitive)."""
+    key = exp_id.strip().lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "FAST",
+    "FULL",
+    "RunLengths",
+    "format_table",
+    "get_experiment",
+    "improvement",
+    "run_lengths",
+]

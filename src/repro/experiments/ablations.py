@@ -1,0 +1,234 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own figures and isolate the contribution of
+individual design decisions:
+
+* **A1 — Section 2.3 VC assignment.**  VIX with the dimension-aware,
+  load-balanced output-VC policy vs. the naive max-credit policy, at mesh
+  saturation.  Quantifies how much of the VIX win comes from steering
+  requests into different virtual inputs.
+* **A2 — input-arbiter pointer policy.**  Plain separable rotation (the
+  paper's baseline) vs. iSLIP-style rotate-on-grant, for both IF and VIX,
+  on the saturated single router.
+* **A3 — VC-to-virtual-input partition.**  Contiguous (the paper's Fig. 2
+  wiring) vs. interleaved.
+* **A4 — SPAROFLO comparison.**  The Section 5 argument made quantitative:
+  presenting multiple requests per port *without* virtual inputs recovers
+  only part of the VIX gain because post-arbitration conflicts drop grants.
+* **A5 — virtual-input count.**  Single-router throughput for
+  k = 1, 2, 3, 6 (the paper's Fig. 12 at router granularity).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import (
+    SeparableInputFirstAllocator,
+    SeparableOutputFirstAllocator,
+    SparofloAllocator,
+    VIXAllocator,
+)
+from repro.core.requests import RequestMatrix
+from repro.network.config import paper_config
+from repro.sim.engine import saturation_throughput
+
+from .runner import format_table, improvement, run_lengths
+
+
+def _single_router_throughput(alloc, radix: int, num_vcs: int, cycles: int, seed: int) -> float:
+    """Saturated single-router throughput for a pre-built allocator."""
+    rng = random.Random(seed)
+    out = [[rng.randrange(radix) for _ in range(num_vcs)] for _ in range(radix)]
+    total = 0
+    matrix = RequestMatrix(radix, radix, num_vcs)
+    for _ in range(cycles):
+        matrix.clear()
+        for p in range(radix):
+            for v in range(num_vcs):
+                matrix.add(p, v, out[p][v], tail=True)
+        grants = alloc.allocate(matrix)
+        total += len(grants)
+        for g in grants:
+            out[g.in_port][g.vc] = rng.randrange(radix)
+    return total / cycles
+
+
+@dataclass
+class AblationResult:
+    """All ablation measurements, keyed by (study, variant)."""
+
+    values: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def gain(self, study: str, variant: str, base: str) -> float:
+        return improvement(self.values[(study, variant)], self.values[(study, base)])
+
+
+def run(*, radix: int = 5, num_vcs: int = 6, seed: int = 1, fast: bool | None = None) -> AblationResult:
+    """Run every ablation study."""
+    lengths = run_lengths(fast)
+    cycles = lengths.single_router_cycles
+    result = AblationResult()
+
+    # A1: VC-assignment policy at mesh saturation.
+    for policy in ("vix_dimension", "max_credit"):
+        cfg = paper_config("vix").with_router(vc_policy=policy)
+        res = saturation_throughput(
+            cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
+        )
+        result.values[("vc_policy", policy)] = res.throughput_flits_per_node
+    base_cfg = paper_config("if")
+    base = saturation_throughput(
+        base_cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
+    )
+    result.values[("vc_policy", "if_baseline")] = base.throughput_flits_per_node
+
+    # A2: pointer policy (single router).
+    for name, cls, k in (("if", SeparableInputFirstAllocator, 1), ("vix", VIXAllocator, 2)):
+        for policy in ("plain", "on_grant"):
+            alloc = cls(radix, radix, num_vcs, k, pointer_policy=policy)
+            result.values[("pointer", f"{name}/{policy}")] = _single_router_throughput(
+                alloc, radix, num_vcs, cycles, seed
+            )
+
+    # A3: partition (single router, VIX k=2).
+    for partition in ("contiguous", "interleaved"):
+        alloc = VIXAllocator(radix, radix, num_vcs, 2, partition=partition)
+        result.values[("partition", partition)] = _single_router_throughput(
+            alloc, radix, num_vcs, cycles, seed
+        )
+
+    # A4: SPAROFLO vs IF vs VIX (single router).
+    variants = {
+        "if": SeparableInputFirstAllocator(radix, radix, num_vcs),
+        "sparoflo_static": SparofloAllocator(radix, radix, num_vcs, dynamic=False),
+        "sparoflo_dynamic": SparofloAllocator(radix, radix, num_vcs, dynamic=True),
+        "vix": VIXAllocator(radix, radix, num_vcs, 2),
+    }
+    for name, alloc in variants.items():
+        result.values[("sparoflo", name)] = _single_router_throughput(
+            alloc, radix, num_vcs, cycles, seed
+        )
+
+    # A6: separable phase order (single router): input-first vs
+    # output-first, with and without virtual inputs.
+    order_variants = {
+        "input_first": SeparableInputFirstAllocator(radix, radix, num_vcs),
+        "output_first": SeparableOutputFirstAllocator(radix, radix, num_vcs),
+        "input_first_vix": VIXAllocator(radix, radix, num_vcs, 2),
+        "output_first_vix": SeparableOutputFirstAllocator(
+            radix, radix, num_vcs, virtual_inputs=2
+        ),
+    }
+    for name, alloc in order_variants.items():
+        result.values[("phase_order", name)] = _single_router_throughput(
+            alloc, radix, num_vcs, cycles, seed
+        )
+
+    # A5: virtual-input count sweep (single router).
+    for k in (1, 2, 3, 6):
+        alloc = (
+            SeparableInputFirstAllocator(radix, radix, num_vcs)
+            if k == 1
+            else VIXAllocator(radix, radix, num_vcs, k)
+        )
+        result.values[("vinputs", f"k={k}")] = _single_router_throughput(
+            alloc, radix, num_vcs, cycles, seed
+        )
+
+    return result
+
+
+def report(result: AblationResult | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    v = result.values
+    lines = ["Ablation studies (design-choice isolation)", ""]
+
+    lines.append("A1. Output-VC assignment policy, mesh saturation (flits/cyc/node):")
+    lines.append(
+        format_table(
+            ["Variant", "Throughput", "vs IF baseline"],
+            [
+                (
+                    name,
+                    round(v[("vc_policy", name)], 3),
+                    f"{result.gain('vc_policy', name, 'if_baseline'):+.1%}",
+                )
+                for name in ("if_baseline", "max_credit", "vix_dimension")
+            ],
+        )
+    )
+    lines.append("")
+
+    lines.append("A2. Input-arbiter pointer policy, single router (flits/cycle):")
+    rows = [
+        (variant, round(v[("pointer", variant)], 2))
+        for variant in ("if/plain", "if/on_grant", "vix/plain", "vix/on_grant")
+    ]
+    lines.append(format_table(["Variant", "Throughput"], rows))
+    lines.append("")
+
+    lines.append("A3. VC partition onto virtual inputs, single router:")
+    lines.append(
+        format_table(
+            ["Partition", "Throughput"],
+            [
+                (p, round(v[("partition", p)], 2))
+                for p in ("contiguous", "interleaved")
+            ],
+        )
+    )
+    lines.append("")
+
+    lines.append("A4. SPAROFLO vs VIX (Section 5), single router:")
+    lines.append(
+        format_table(
+            ["Scheme", "Throughput", "vs IF"],
+            [
+                (
+                    name,
+                    round(v[("sparoflo", name)], 2),
+                    f"{result.gain('sparoflo', name, 'if'):+.1%}",
+                )
+                for name in ("if", "sparoflo_dynamic", "sparoflo_static", "vix")
+            ],
+        )
+    )
+    lines.append("")
+
+    lines.append("A5. Virtual-input count, single router:")
+    lines.append(
+        format_table(
+            ["k", "Throughput"],
+            [(k, round(v[("vinputs", k)], 2)) for k in ("k=1", "k=2", "k=3", "k=6")],
+        )
+    )
+    lines.append("")
+
+    lines.append("A6. Separable phase order (virtual inputs help both):")
+    lines.append(
+        format_table(
+            ["Variant", "Throughput"],
+            [
+                (name, round(v[("phase_order", name)], 2))
+                for name in (
+                    "input_first",
+                    "output_first",
+                    "input_first_vix",
+                    "output_first_vix",
+                )
+            ],
+        )
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""JSON export for experiment results.
+
+Experiment drivers return dataclasses whose fields may contain nested
+dataclasses, tuple-keyed dicts (e.g. ``(radix, allocator) -> value``) and
+non-finite floats.  :func:`to_jsonable` normalises all of that into plain
+JSON-compatible structures so results can be archived, diffed, or plotted
+by external tooling, and :func:`save_result` writes the standard envelope
+(experiment id, fidelity, payload).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert an experiment result into JSON-safe data.
+
+    * dataclasses -> dicts (by field);
+    * dicts -> dicts with stringified keys (tuples joined with ``/``);
+    * tuples/sets -> lists;
+    * non-finite floats -> the strings ``"inf"`` / ``"-inf"`` / ``"nan"``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "nan"
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    # Fall back to repr for anything exotic rather than failing the export.
+    return repr(obj)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def save_result(path: str | Path, experiment_id: str, result: Any, *, fast: bool) -> Path:
+    """Write one experiment's result as a JSON document; returns the path."""
+    path = Path(path)
+    document = {
+        "experiment": experiment_id,
+        "fidelity": "fast" if fast else "full",
+        "result": to_jsonable(result),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_result(path: str | Path) -> dict[str, Any]:
+    """Read a document written by :func:`save_result`."""
+    return json.loads(Path(path).read_text())

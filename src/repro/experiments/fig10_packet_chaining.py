@@ -1,0 +1,84 @@
+"""Experiment F10 — Figure 10: comparison with Packet Chaining.
+
+Replicates Section 4.4: an 8x8 mesh under uniform-random **single-flit**
+packets at maximum injection rate, comparing IF, WF, AP, Packet Chaining
+(SameInput/anyVC), and VIX.  Paper numbers: PC +9% over IF, VIX +16% —
+exposing more non-conflicting requests (VIX) beats eliminating requests
+through connection reuse (PC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import paper_config
+from repro.sim.engine import saturation_throughput
+
+from .runner import format_table, improvement, run_lengths
+
+ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "packet_chaining", "vix")
+LABELS = {
+    "input_first": "IF",
+    "wavefront": "WF",
+    "augmenting_path": "AP",
+    "packet_chaining": "PC",
+    "vix": "VIX",
+}
+
+#: Paper's reported gains over IF at max injection (single-flit packets).
+PAPER_GAINS = {"packet_chaining": 0.09, "vix": 0.16}
+
+
+@dataclass
+class Fig10Result:
+    """Saturation throughput (flits/cycle/node) per allocator."""
+
+    throughput: dict[str, float]
+
+    def gain_over_if(self, allocator: str) -> float:
+        return improvement(self.throughput[allocator], self.throughput["input_first"])
+
+
+def run(*, seed: int = 1, fast: bool | None = None) -> Fig10Result:
+    """Measure single-flit saturation throughput for every scheme."""
+    lengths = run_lengths(fast)
+    throughput: dict[str, float] = {}
+    for alloc in ALLOCATORS:
+        cfg = paper_config(alloc, packet_length=1)
+        res = saturation_throughput(
+            cfg,
+            seed=seed,
+            warmup=lengths.warmup,
+            measure=lengths.measure,
+        )
+        throughput[alloc] = res.throughput_flits_per_node
+    return Fig10Result(throughput=throughput)
+
+
+def report(result: Fig10Result | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    from repro.report import bar_chart
+
+    result = result if result is not None else run()
+    rows = []
+    for alloc in ALLOCATORS:
+        gain = result.gain_over_if(alloc) if alloc != "input_first" else 0.0
+        rows.append((LABELS[alloc], round(result.throughput[alloc], 3), f"{gain:+.1%}"))
+    bars = bar_chart(
+        {LABELS[a]: result.throughput[a] for a in ALLOCATORS}, unit=" f/c/n"
+    )
+    return (
+        "Figure 10: 8x8 mesh, single-flit packets, max injection\n"
+        + format_table(["Allocator", "Flits/cyc/node", "vs IF"], rows)
+        + "\n"
+        + bars
+    )
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

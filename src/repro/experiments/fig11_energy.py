@@ -1,0 +1,104 @@
+"""Experiment F11 — Figure 11: network energy per bit.
+
+Runs the mesh at 0.1 packets/cycle/node (the paper's operating point),
+collects activity factors, and folds them into the component energy
+models.  Expected result: VIX raises the crossbar component (bigger
+``2P x P`` crossbar) for a total energy/bit increase of ~4%; every other
+component is essentially unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy import ActivityCounters, EnergyBreakdown, EnergyModel
+from repro.network.config import paper_config
+from repro.sim.engine import run_simulation
+
+from .runner import format_table, improvement, run_lengths
+
+SCHEMES = ("input_first", "vix")
+LABELS = {"input_first": "Baseline (IF)", "vix": "VIX"}
+COMPONENTS = ("buffer", "crossbar", "link", "clock", "leakage")
+
+#: The paper's reported total energy/bit overhead for VIX on the mesh.
+PAPER_TOTAL_OVERHEAD = 0.04
+
+
+@dataclass
+class Fig11Result:
+    """Energy breakdowns (pJ/bit components) per scheme."""
+
+    breakdowns: dict[str, EnergyBreakdown]
+
+    def per_bit(self, scheme: str) -> float:
+        return self.breakdowns[scheme].per_bit
+
+    def vix_total_overhead(self) -> float:
+        """Total energy/bit increase of VIX over the IF baseline."""
+        return improvement(self.per_bit("vix"), self.per_bit("input_first"))
+
+
+def run(
+    *,
+    injection_rate: float = 0.1,
+    seed: int = 1,
+    fast: bool | None = None,
+) -> Fig11Result:
+    """Simulate both configurations and evaluate the energy models."""
+    lengths = run_lengths(fast)
+    breakdowns: dict[str, EnergyBreakdown] = {}
+    for scheme in SCHEMES:
+        cfg = paper_config(scheme)
+        sim = run_simulation(
+            cfg,
+            injection_rate=injection_rate,
+            seed=seed,
+            warmup=lengths.warmup,
+            measure=lengths.measure,
+            drain_limit=0,
+        )
+        counters = ActivityCounters(**sim.counters)
+        model = EnergyModel(
+            radix=5,
+            num_vcs=cfg.router.num_vcs,
+            buffer_depth=cfg.router.buffer_depth,
+            virtual_inputs=cfg.router.effective_virtual_inputs,
+            num_routers=64,
+            flit_width_bits=cfg.flit_width_bits,
+        )
+        breakdowns[scheme] = model.evaluate(counters)
+    return Fig11Result(breakdowns=breakdowns)
+
+
+def report(result: Fig11Result | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    rows = []
+    for scheme in SCHEMES:
+        bd = result.breakdowns[scheme]
+        comp = bd.per_bit_components()
+        rows.append(
+            [LABELS[scheme]]
+            + [round(comp[c], 4) for c in COMPONENTS]
+            + [round(bd.per_bit, 4)]
+        )
+    table = format_table(
+        ["Configuration"] + [c.capitalize() for c in COMPONENTS] + ["Total"],
+        rows,
+    )
+    return (
+        "Figure 11: network energy per bit (pJ/bit), mesh @ 0.1 pkt/cyc/node\n"
+        + table
+        + f"\nVIX total overhead: {result.vix_total_overhead():+.1%} "
+        f"(paper: +{PAPER_TOTAL_OVERHEAD:.0%})"
+    )
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

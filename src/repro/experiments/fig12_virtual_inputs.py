@@ -1,0 +1,137 @@
+"""Experiment F12 — Figure 12: impact of the number of virtual inputs.
+
+For each topology (mesh, FBfly, CMesh) and VC count (4, 6) this measures
+saturation throughput for:
+
+* the baseline separable router (no virtual inputs),
+* 1:2 VIX (two virtual inputs per port — the practical configuration),
+* ideal VIX (one virtual input per VC).
+
+Paper findings reproduced: 1:2 VIX gains ~21% (4 VCs) / ~16% (6 VCs) on
+average; it is nearly ideal for mesh and CMesh; and a 4-VC router with VIX
+beats a 6-VC router without it by >10%, enabling the paper's 33% buffer
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import paper_config
+from repro.sim.engine import saturation_throughput
+
+from .runner import format_table, improvement, run_lengths
+
+TOPOLOGIES = ("mesh", "fbfly", "cmesh")
+VC_COUNTS = (4, 6)
+CONFIG_LABELS = ("no VIX", "1:2 VIX", "ideal VIX")
+
+
+@dataclass
+class Fig12Result:
+    """Saturation throughput (flits/cycle/node) indexed by
+    (topology, num_vcs, config label)."""
+
+    throughput: dict[tuple[str, int, str], float]
+
+    def gain(self, topology: str, num_vcs: int, config: str = "1:2 VIX") -> float:
+        """Gain of a VIX configuration over the no-VIX baseline."""
+        return improvement(
+            self.throughput[(topology, num_vcs, config)],
+            self.throughput[(topology, num_vcs, "no VIX")],
+        )
+
+    def average_gain(self, num_vcs: int, config: str = "1:2 VIX") -> float:
+        """Mean gain across topologies (the paper's 21% / 16% numbers)."""
+        gains = [self.gain(t, num_vcs, config) for t in TOPOLOGIES]
+        return sum(gains) / len(gains)
+
+    def buffer_reduction_gain(self, topology: str = "mesh") -> float:
+        """4-VC VIX over 6-VC no-VIX: the 33% buffer-reduction headline."""
+        return improvement(
+            self.throughput[(topology, 4, "1:2 VIX")],
+            self.throughput[(topology, 6, "no VIX")],
+        )
+
+
+def _config_args(label: str, num_vcs: int) -> dict:
+    if label == "no VIX":
+        return {"allocator": "input_first"}
+    if label == "1:2 VIX":
+        return {"allocator": "vix", "virtual_inputs": 2}
+    if label == "ideal VIX":
+        return {"allocator": "ideal_vix"}
+    raise ValueError(f"unknown configuration {label!r}")
+
+
+def run(
+    *,
+    topologies: tuple[str, ...] = TOPOLOGIES,
+    vc_counts: tuple[int, ...] = VC_COUNTS,
+    seed: int = 1,
+    fast: bool | None = None,
+) -> Fig12Result:
+    """Sweep topology x VC count x virtual-input configuration."""
+    lengths = run_lengths(fast)
+    throughput: dict[tuple[str, int, str], float] = {}
+    for topo in topologies:
+        for vcs in vc_counts:
+            for label in CONFIG_LABELS:
+                cfg = paper_config(
+                    topology=topo, num_vcs=vcs, **_config_args(label, vcs)
+                )
+                res = saturation_throughput(
+                    cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
+                )
+                throughput[(topo, vcs, label)] = res.throughput_flits_per_node
+    return Fig12Result(throughput=throughput)
+
+
+def report(result: Fig12Result | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    topologies = sorted({k[0] for k in result.throughput})
+    vc_counts = sorted({k[1] for k in result.throughput})
+    rows = []
+    for topo in TOPOLOGIES:
+        if topo not in topologies:
+            continue
+        for vcs in vc_counts:
+            row: list[object] = [topo, vcs]
+            for label in CONFIG_LABELS:
+                row.append(round(result.throughput[(topo, vcs, label)], 3))
+            row.append(f"{result.gain(topo, vcs):+.1%}")
+            rows.append(row)
+    table = format_table(
+        ["Topology", "VCs"] + list(CONFIG_LABELS) + ["1:2 VIX vs no VIX"], rows
+    )
+    lines = [
+        "Figure 12: saturation throughput (flits/cycle/node) vs virtual inputs",
+        table,
+    ]
+    for vcs in vc_counts:
+        try:
+            lines.append(
+                f"average 1:2 VIX gain @ {vcs} VCs: {result.average_gain(vcs):+.1%}"
+            )
+        except KeyError:
+            pass
+    if ("mesh", 4, "1:2 VIX") in result.throughput and (
+        "mesh",
+        6,
+        "no VIX",
+    ) in result.throughput:
+        lines.append(
+            "buffer reduction (mesh 4-VC VIX vs 6-VC no VIX): "
+            f"{result.buffer_reduction_gain():+.1%}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Experiment F7 — Figure 7: single-router switch-allocation efficiency.
+
+A single saturated router per (radix, allocator) pair; the metric is
+crossbar throughput in flits/cycle.  Paper findings reproduced here:
+
+* trends are the same across radices 5, 8, 10;
+* AP gains >30% and VIX >25% over separable IF at every radix;
+* both AP and VIX come close to ideal allocation (6 virtual inputs/port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.single_router import SingleRouterExperiment
+
+from .runner import format_table, improvement, run_lengths
+
+RADICES = (5, 8, 10)
+ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix", "ideal_vix")
+LABELS = {
+    "input_first": "IF",
+    "wavefront": "WF",
+    "augmenting_path": "AP",
+    "vix": "VIX",
+    "ideal_vix": "Ideal",
+}
+
+
+@dataclass
+class Fig7Result:
+    """Throughput per (radix, allocator)."""
+
+    num_vcs: int
+    packet_length: int
+    cycles: int
+    throughput: dict[tuple[int, str], float]
+
+    def gain_over_if(self, radix: int, allocator: str) -> float:
+        """Relative throughput gain of ``allocator`` over IF at ``radix``."""
+        return improvement(
+            self.throughput[(radix, allocator)],
+            self.throughput[(radix, "input_first")],
+        )
+
+
+def run(
+    *,
+    num_vcs: int = 6,
+    packet_length: int = 1,
+    cycles: int | None = None,
+    seed: int = 1,
+    fast: bool | None = None,
+) -> Fig7Result:
+    """Run the single-router sweep of Figure 7."""
+    if cycles is None:
+        cycles = run_lengths(fast).single_router_cycles
+    throughput: dict[tuple[int, str], float] = {}
+    for radix in RADICES:
+        for alloc in ALLOCATORS:
+            exp = SingleRouterExperiment(
+                alloc,
+                radix=radix,
+                num_vcs=num_vcs,
+                virtual_inputs=2,
+                packet_length=packet_length,
+                seed=seed,
+            )
+            throughput[(radix, alloc)] = exp.run(cycles).throughput
+    return Fig7Result(num_vcs, packet_length, cycles, throughput)
+
+
+def report(result: Fig7Result | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    rows = []
+    for radix in RADICES:
+        row: list[object] = [f"Radix-{radix}"]
+        for alloc in ALLOCATORS:
+            row.append(round(result.throughput[(radix, alloc)], 2))
+        row.append(f"{result.gain_over_if(radix, 'vix'):+.0%}")
+        row.append(f"{result.gain_over_if(radix, 'augmenting_path'):+.0%}")
+        rows.append(row)
+    headers = ["Router"] + [LABELS[a] for a in ALLOCATORS] + ["VIX vs IF", "AP vs IF"]
+    return (
+        "Single-router throughput (flits/cycle), saturated inputs, "
+        f"{result.num_vcs} VCs, {result.packet_length}-flit packets:\n"
+        + format_table(headers, rows)
+    )
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Experiment F9 — Figure 9: network-level fairness on the mesh.
+
+Every node injects at the same (saturated) rate; ideally every node also
+*delivers* at the same rate, so max/min per-source delivered throughput
+should approach 1.  The paper measures ~6.4 for the AP allocator (greedy
+maximum matching starves long-haul flows) and ~1.99 for VIX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import paper_config
+from repro.sim.engine import saturation_throughput
+
+from .runner import format_table, run_lengths
+
+ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix")
+LABELS = {
+    "input_first": "IF",
+    "wavefront": "WF",
+    "augmenting_path": "AP",
+    "vix": "VIX",
+}
+
+#: Figure 9 published values (max/min node throughput at saturation).
+PAPER_VALUES = {"augmenting_path": 6.4, "vix": 1.99}
+
+
+@dataclass
+class Fig9Result:
+    """Fairness ratio per allocator (lower is fairer; 1.0 is ideal)."""
+
+    fairness: dict[str, float]
+    throughput: dict[str, float]
+
+
+def run(*, seed: int = 1, fast: bool | None = None) -> Fig9Result:
+    """Measure max/min per-source delivered throughput at saturation."""
+    lengths = run_lengths(fast)
+    fairness: dict[str, float] = {}
+    throughput: dict[str, float] = {}
+    for alloc in ALLOCATORS:
+        cfg = paper_config(alloc)
+        res = saturation_throughput(
+            cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
+        )
+        fairness[alloc] = res.fairness
+        throughput[alloc] = res.throughput_flits_per_node
+    return Fig9Result(fairness=fairness, throughput=throughput)
+
+
+def report(result: Fig9Result | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    rows = [
+        (
+            LABELS[a],
+            round(result.fairness[a], 2),
+            round(result.throughput[a], 3),
+        )
+        for a in ALLOCATORS
+    ]
+    return "Figure 9: fairness at saturation, 8x8 mesh (max/min node throughput)\n" + format_table(
+        ["Allocator", "Max/Min", "Throughput (flits/cyc/node)"], rows
+    )
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

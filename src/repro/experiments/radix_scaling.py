@@ -1,0 +1,108 @@
+"""Extension — VIX radix-scaling limit (paper Section 2.4's caveat).
+
+Section 2.4 observes that the crossbar slack shrinks with radix and that
+"VIX architecture may not scale to very high radices unless innovative
+high-radix switch architectures are utilized".  This experiment makes that
+caveat quantitative with the calibrated timing models: for each radix it
+compares the ``2P x P`` crossbar delay against the allocation-stage delays
+and reports the first radix at which the VIX crossbar becomes the
+router's critical path (the scaling limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing import router_delays
+
+from .runner import format_table
+
+RADICES = tuple(range(4, 21))
+
+
+@dataclass(frozen=True)
+class RadixPoint:
+    """Delay picture of one radix, with and without VIX."""
+
+    radix: int
+    va_ps: float
+    sa_vix_ps: float
+    xbar_base_ps: float
+    xbar_vix_ps: float
+
+    @property
+    def allocation_ps(self) -> float:
+        """Cycle time set by the allocation stages (max of VA, VIX-SA)."""
+        return max(self.va_ps, self.sa_vix_ps)
+
+    @property
+    def vix_fits(self) -> bool:
+        """True while the VIX crossbar stays off the critical path."""
+        return self.xbar_vix_ps <= self.allocation_ps
+
+
+@dataclass
+class RadixScalingResult:
+    points: list[RadixPoint]
+
+    def scaling_limit(self) -> int | None:
+        """First radix whose VIX crossbar would set the cycle time."""
+        for p in self.points:
+            if not p.vix_fits:
+                return p.radix
+        return None
+
+
+def run(*, num_vcs: int = 6, radices: tuple[int, ...] = RADICES) -> RadixScalingResult:
+    """Evaluate the analytic delay models across radices."""
+    points = []
+    for radix in radices:
+        base = router_delays(radix, num_vcs, 1, calibrated=False)
+        vix = router_delays(radix, num_vcs, 2, calibrated=False)
+        points.append(
+            RadixPoint(
+                radix=radix,
+                va_ps=base.va_ps,
+                sa_vix_ps=vix.sa_ps,
+                xbar_base_ps=base.xbar_ps,
+                xbar_vix_ps=vix.xbar_ps,
+            )
+        )
+    return RadixScalingResult(points=points)
+
+
+def report(result: RadixScalingResult | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    rows = [
+        (
+            p.radix,
+            f"{p.va_ps:.0f}",
+            f"{p.sa_vix_ps:.0f}",
+            f"{p.xbar_base_ps:.0f}",
+            f"{p.xbar_vix_ps:.0f}",
+            "yes" if p.vix_fits else "NO",
+        )
+        for p in result.points
+    ]
+    table = format_table(
+        ["Radix", "VA ps", "VIX SA ps", "Xbar ps", "VIX Xbar ps", "VIX fits?"],
+        rows,
+    )
+    limit = result.scaling_limit()
+    tail = (
+        f"\nVIX crossbar first limits cycle time at radix {limit} "
+        "(the paper's high-radix caveat)."
+        if limit is not None
+        else "\nVIX fits at every radix evaluated."
+    )
+    return "Radix scaling of the 1:2 VIX crossbar (analytic 45 nm models)\n" + table + tail
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Shared experiment infrastructure: run-length presets and table printing.
+
+Every experiment driver supports two fidelity levels:
+
+* **fast** (default) — reduced cycle counts so the whole suite regenerates
+  in minutes on a laptop; trends and rankings are stable at this level;
+* **full** — paper-fidelity run lengths, selected by setting the
+  environment variable ``REPRO_FULL=1`` (or passing ``fast=False``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class RunLengths:
+    """Warmup/measurement windows for network simulations."""
+
+    warmup: int
+    measure: int
+    single_router_cycles: int
+    manycore_warmup: int
+    manycore_measure: int
+
+
+FAST = RunLengths(
+    warmup=500,
+    measure=1500,
+    single_router_cycles=2000,
+    manycore_warmup=1000,
+    manycore_measure=3000,
+)
+FULL = RunLengths(
+    warmup=2000,
+    measure=8000,
+    single_router_cycles=20000,
+    manycore_warmup=3000,
+    manycore_measure=12000,
+)
+
+
+def full_fidelity_requested() -> bool:
+    """True when the environment asks for paper-fidelity run lengths."""
+    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
+
+
+def run_lengths(fast: bool | None = None) -> RunLengths:
+    """Resolve the fidelity level (explicit argument beats environment)."""
+    if fast is None:
+        fast = not full_fidelity_requested()
+    return FAST if fast else FULL
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (paper-style row printer)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        cells.append(
+            [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def improvement(new: float, base: float) -> float:
+    """Relative improvement of ``new`` over ``base`` (0.16 = +16%)."""
+    if base == 0:
+        raise ValueError("baseline value is zero")
+    return new / base - 1.0

@@ -1,0 +1,77 @@
+"""Experiment T1 — Table 1: router pipeline stage delays.
+
+Regenerates the six rows of the paper's Table 1 (VA / SA / crossbar delay
+for mesh, CMesh, and FBfly routers, with and without VIX) from the
+calibrated timing models, and checks the paper's architectural conclusion:
+the crossbar is never on the router's critical path, so VIX fits without
+lowering the frequency.
+"""
+
+from __future__ import annotations
+
+from repro.timing import RouterDelays, router_delays
+
+from .runner import format_table
+
+#: (design label, radix, virtual inputs) for the six Table 1 rows.
+CONFIGS: tuple[tuple[str, int, int], ...] = (
+    ("Mesh", 5, 1),
+    ("Mesh with VIX", 5, 2),
+    ("CMesh", 8, 1),
+    ("CMesh with VIX", 8, 2),
+    ("FBfly", 10, 1),
+    ("FBfly with VIX", 10, 2),
+)
+
+#: Published Table 1 values: design -> (VA ps, SA ps, Xbar ps).
+PAPER_VALUES: dict[str, tuple[float, float, float]] = {
+    "Mesh": (300.0, 280.0, 167.0),
+    "Mesh with VIX": (300.0, 290.0, 205.0),
+    "CMesh": (340.0, 315.0, 205.0),
+    "CMesh with VIX": (340.0, 330.0, 289.0),
+    "FBfly": (360.0, 340.0, 238.0),
+    "FBfly with VIX": (360.0, 345.0, 359.0),
+}
+
+
+def run(num_vcs: int = 6, calibrated: bool = True) -> list[RouterDelays]:
+    """Compute the Table 1 rows."""
+    return [
+        router_delays(radix, num_vcs, k, design=name, calibrated=calibrated)
+        for name, radix, k in CONFIGS
+    ]
+
+
+def report(rows: list[RouterDelays] | None = None) -> str:
+    """Table 1 as printed in the paper, plus the critical-path check."""
+    rows = rows if rows is not None else run()
+    table = format_table(
+        ["Design", "Radix", "Xbar size", "VA Delay", "SA Delay", "Xbar Delay"],
+        [
+            (
+                r.design,
+                r.radix,
+                r.crossbar_size,
+                f"{r.va_ps:.0f} ps",
+                f"{r.sa_ps:.0f} ps",
+                f"{r.xbar_ps:.0f} ps",
+            )
+            for r in rows
+        ],
+    )
+    notes = []
+    for r in rows:
+        status = "on critical path!" if r.xbar_on_critical_path else (
+            f"{r.xbar_slack_fraction:.0%} of cycle time"
+        )
+        notes.append(f"  {r.design}: crossbar {status}")
+    return table + "\n\nCrossbar slack:\n" + "\n".join(notes)
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

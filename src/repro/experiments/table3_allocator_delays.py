@@ -1,0 +1,54 @@
+"""Experiment T3 — Table 3: delay of different switch-allocation schemes.
+
+Separable (280 ps at radix 5), wavefront (390 ps, +39%), and augmenting
+path (infeasible within a router cycle).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.timing import allocator_delay
+
+from .runner import format_table
+
+SCHEMES = ("input_first", "wavefront", "augmenting_path")
+
+#: Published Table 3 values in ps (None = "Infeasible").
+PAPER_VALUES: dict[str, float | None] = {
+    "input_first": 280.0,
+    "wavefront": 390.0,
+    "augmenting_path": None,
+}
+
+
+def run(radix: int = 5, num_vcs: int = 6) -> dict[str, float]:
+    """Delay (ps) per scheme; ``inf`` marks infeasible schemes."""
+    return {s: allocator_delay(s, radix, num_vcs) for s in SCHEMES}
+
+
+def report(values: dict[str, float] | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    values = values if values is not None else run()
+    labels = {
+        "input_first": "Separable",
+        "wavefront": "Wavefront",
+        "augmenting_path": "Augmented Path",
+    }
+
+    def fmt(d: float) -> str:
+        return "Infeasible" if math.isinf(d) else f"{d:.0f} ps"
+
+    return format_table(
+        ["Scheme", "Delay"],
+        [(labels[s], fmt(values[s])) for s in SCHEMES],
+    )
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Experiment T4 — Table 4: application-level performance.
+
+Runs every multiprogrammed mix (Mix1..Mix8) on the 64-core manycore system
+twice — once with the baseline IF allocator, once with VIX — and reports
+the system speedup (aggregate-IPC ratio).  The paper measures 1.03..1.07
+(average ~1.05), increasing with the mix's average MPKI; optionally the AP
+allocator is included (paper: VIX up to +3.2% over AP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.manycore import ManycoreSystem, get_mix
+from repro.manycore.workloads import MIXES, PAPER_MIX_MPKI, PAPER_MIX_SPEEDUP
+from repro.network.config import paper_config
+
+from .runner import format_table, run_lengths
+
+
+@dataclass
+class Table4Result:
+    """Per-mix IPC and speedups."""
+
+    ipc: dict[tuple[str, str], float] = field(default_factory=dict)
+    avg_mpki: dict[str, float] = field(default_factory=dict)
+    net_latency: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def speedup(self, mix: str, scheme: str = "vix", base: str = "input_first") -> float:
+        return self.ipc[(mix, scheme)] / self.ipc[(mix, base)]
+
+    def average_speedup(self, scheme: str = "vix") -> float:
+        mixes = sorted({k[0] for k in self.ipc})
+        return sum(self.speedup(m, scheme) for m in mixes) / len(mixes)
+
+
+def run(
+    *,
+    mixes: tuple[str, ...] | None = None,
+    schemes: tuple[str, ...] = ("input_first", "vix"),
+    seed: int = 1,
+    fast: bool | None = None,
+) -> Table4Result:
+    """Run every mix under every scheme."""
+    lengths = run_lengths(fast)
+    if mixes is None:
+        mixes = tuple(sorted(MIXES))
+    result = Table4Result()
+    for mix_name in mixes:
+        mix = get_mix(mix_name)
+        result.avg_mpki[mix_name] = mix.average_mpki()
+        for scheme in schemes:
+            system = ManycoreSystem(paper_config(scheme), mix, seed=seed)
+            res = system.run(
+                warmup=lengths.manycore_warmup, measure=lengths.manycore_measure
+            )
+            result.ipc[(mix_name, scheme)] = res.aggregate_ipc
+            result.net_latency[(mix_name, scheme)] = res.avg_network_latency
+    return result
+
+
+def report(result: Table4Result | None = None) -> str:
+    """Render the experiment's rows as paper-style text."""
+    result = result if result is not None else run()
+    mixes = sorted({k[0] for k in result.ipc})
+    schemes = sorted({k[1] for k in result.ipc})
+    rows = []
+    for mix in mixes:
+        row: list[object] = [
+            mix,
+            round(result.avg_mpki[mix], 1),
+            PAPER_MIX_MPKI.get(mix, float("nan")),
+            round(result.speedup(mix), 3),
+            PAPER_MIX_SPEEDUP.get(mix, float("nan")),
+        ]
+        if "augmenting_path" in schemes:
+            row.append(round(result.speedup(mix, "vix", "augmenting_path"), 3))
+        rows.append(row)
+    headers = ["Mix", "avg MPKI", "paper MPKI", "VIX speedup", "paper speedup"]
+    if "augmenting_path" in schemes:
+        headers.append("VIX vs AP")
+    return (
+        "Table 4: application-level speedup of VIX over baseline (IF)\n"
+        + format_table(headers, rows)
+        + f"\naverage speedup: {result.average_speedup():.3f} (paper: ~1.05)"
+    )
+
+
+def main() -> None:
+    """CLI entry point: run at default fidelity and print the report."""
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Manycore application-level substrate (Table 2 / Section 4.7)."""
+
+from .benchmarks import BENCHMARKS, BenchmarkProfile, get_benchmark
+from .cache import Cache, MSHRFile
+from .core_model import Core
+from .l2bank import L2Bank
+from .memory import MemoryController
+from .messages import CONTROL_FLITS, DATA_FLITS, Message, MessageKind
+from .system import (
+    ManycoreConfig,
+    ManycoreResult,
+    ManycoreSystem,
+    default_mc_terminals,
+)
+from .workloads import (
+    MIXES,
+    PAPER_MIX_MPKI,
+    PAPER_MIX_SPEEDUP,
+    WorkloadMix,
+    get_mix,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "CONTROL_FLITS",
+    "Cache",
+    "Core",
+    "DATA_FLITS",
+    "L2Bank",
+    "MIXES",
+    "MSHRFile",
+    "ManycoreConfig",
+    "ManycoreResult",
+    "ManycoreSystem",
+    "MemoryController",
+    "Message",
+    "MessageKind",
+    "PAPER_MIX_MPKI",
+    "PAPER_MIX_SPEEDUP",
+    "WorkloadMix",
+    "default_mc_terminals",
+    "get_benchmark",
+    "get_mix",
+]

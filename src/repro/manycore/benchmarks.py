@@ -1,0 +1,111 @@
+"""Benchmark catalogue: 35 applications with memory-intensity profiles.
+
+The paper evaluates 35 benchmarks (SPEC CPU2006, scientific, and the
+commercial traces sap/tpcw/sjbb/sjas) on a trace-driven manycore simulator.
+We do not have those traces; each benchmark is instead characterized by
+
+* ``mpki`` — total misses per kilo-instruction per core, defined exactly as
+  in Table 4's caption: the sum of its L1-MPKI and L2-MPKI;
+* ``l2_miss_ratio`` — fraction of L1 misses that also miss in the shared
+  L2 (streaming codes high, cache-friendly codes low).
+
+The MPKI values for the 26 benchmarks appearing in Mix1..Mix8 were fitted
+(non-negative least squares around literature-informed priors) so that
+**every Mix reproduces Table 4's per-core average MPKI exactly**; the
+remaining 9 benchmarks complete the 35-benchmark suite with representative
+values.  Synthetic reference generators built from these profiles drive the
+same core/L1/L2/memory path a trace would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Memory-intensity profile of one application."""
+
+    name: str
+    #: L1-MPKI + L2-MPKI per core (Table 4 definition).
+    mpki: float
+    #: Fraction of L1 misses that also miss in the shared L2.
+    l2_miss_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.mpki < 0:
+            raise ValueError(f"{self.name}: mpki must be >= 0")
+        if not 0.0 < self.l2_miss_ratio < 1.0:
+            raise ValueError(f"{self.name}: l2_miss_ratio must be in (0, 1)")
+
+    @property
+    def l1_mpki(self) -> float:
+        """L1 misses per kilo-instruction (these reach the network).
+
+        With ``r`` the L2 miss ratio, L2-MPKI = L1-MPKI * r, so
+        total = L1-MPKI * (1 + r).
+        """
+        return self.mpki / (1.0 + self.l2_miss_ratio)
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 misses per kilo-instruction (these reach memory)."""
+        return self.l1_mpki * self.l2_miss_ratio
+
+
+def _b(name: str, mpki: float, l2r: float) -> tuple[str, BenchmarkProfile]:
+    return name, BenchmarkProfile(name, mpki, l2r)
+
+
+#: The 35-benchmark suite.  MPKI values for mix members are the Table 4 fit.
+BENCHMARKS: dict[str, BenchmarkProfile] = dict(
+    [
+        # --- Mix members (fitted to Table 4 averages) --------------------
+        _b("applu", 10.41, 0.50),
+        _b("art", 27.32, 0.55),
+        _b("astar", 7.08, 0.30),
+        _b("barnes", 7.07, 0.35),
+        _b("deal", 9.00, 0.25),
+        _b("gcc", 6.00, 0.25),
+        _b("gems", 84.09, 0.60),
+        _b("gromacs", 1.00, 0.20),
+        _b("hmmer", 2.16, 0.20),
+        _b("lbm", 70.24, 0.65),
+        _b("leslie", 40.83, 0.55),
+        _b("libquantum", 54.06, 0.70),
+        _b("mcf", 171.22, 0.55),
+        _b("milc", 66.76, 0.65),
+        _b("namd", 1.50, 0.20),
+        _b("ocean", 31.49, 0.50),
+        _b("omnet", 55.70, 0.45),
+        _b("povray", 0.80, 0.15),
+        _b("sap", 23.71, 0.35),
+        _b("sjas", 34.40, 0.35),
+        _b("sjbb", 46.62, 0.35),
+        _b("sjeng", 0.50, 0.20),
+        _b("swim", 66.86, 0.60),
+        _b("tonto", 1.20, 0.15),
+        _b("tpcw", 62.96, 0.40),
+        _b("xalan", 38.99, 0.40),
+        # --- remaining suite members (representative values) --------------
+        _b("bzip2", 3.50, 0.30),
+        _b("cactus", 12.00, 0.45),
+        _b("calculix", 2.20, 0.25),
+        _b("gobmk", 2.50, 0.20),
+        _b("h264ref", 2.00, 0.20),
+        _b("perlbench", 1.80, 0.25),
+        _b("soplex", 25.00, 0.45),
+        _b("sphinx3", 13.00, 0.40),
+        _b("zeusmp", 9.00, 0.40),
+    ]
+)
+
+
+def get_benchmark(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; suite has {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]

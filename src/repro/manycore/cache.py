@@ -1,0 +1,139 @@
+"""Set-associative cache and MSHR models for the manycore substrate.
+
+These implement the L2 banks of Table 2: 256 KB per bank, 16-way,
+64-byte blocks, LRU replacement, 32 MSHRs with request merging.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Cache:
+    """Set-associative, write-allocate, LRU cache over block addresses.
+
+    Addresses are *block* addresses (byte address // block size); the cache
+    neither stores data nor distinguishes reads from writes — it models
+    hit/miss behaviour and occupancy, which is all the network study needs.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, block_bytes: int = 64) -> None:
+        if size_bytes <= 0 or assoc <= 0 or block_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        num_blocks = size_bytes // block_bytes
+        if num_blocks < assoc or num_blocks % assoc != 0:
+            raise ValueError(
+                f"size {size_bytes}B / block {block_bytes}B = {num_blocks} blocks "
+                f"does not divide into {assoc}-way sets"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.num_sets = num_blocks // assoc
+        # Per set: OrderedDict tag -> None, most recently used last.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, block_addr: int) -> tuple[OrderedDict[int, None], int]:
+        index = block_addr % self.num_sets
+        tag = block_addr // self.num_sets
+        return self._sets[index], tag
+
+    def lookup(self, block_addr: int) -> bool:
+        """Tag check without LRU update or statistics (probe)."""
+        cache_set, tag = self._set_of(block_addr)
+        return tag in cache_set
+
+    def access(self, block_addr: int) -> bool:
+        """Access a block: True on hit (LRU updated), False on miss.
+
+        A miss does **not** fill the block; call :meth:`fill` when the
+        refill arrives (this mirrors the MSHR-mediated fill path).
+        """
+        cache_set, tag = self._set_of(block_addr)
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, block_addr: int) -> int | None:
+        """Insert a block; returns the evicted block address, if any."""
+        cache_set, tag = self._set_of(block_addr)
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return None
+        evicted = None
+        if len(cache_set) >= self.assoc:
+            old_tag, _ = cache_set.popitem(last=False)
+            evicted = old_tag * self.num_sets + block_addr % self.num_sets
+        cache_set[tag] = None
+        return evicted
+
+    @property
+    def occupancy(self) -> int:
+        """Blocks currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def miss_rate(self) -> float:
+        """Observed miss rate over all accesses so far."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class MSHRFile:
+    """Miss Status Holding Registers with same-block merging.
+
+    One entry per outstanding block miss; secondary misses to a block
+    already in flight merge into the existing entry (no extra memory
+    request).  ``allocate`` fails when every register is busy, which stalls
+    the requester.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"MSHR capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[int, list[object]] = {}
+        self.merges = 0
+        self.allocation_failures = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def outstanding(self, block_addr: int) -> bool:
+        """True when a miss on this block is already in flight."""
+        return block_addr in self._entries
+
+    def allocate(self, block_addr: int, waiter: object) -> str:
+        """Register a miss; returns how it was handled.
+
+        * ``"new"`` — a fresh entry was allocated (send a memory request);
+        * ``"merged"`` — joined an in-flight miss (no new request);
+        * ``"full"`` — no register free, the requester must retry.
+        """
+        if block_addr in self._entries:
+            self._entries[block_addr].append(waiter)
+            self.merges += 1
+            return "merged"
+        if self.full:
+            self.allocation_failures += 1
+            return "full"
+        self._entries[block_addr] = [waiter]
+        return "new"
+
+    def release(self, block_addr: int) -> list[object]:
+        """Complete a miss; returns every waiter that merged into it."""
+        waiters = self._entries.pop(block_addr, None)
+        if waiters is None:
+            raise KeyError(f"no MSHR entry for block {block_addr:#x}")
+        return waiters

@@ -1,0 +1,128 @@
+"""Synthetic trace-driven core model.
+
+Each core models a 2-way out-of-order processor (Table 2) running one
+benchmark instance.  The instruction stream itself is not simulated — what
+reaches the network is the core's **L1 miss stream**, generated at the
+benchmark's L1-MPKI rate (L1 hits never leave the core and are folded into
+its base IPC; the L1 geometry of Table 2 is what those MPKI numbers were
+measured against).
+
+Latency tolerance is modelled with a bounded memory-level-parallelism
+window: the core keeps retiring instructions (and issuing further misses)
+until ``max_outstanding`` misses are in flight, then stalls until a reply
+returns.  This yields the standard trace-driven behaviour: low-MPKI cores
+are insensitive to network latency, high-MPKI cores see it directly.
+
+Address streams control the shared-L2 behaviour: with probability
+``1 - l2_miss_ratio`` the core re-references a recently fetched block
+(an L2 hit), otherwise it touches a never-seen block in its private region
+(a compulsory L2 miss) — so the benchmark's L2 miss ratio is respected
+while the real set-associative L2 bank model does the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from .benchmarks import BenchmarkProfile
+
+
+class Core:
+    """One core of the 64-core system."""
+
+    #: Size of each core's private block-address region (never collides
+    #: with other cores').
+    REGION_BITS = 40
+
+    def __init__(
+        self,
+        core_id: int,
+        terminal: int,
+        profile: BenchmarkProfile,
+        *,
+        width: int = 2,
+        max_outstanding: int = 4,
+        reuse_window: int = 128,
+        dirty_fraction: float = 0.3,
+        seed: int = 1,
+    ) -> None:
+        if width < 1 or max_outstanding < 1:
+            raise ValueError("width and max_outstanding must be >= 1")
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ValueError(f"dirty_fraction must be in [0, 1], got {dirty_fraction}")
+        self.core_id = core_id
+        self.terminal = terminal
+        self.profile = profile
+        self.width = width
+        self.max_outstanding = max_outstanding
+        self.dirty_fraction = dirty_fraction
+        self.rng = random.Random((seed << 20) ^ core_id)
+        self._miss_prob = profile.l1_mpki / 1000.0
+        self._reuse: deque[int] = deque(maxlen=reuse_window)
+        self._fresh_counter = 0
+        self.outstanding: set[int] = set()
+        self._writebacks: list[int] = []
+        self.instructions = 0
+        self.stall_cycles = 0
+        self.misses_issued = 0
+        self.writebacks_issued = 0
+
+    def _generate_address(self) -> int:
+        """Next L1-miss block address (reuse => likely L2 hit)."""
+        if self._reuse and self.rng.random() >= self.profile.l2_miss_ratio:
+            return self.rng.choice(self._reuse)
+        addr = (self.core_id << self.REGION_BITS) | self._fresh_counter
+        self._fresh_counter += 1
+        self._reuse.append(addr)
+        return addr
+
+    def tick(self, cycle: int) -> list[int]:
+        """Advance one cycle; returns block addresses of new L1 misses.
+
+        The system turns each returned address into an L2 request message.
+        """
+        if len(self.outstanding) >= self.max_outstanding:
+            self.stall_cycles += 1
+            return []
+        new_misses: list[int] = []
+        for _ in range(self.width):
+            self.instructions += 1
+            if self.rng.random() < self._miss_prob:
+                addr = self._generate_address()
+                if addr not in self.outstanding:
+                    self.outstanding.add(addr)
+                    self.misses_issued += 1
+                    new_misses.append(addr)
+                    # The refill evicts an L1 block; dirty victims are
+                    # written back to the L2 (fire-and-forget data packet).
+                    if self._reuse and self.rng.random() < self.dirty_fraction:
+                        self._writebacks.append(self.rng.choice(self._reuse))
+                        self.writebacks_issued += 1
+                if len(self.outstanding) >= self.max_outstanding:
+                    break
+        return new_misses
+
+    def take_writebacks(self) -> list[int]:
+        """Drain the dirty-eviction block addresses generated since the
+        last call (the system turns them into writeback messages)."""
+        out = self._writebacks
+        self._writebacks = []
+        return out
+
+    def receive_reply(self, block_addr: int) -> None:
+        """A data reply arrived; the miss completes."""
+        self.outstanding.discard(block_addr)
+
+    def reset_counters(self) -> None:
+        """Zero performance counters (start of the measurement window)."""
+        self.instructions = 0
+        self.stall_cycles = 0
+        self.misses_issued = 0
+        self.writebacks_issued = 0
+
+    def ipc(self, cycles: int) -> float:
+        """Instructions per cycle over ``cycles``."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be > 0, got {cycles}")
+        return self.instructions / cycles

@@ -1,0 +1,134 @@
+"""Shared L2 cache bank (Table 2: 64 banks, 256 KB, 16-way, 6-cycle hit).
+
+Each bank owns a slice of the block-address space (block interleaving),
+performs real set-associative lookups, tracks outstanding refills in an
+MSHR file with request merging, and converses with its memory controller
+over the network under test.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from .cache import Cache, MSHRFile
+from .messages import Message, MessageKind
+
+
+class L2Bank:
+    """One bank of the shared L2."""
+
+    def __init__(
+        self,
+        bank_id: int,
+        terminal: int,
+        mc_terminal: int,
+        *,
+        size_bytes: int = 256 * 1024,
+        assoc: int = 16,
+        block_bytes: int = 64,
+        mshrs: int = 32,
+        hit_latency: int = 6,
+        dirty_fraction: float = 0.3,
+        seed: int = 1,
+    ) -> None:
+        if hit_latency < 1:
+            raise ValueError(f"hit_latency must be >= 1, got {hit_latency}")
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ValueError(f"dirty_fraction must be in [0, 1], got {dirty_fraction}")
+        self.bank_id = bank_id
+        self.terminal = terminal
+        self.mc_terminal = mc_terminal
+        self.cache = Cache(size_bytes, assoc, block_bytes)
+        self.mshrs = MSHRFile(mshrs)
+        self.hit_latency = hit_latency
+        self.dirty_fraction = dirty_fraction
+        self._rng = random.Random((seed << 16) ^ bank_id)
+        # Lookups in flight: (ready_cycle, request message), FIFO per bank.
+        self._pending: deque[tuple[int, Message]] = deque()
+        # Requests that found the MSHR file full and must retry.
+        self._retry: deque[Message] = deque()
+        self.requests_served = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks_received = 0
+        self.writebacks_emitted = 0
+
+    def receive_request(self, msg: Message, cycle: int) -> None:
+        """Accept an L2 request from a core (post-ejection)."""
+        if msg.kind is not MessageKind.L2_REQUEST:
+            raise ValueError(f"L2 bank got {msg.kind.name}")
+        self._pending.append((cycle + self.hit_latency, msg))
+
+    def receive_fill(self, msg: Message) -> list[tuple[MessageKind, int, int, int]]:
+        """Accept a memory refill; returns reply descriptors for waiters.
+
+        Each descriptor is ``(kind, dst_terminal, block_addr, core_id)``.
+        A dirty victim evicted by the fill adds an L2 writeback to memory.
+        """
+        if msg.kind is not MessageKind.MEM_REPLY:
+            raise ValueError(f"L2 fill path got {msg.kind.name}")
+        evicted = self.cache.fill(msg.block_addr)
+        waiters = self.mshrs.release(msg.block_addr)
+        replies = []
+        for waiter in waiters:
+            assert isinstance(waiter, Message)
+            replies.append(
+                (MessageKind.L2_REPLY, waiter.src, waiter.block_addr, waiter.core_id)
+            )
+        if evicted is not None and self._rng.random() < self.dirty_fraction:
+            self.writebacks_emitted += 1
+            replies.append(
+                (MessageKind.L2_WRITEBACK, self.mc_terminal, evicted, -1)
+            )
+        return replies
+
+    def receive_writeback(self, msg: Message) -> None:
+        """Accept a dirty L1 eviction (data write, no reply).
+
+        Uses non-counting probes so demand hit/miss statistics stay clean;
+        a writeback that misses installs the block (write-allocate).
+        """
+        if msg.kind is not MessageKind.L1_WRITEBACK:
+            raise ValueError(f"L2 writeback path got {msg.kind.name}")
+        self.writebacks_received += 1
+        if not self.cache.lookup(msg.block_addr):
+            self.cache.fill(msg.block_addr)
+
+    def _lookup(self, msg: Message) -> tuple[MessageKind, int, int, int] | None:
+        """Run one tag lookup; returns an outgoing message descriptor."""
+        addr = msg.block_addr
+        if self.cache.access(addr):
+            self.hits += 1
+            self.requests_served += 1
+            return (MessageKind.L2_REPLY, msg.src, addr, msg.core_id)
+        self.misses += 1
+        status = self.mshrs.allocate(addr, msg)
+        if status == "new":
+            self.requests_served += 1
+            return (MessageKind.MEM_REQUEST, self.mc_terminal, addr, msg.core_id)
+        if status == "merged":
+            self.requests_served += 1
+            return None
+        self._retry.append(msg)
+        return None
+
+    def tick(self, cycle: int) -> list[tuple[MessageKind, int, int, int]]:
+        """Process due lookups and MSHR retries; returns message descriptors."""
+        out: list[tuple[MessageKind, int, int, int]] = []
+        # One retry per cycle keeps the retry path fair and bounded.
+        if self._retry and not self.mshrs.full:
+            result = self._lookup(self._retry.popleft())
+            if result is not None:
+                out.append(result)
+        while self._pending and self._pending[0][0] <= cycle:
+            _, msg = self._pending.popleft()
+            result = self._lookup(msg)
+            if result is not None:
+                out.append(result)
+        return out
+
+    @property
+    def busy(self) -> bool:
+        """True while any lookup, retry, or refill is outstanding."""
+        return bool(self._pending or self._retry or self.mshrs.occupancy)

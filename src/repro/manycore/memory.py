@@ -1,0 +1,75 @@
+"""On-chip memory controller model (Table 2: 8 MCs, 80 ns access).
+
+Each controller serializes refill requests at its DDR bandwidth (one
+64-byte block every ``service_interval`` cycles across its 4 channels) and
+returns data after the fixed access latency.  At 2 GHz, 80 ns = 160 cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .messages import Message, MessageKind
+
+
+class MemoryController:
+    """One memory controller endpoint."""
+
+    def __init__(
+        self,
+        mc_id: int,
+        terminal: int,
+        *,
+        access_latency: int = 160,
+        service_interval: int = 4,
+    ) -> None:
+        if access_latency < 1 or service_interval < 1:
+            raise ValueError("access_latency and service_interval must be >= 1")
+        self.mc_id = mc_id
+        self.terminal = terminal
+        self.access_latency = access_latency
+        self.service_interval = service_interval
+        self._queue: deque[Message] = deque()
+        # Requests in DRAM: (completion_cycle, message), FIFO because the
+        # access latency is constant.
+        self._in_service: deque[tuple[int, Message]] = deque()
+        self._next_issue = 0
+        self.requests_served = 0
+        self.peak_queue = 0
+
+    def receive_request(self, msg: Message, cycle: int) -> None:
+        """Accept a refill request or a writeback from an L2 bank.
+
+        Writebacks consume DRAM bandwidth (a queue/service slot) but
+        produce no reply.
+        """
+        if msg.kind not in (MessageKind.MEM_REQUEST, MessageKind.L2_WRITEBACK):
+            raise ValueError(f"memory controller got {msg.kind.name}")
+        self._queue.append(msg)
+        self.peak_queue = max(self.peak_queue, len(self._queue))
+
+    def tick(self, cycle: int) -> list[tuple[MessageKind, int, int, int]]:
+        """Issue/complete requests; returns reply message descriptors
+        ``(kind, dst_terminal, block_addr, core_id)``."""
+        if self._queue and cycle >= self._next_issue:
+            msg = self._queue.popleft()
+            self._in_service.append((cycle + self.access_latency, msg))
+            self._next_issue = cycle + self.service_interval
+        replies: list[tuple[MessageKind, int, int, int]] = []
+        while self._in_service and self._in_service[0][0] <= cycle:
+            _, msg = self._in_service.popleft()
+            self.requests_served += 1
+            if msg.kind is MessageKind.MEM_REQUEST:
+                replies.append(
+                    (MessageKind.MEM_REPLY, msg.src, msg.block_addr, msg.core_id)
+                )
+        return replies
+
+    @property
+    def busy(self) -> bool:
+        """True while requests are queued or in DRAM."""
+        return bool(self._queue or self._in_service)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)

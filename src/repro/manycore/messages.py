@@ -1,0 +1,71 @@
+"""Network messages exchanged by cores, L2 banks, and memory controllers.
+
+A message is a network packet with protocol fields attached.  Sizes follow
+the paper's 128-bit datapath: control messages (requests) are a single
+flit; data replies carry a 64-byte cache block = 4 data flits + head.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.network.flit import Packet
+
+#: Flits in a control (request) message.
+CONTROL_FLITS = 1
+#: Flits in a data (cache-block) message: 64B / 16B-per-flit + head flit.
+DATA_FLITS = 5
+
+
+class MessageKind(IntEnum):
+    """Protocol message types."""
+
+    #: Core -> L2 bank: read a block (1 flit).
+    L2_REQUEST = 0
+    #: L2 bank -> core: block data (5 flits).
+    L2_REPLY = 1
+    #: L2 bank -> memory controller: refill request (1 flit).
+    MEM_REQUEST = 2
+    #: Memory controller -> L2 bank: refill data (5 flits).
+    MEM_REPLY = 3
+    #: Core -> L2 bank: dirty L1 eviction, data, no reply (5 flits).
+    L1_WRITEBACK = 4
+    #: L2 bank -> memory controller: dirty L2 eviction, no reply (5 flits).
+    L2_WRITEBACK = 5
+
+
+_KIND_FLITS = {
+    MessageKind.L2_REQUEST: CONTROL_FLITS,
+    MessageKind.L2_REPLY: DATA_FLITS,
+    MessageKind.MEM_REQUEST: CONTROL_FLITS,
+    MessageKind.MEM_REPLY: DATA_FLITS,
+    MessageKind.L1_WRITEBACK: DATA_FLITS,
+    MessageKind.L2_WRITEBACK: DATA_FLITS,
+}
+
+
+class Message(Packet):
+    """A protocol message travelling as a network packet."""
+
+    __slots__ = ("kind", "block_addr", "core_id")
+
+    def __init__(
+        self,
+        pid: int,
+        src: int,
+        dst: int,
+        created_cycle: int,
+        kind: MessageKind,
+        block_addr: int,
+        core_id: int,
+    ) -> None:
+        super().__init__(pid, src, dst, _KIND_FLITS[kind], created_cycle)
+        self.kind = kind
+        self.block_addr = block_addr
+        self.core_id = core_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(pid={self.pid}, {self.kind.name}, {self.src}->{self.dst}, "
+            f"block={self.block_addr:#x}, core={self.core_id})"
+        )

@@ -1,0 +1,260 @@
+"""The 64-core manycore system (paper Table 2 + Section 4.7).
+
+Wires cores, shared-L2 banks, and memory controllers to every terminal of
+the network under test.  One core and one L2 bank sit at each terminal
+(64 banks); 8 memory controllers share terminals along the top and bottom
+of the die.  All component-to-component communication is network packets:
+1-flit requests, 5-flit data replies.
+
+The application-level metric is aggregate IPC over a measurement window;
+Table 4's speedups are IPC ratios between two allocator configurations run
+with identical seeds and workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.network.config import NetworkConfig
+from repro.network.network import Network
+
+from .benchmarks import BenchmarkProfile
+from .core_model import Core
+from .l2bank import L2Bank
+from .memory import MemoryController
+from .messages import Message, MessageKind
+from .workloads import WorkloadMix
+
+
+@dataclass(frozen=True)
+class ManycoreConfig:
+    """Structural parameters of the manycore system (Table 2 defaults)."""
+
+    core_width: int = 2
+    #: Outstanding misses before the core stalls — Table 2's "up to 16
+    #: outstanding requests per core".  Memory-bound cores then load the
+    #: network enough (together with writeback traffic) for the allocator
+    #: to matter, which is what Table 4 measures.
+    max_outstanding: int = 16
+    l2_bank_bytes: int = 256 * 1024
+    l2_assoc: int = 16
+    block_bytes: int = 64
+    l2_mshrs: int = 32
+    l2_hit_latency: int = 6
+    mem_latency: int = 160
+    mem_service_interval: int = 4
+    num_mcs: int = 8
+    #: Fraction of evictions that are dirty and generate writeback traffic
+    #: (L1 victims -> L2, L2 victims -> memory).  Writebacks are the bulk
+    #: data traffic that loads the network beyond the request/reply pairs.
+    dirty_fraction: float = 0.5
+
+
+@dataclass
+class ManycoreResult:
+    """Outcome of one manycore simulation window."""
+
+    cycles: int
+    total_instructions: int
+    per_core_ipc: list[float] = field(default_factory=list)
+    l2_hits: int = 0
+    l2_misses: int = 0
+    mem_requests: int = 0
+    avg_network_latency: float = float("nan")
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """System performance: total instructions per cycle."""
+        return self.total_instructions / self.cycles if self.cycles else 0.0
+
+
+def default_mc_terminals(num_terminals: int, num_mcs: int) -> list[int]:
+    """Memory-controller placement: split across the first and last rows.
+
+    For the 64-terminal configurations this puts 4 MCs on the top edge and
+    4 on the bottom edge, the usual many-core floorplan.
+    """
+    if num_mcs < 1 or num_mcs > num_terminals:
+        raise ValueError(f"cannot place {num_mcs} MCs on {num_terminals} terminals")
+    half = num_mcs // 2
+    top = [round((i + 0.5) * (num_terminals // 8) / max(1, half)) * 2 for i in range(half)]
+    top = [min(t, num_terminals - 1) for t in top]
+    bottom = [num_terminals - 1 - t for t in reversed(top)]
+    rest = num_mcs - len(top) - len(bottom)
+    middle = [num_terminals // 2 + i for i in range(rest)]
+    placement = sorted(set(top + bottom + middle))
+    # Collisions (tiny networks) fall back to even spacing.
+    if len(placement) != num_mcs:
+        placement = [i * num_terminals // num_mcs for i in range(num_mcs)]
+    return placement
+
+
+class ManycoreSystem:
+    """Cores + caches + memory over the network under test."""
+
+    def __init__(
+        self,
+        network_config: NetworkConfig,
+        workload: WorkloadMix | list[BenchmarkProfile],
+        *,
+        config: ManycoreConfig | None = None,
+        seed: int = 1,
+    ) -> None:
+        self.config = config or ManycoreConfig()
+        self.network = Network(network_config)
+        self.network.stats = self
+        n = network_config.num_terminals
+        if isinstance(workload, WorkloadMix):
+            profiles = workload.core_assignment()
+        else:
+            profiles = list(workload)
+        if len(profiles) != n:
+            raise ValueError(
+                f"workload assigns {len(profiles)} cores, network has {n} terminals"
+            )
+        mc_terms = default_mc_terminals(n, self.config.num_mcs)
+        self.mcs = [
+            MemoryController(
+                i,
+                t,
+                access_latency=self.config.mem_latency,
+                service_interval=self.config.mem_service_interval,
+            )
+            for i, t in enumerate(mc_terms)
+        ]
+        self._mc_at = {mc.terminal: mc for mc in self.mcs}
+        self.banks = [
+            L2Bank(
+                b,
+                b,
+                mc_terms[b % len(mc_terms)],
+                size_bytes=self.config.l2_bank_bytes,
+                assoc=self.config.l2_assoc,
+                block_bytes=self.config.block_bytes,
+                mshrs=self.config.l2_mshrs,
+                hit_latency=self.config.l2_hit_latency,
+                dirty_fraction=self.config.dirty_fraction,
+                seed=seed,
+            )
+            for b in range(n)
+        ]
+        self.cores = [
+            Core(
+                c,
+                c,
+                profiles[c],
+                width=self.config.core_width,
+                max_outstanding=self.config.max_outstanding,
+                dirty_fraction=self.config.dirty_fraction,
+                seed=seed,
+            )
+            for c in range(n)
+        ]
+        self._egress: list[deque[Message]] = [deque() for _ in range(n)]
+        self._next_pid = 0
+        self._latency_sum = 0
+        self._latency_count = 0
+        self.messages_delivered = 0
+
+    # --- network observer hooks -------------------------------------------
+
+    def on_flit_ejected(self, terminal: int, cycle: int) -> None:
+        """Network hook (flit granularity); unused by the system."""
+
+    def on_packet_ejected(self, packet, cycle: int) -> None:
+        """Dispatch a delivered message to its destination component."""
+        assert isinstance(packet, Message)
+        self.messages_delivered += 1
+        self._latency_sum += cycle - packet.created_cycle
+        self._latency_count += 1
+        kind = packet.kind
+        if kind is MessageKind.L2_REQUEST:
+            self.banks[packet.dst].receive_request(packet, cycle)
+        elif kind is MessageKind.L2_REPLY:
+            self.cores[packet.dst].receive_reply(packet.block_addr)
+        elif kind is MessageKind.L1_WRITEBACK:
+            self.banks[packet.dst].receive_writeback(packet)
+        elif kind in (MessageKind.MEM_REQUEST, MessageKind.L2_WRITEBACK):
+            self._mc_at[packet.dst].receive_request(packet, cycle)
+        else:  # MEM_REPLY
+            bank = self.banks[packet.dst]
+            for kind, dst, addr, core_id in bank.receive_fill(packet):
+                self._send(kind, bank.terminal, dst, addr, core_id, cycle)
+
+    # --- message plumbing ------------------------------------------------
+
+    def _send(
+        self, kind: MessageKind, src: int, dst: int, block_addr: int, core_id: int, cycle: int
+    ) -> None:
+        msg = Message(self._next_pid, src, dst, cycle, kind, block_addr, core_id)
+        self._next_pid += 1
+        self._egress[src].append(msg)
+
+    def _bank_of(self, block_addr: int) -> int:
+        return block_addr % len(self.banks)
+
+    def _flush_egress(self) -> None:
+        for q in self._egress:
+            while q and self.network.inject(q[0]):
+                q.popleft()
+
+    # --- simulation loop ------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        cycle = self.network.cycle
+        for mc in self.mcs:
+            for kind, dst, addr, core_id in mc.tick(cycle):
+                self._send(kind, mc.terminal, dst, addr, core_id, cycle)
+        for bank in self.banks:
+            for kind, dst, addr, core_id in bank.tick(cycle):
+                self._send(kind, bank.terminal, dst, addr, core_id, cycle)
+        for core in self.cores:
+            for addr in core.tick(cycle):
+                self._send(
+                    MessageKind.L2_REQUEST,
+                    core.terminal,
+                    self._bank_of(addr),
+                    addr,
+                    core.core_id,
+                    cycle,
+                )
+            for addr in core.take_writebacks():
+                self._send(
+                    MessageKind.L1_WRITEBACK,
+                    core.terminal,
+                    self._bank_of(addr),
+                    addr,
+                    core.core_id,
+                    cycle,
+                )
+        self._flush_egress()
+        self.network.step()
+
+    def run(self, warmup: int = 2000, measure: int = 8000) -> ManycoreResult:
+        """Warm up, then measure aggregate IPC over ``measure`` cycles."""
+        if warmup < 0 or measure <= 0:
+            raise ValueError("warmup must be >= 0 and measure > 0")
+        for _ in range(warmup):
+            self.step()
+        for core in self.cores:
+            core.reset_counters()
+        self._latency_sum = 0
+        self._latency_count = 0
+        for _ in range(measure):
+            self.step()
+        total = sum(core.instructions for core in self.cores)
+        return ManycoreResult(
+            cycles=measure,
+            total_instructions=total,
+            per_core_ipc=[core.ipc(measure) for core in self.cores],
+            l2_hits=sum(b.hits for b in self.banks),
+            l2_misses=sum(b.misses for b in self.banks),
+            mem_requests=sum(mc.requests_served for mc in self.mcs),
+            avg_network_latency=(
+                self._latency_sum / self._latency_count
+                if self._latency_count
+                else float("nan")
+            ),
+        )

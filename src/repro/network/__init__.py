@@ -1,0 +1,24 @@
+"""NoC substrate: flits, buffers, routers, links, and networks."""
+
+from .buffer import InputVC, OutVC, VCState
+from .config import NetworkConfig, RouterConfig, paper_config
+from .flit import Flit, FlitType, Packet
+from .interface import NetworkInterface
+from .network import Network
+from .router import OutputPort, Router
+
+__all__ = [
+    "Flit",
+    "FlitType",
+    "InputVC",
+    "Network",
+    "NetworkConfig",
+    "NetworkInterface",
+    "OutVC",
+    "OutputPort",
+    "Packet",
+    "Router",
+    "RouterConfig",
+    "VCState",
+    "paper_config",
+]

@@ -1,0 +1,108 @@
+"""Virtual-channel buffer state: input VCs and output-side credit tracking.
+
+Flow control follows the paper's methodology: wormhole switching with
+credit-based virtual-channel flow control, atomic VC allocation (one packet
+owns an input VC from its head's VC allocation until its tail departs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import IntEnum
+
+from .flit import Flit
+
+
+class VCState(IntEnum):
+    """Input-VC state machine."""
+
+    #: No packet owns this VC.
+    IDLE = 0
+    #: Head flit arrived and was routed; waiting for an output VC (VA).
+    VA_WAIT = 1
+    #: Output VC held; flits compete in switch allocation.
+    ACTIVE = 2
+
+
+class InputVC:
+    """One input virtual channel of a router port.
+
+    The buffer holds the flits of at most one packet at a time (atomic VC
+    allocation).  ``out_port`` and ``out_vc`` are per-packet routing state
+    filled in by lookahead routing and VC allocation.
+    """
+
+    __slots__ = (
+        "port",
+        "index",
+        "depth",
+        "queue",
+        "state",
+        "out_port",
+        "out_vc",
+        "src",
+        "dst",
+    )
+
+    def __init__(self, port: int, index: int, depth: int) -> None:
+        self.port = port
+        self.index = index
+        self.depth = depth
+        self.queue: deque[Flit] = deque()
+        self.state = VCState.IDLE
+        self.out_port = -1
+        self.out_vc = -1
+        self.src = -1
+        self.dst = -1
+
+    @property
+    def occupancy(self) -> int:
+        """Flits currently buffered."""
+        return len(self.queue)
+
+    def push(self, flit: Flit) -> None:
+        """Buffer an arriving flit (caller guarantees credit-level space)."""
+        if len(self.queue) >= self.depth:
+            raise OverflowError(
+                f"VC ({self.port}, {self.index}) overflow: credit protocol violated"
+            )
+        self.queue.append(flit)
+
+    def pop(self) -> Flit:
+        """Remove and return the head-of-line flit."""
+        return self.queue.popleft()
+
+    def head(self) -> Flit | None:
+        """Head-of-line flit, or ``None`` when empty."""
+        return self.queue[0] if self.queue else None
+
+    def release(self) -> None:
+        """Return to IDLE after the packet's tail departs."""
+        if self.queue:
+            raise RuntimeError(
+                f"VC ({self.port}, {self.index}) released with {len(self.queue)} "
+                "flits buffered — atomic VC allocation violated"
+            )
+        self.state = VCState.IDLE
+        self.out_port = -1
+        self.out_vc = -1
+        self.src = -1
+        self.dst = -1
+
+
+class OutVC:
+    """Upstream-side state of one downstream input VC.
+
+    ``credits`` counts free flit slots in the downstream buffer;
+    ``allocated`` marks the VC as owned by an in-flight packet (set at VC
+    allocation, cleared when the tail's credit returns).
+    """
+
+    __slots__ = ("credits", "allocated")
+
+    def __init__(self, depth: int) -> None:
+        self.credits = depth
+        self.allocated = False
+
+    def __repr__(self) -> str:
+        return f"OutVC(credits={self.credits}, allocated={self.allocated})"

@@ -1,0 +1,127 @@
+"""Configuration dataclasses for routers and networks.
+
+Defaults follow the paper's methodology (Section 3): 6 VCs per port, 5-flit
+buffers per VC, 128-bit datapath, 3-stage router pipeline, dimension-order
+routing, wormhole switching with credit-based VC flow control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Per-router microarchitecture configuration."""
+
+    #: Virtual channels per input port (paper default: 6).
+    num_vcs: int = 6
+    #: Flit buffers per VC (paper default: 5).
+    buffer_depth: int = 5
+    #: Switch allocation scheme (see :func:`repro.core.make_allocator`).
+    allocator: str = "input_first"
+    #: Crossbar virtual inputs per port; only meaningful with the "vix"
+    #: allocator (2 = the paper's 1:2 VIX).
+    virtual_inputs: int = 2
+    #: Output-VC assignment policy ("max_credit" or "vix_dimension").
+    vc_policy: str = "max_credit"
+    #: Cycles for a credit to travel back upstream (>= 1: a credit cannot
+    #: arrive within the cycle that generated it).
+    credit_delay: int = 2
+    #: Per-hop pipeline latency in cycles: VA/SA + switch traversal + link
+    #: traversal (the paper's Fig. 6(b) 3-stage pipeline).
+    pipeline_stages: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_vcs < 1:
+            raise ValueError(f"num_vcs must be >= 1, got {self.num_vcs}")
+        if self.buffer_depth < 1:
+            raise ValueError(f"buffer_depth must be >= 1, got {self.buffer_depth}")
+        if self.virtual_inputs < 1:
+            raise ValueError(
+                f"virtual_inputs must be >= 1, got {self.virtual_inputs}"
+            )
+        if self.credit_delay < 1:
+            raise ValueError(f"credit_delay must be >= 1, got {self.credit_delay}")
+        if self.pipeline_stages < 1:
+            raise ValueError(
+                f"pipeline_stages must be >= 1, got {self.pipeline_stages}"
+            )
+
+    @property
+    def effective_virtual_inputs(self) -> int:
+        """Crossbar inputs per port after resolving the allocator choice.
+
+        Only the VIX allocators actually enlarge the crossbar; every other
+        scheme drives a conventional ``P x P`` crossbar.
+        """
+        from repro.core import canonical_allocator_name
+
+        key = canonical_allocator_name(self.allocator)
+        if key == "vix":
+            return min(self.virtual_inputs, self.num_vcs)
+        if key == "ideal_vix":
+            return self.num_vcs
+        return 1
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Whole-network configuration."""
+
+    #: Topology name: "mesh", "cmesh", or "fbfly".
+    topology: str = "mesh"
+    #: Number of terminals (cores); the paper studies 64-node networks.
+    num_terminals: int = 64
+    router: RouterConfig = field(default_factory=RouterConfig)
+    #: Router datapath / link width in bits (constant across topologies).
+    flit_width_bits: int = 128
+    #: Packet size in flits (512-bit packets = 4 flits by default).
+    packet_length: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_terminals < 2:
+            raise ValueError(
+                f"num_terminals must be >= 2, got {self.num_terminals}"
+            )
+        if self.flit_width_bits < 1:
+            raise ValueError(
+                f"flit_width_bits must be >= 1, got {self.flit_width_bits}"
+            )
+        if self.packet_length < 1:
+            raise ValueError(f"packet_length must be >= 1, got {self.packet_length}")
+
+    def with_router(self, **changes: object) -> "NetworkConfig":
+        """Return a copy with router-level fields replaced."""
+        return replace(self, router=replace(self.router, **changes))
+
+
+def paper_config(
+    allocator: str = "input_first",
+    *,
+    topology: str = "mesh",
+    num_vcs: int = 6,
+    virtual_inputs: int = 2,
+    packet_length: int = 4,
+) -> NetworkConfig:
+    """Convenience constructor for the paper's evaluation configurations.
+
+    VIX configurations automatically enable the Section 2.3 dimension-aware
+    VC assignment policy.
+    """
+    from repro.core import canonical_allocator_name
+
+    key = canonical_allocator_name(allocator)
+    vc_policy = "vix_dimension" if key in ("vix", "ideal_vix") else "max_credit"
+    return NetworkConfig(
+        topology=topology,
+        num_terminals=64,
+        router=RouterConfig(
+            num_vcs=num_vcs,
+            buffer_depth=5,
+            allocator=key,
+            virtual_inputs=virtual_inputs,
+            vc_policy=vc_policy,
+        ),
+        packet_length=packet_length,
+    )

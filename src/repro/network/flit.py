@@ -1,0 +1,101 @@
+"""Flits and packets — the units of flow control and of routing.
+
+Every packet is segmented into flits (head / body / tail, or a single
+combined flit for one-flit packets).  Routing state lives in the input-VC
+state machines of the routers, not in the flit, so flit objects stay small
+and immutable apart from bookkeeping timestamps on the packet.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class FlitType(IntEnum):
+    """Flit kind within its packet."""
+
+    HEAD = 0
+    BODY = 1
+    TAIL = 2
+    #: Single-flit packet: head and tail at once (Section 4.4 uses these).
+    SINGLE = 3
+
+
+class Packet:
+    """One network packet.
+
+    Attributes
+    ----------
+    pid:
+        Globally unique packet id (assigned by the traffic injector).
+    src, dst:
+        Terminal (node) ids.
+    num_flits:
+        Packet length in flits (the paper's default: 512-bit packets on a
+        128-bit datapath = 4 flits).
+    created_cycle:
+        Cycle the packet entered its source queue (latency includes source
+        queueing, as is standard).
+    ejected_cycle:
+        Cycle the tail flit left the network at the destination, or ``-1``.
+    """
+
+    __slots__ = ("pid", "src", "dst", "num_flits", "created_cycle", "ejected_cycle")
+
+    def __init__(
+        self, pid: int, src: int, dst: int, num_flits: int, created_cycle: int
+    ) -> None:
+        if num_flits < 1:
+            raise ValueError(f"packet needs >= 1 flit, got {num_flits}")
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.num_flits = num_flits
+        self.created_cycle = created_cycle
+        self.ejected_cycle = -1
+
+    @property
+    def latency(self) -> int:
+        """Total latency in cycles (valid once ejected)."""
+        if self.ejected_cycle < 0:
+            raise ValueError(f"packet {self.pid} not ejected yet")
+        return self.ejected_cycle - self.created_cycle
+
+    def make_flits(self) -> list["Flit"]:
+        """Segment the packet into its flit sequence."""
+        n = self.num_flits
+        if n == 1:
+            return [Flit(self, FlitType.SINGLE, 0)]
+        flits = [Flit(self, FlitType.HEAD, 0)]
+        flits.extend(Flit(self, FlitType.BODY, i) for i in range(1, n - 1))
+        flits.append(Flit(self, FlitType.TAIL, n - 1))
+        return flits
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(pid={self.pid}, src={self.src}, dst={self.dst}, "
+            f"flits={self.num_flits})"
+        )
+
+
+class Flit:
+    """One flit of a packet.
+
+    ``is_head``/``is_tail`` are precomputed plain attributes (not
+    properties): they are read on every switch-allocation request in the
+    simulator's hot loop.
+    """
+
+    __slots__ = ("packet", "ftype", "seq", "is_head", "is_tail")
+
+    def __init__(self, packet: Packet, ftype: FlitType, seq: int) -> None:
+        self.packet = packet
+        self.ftype = ftype
+        self.seq = seq
+        #: True for the flit that opens the packet (HEAD or SINGLE).
+        self.is_head = ftype is FlitType.HEAD or ftype is FlitType.SINGLE
+        #: True for the flit that closes the packet (TAIL or SINGLE).
+        self.is_tail = ftype is FlitType.TAIL or ftype is FlitType.SINGLE
+
+    def __repr__(self) -> str:
+        return f"Flit(pid={self.packet.pid}, {self.ftype.name}, seq={self.seq})"

@@ -1,0 +1,124 @@
+"""Network interface (NI): injection source queue and ejection sink.
+
+The injection side behaves exactly like an upstream router output port for
+the terminal's local input port: it tracks downstream credits per VC,
+performs VC allocation for new packets (with the same policy the routers
+use, so the Section 2.3 dimension-aware assignment also steers injected
+packets), and pushes at most one flit per cycle onto the injection channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.vc_policy import VCSelectionPolicy
+from repro.topology.base import Topology
+
+from .buffer import OutVC
+from .config import RouterConfig
+from .flit import Flit, Packet
+
+
+class NetworkInterface:
+    """Per-terminal injection/ejection endpoint."""
+
+    __slots__ = (
+        "terminal",
+        "router_id",
+        "local_port",
+        "out_vcs",
+        "queue",
+        "max_queue",
+        "_current_flits",
+        "_current_vc",
+        "_topology",
+        "_policy",
+        "_num_vcs",
+        "_virtual_inputs",
+        "packets_dropped",
+    )
+
+    def __init__(
+        self,
+        terminal: int,
+        router_id: int,
+        local_port: int,
+        config: RouterConfig,
+        policy: VCSelectionPolicy,
+        topology: Topology,
+        max_queue: int = 64,
+    ) -> None:
+        self.terminal = terminal
+        self.router_id = router_id
+        self.local_port = local_port
+        self.out_vcs = [OutVC(config.buffer_depth) for _ in range(config.num_vcs)]
+        self.queue: deque[Packet] = deque()
+        self.max_queue = max_queue
+        self._current_flits: deque[Flit] = deque()
+        self._current_vc = -1
+        self._topology = topology
+        self._policy = policy
+        self._num_vcs = config.num_vcs
+        self._virtual_inputs = config.effective_virtual_inputs
+        self.packets_dropped = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting in the source queue (including the one in flight)."""
+        return len(self.queue) + (1 if self._current_flits else 0)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Add a packet to the source queue; False when the queue is full.
+
+        A full queue models a saturated source (open-loop injection with a
+        bounded queue); the drop is counted for diagnostics.
+        """
+        if len(self.queue) >= self.max_queue:
+            self.packets_dropped += 1
+            return False
+        self.queue.append(packet)
+        return True
+
+    def next_flit(self) -> tuple[int, Flit] | None:
+        """Flit to put on the injection channel this cycle, with its VC.
+
+        Performs VC allocation for a new packet when the channel is free and
+        consumes one downstream credit.  Returns ``None`` when there is
+        nothing to send or no credit is available.
+        """
+        if not self._current_flits and self.queue:
+            candidates = [
+                i
+                for i, ovc in enumerate(self.out_vcs)
+                if not ovc.allocated and ovc.credits > 0
+            ]
+            if candidates:
+                packet = self.queue[0]
+                # The "downstream" router of the injection channel is the
+                # local router itself; classify the packet's first hop.
+                first_port = self._topology.route(self.router_id, packet.dst)
+                direction = self._topology.port_direction_class(first_port)
+                credits = [ovc.credits for ovc in self.out_vcs]
+                vc = self._policy.select(
+                    candidates,
+                    credits,
+                    num_vcs=self._num_vcs,
+                    virtual_inputs=self._virtual_inputs,
+                    downstream_direction=direction,
+                )
+                self.out_vcs[vc].allocated = True
+                self._current_vc = vc
+                self._current_flits.extend(packet.make_flits())
+                self.queue.popleft()
+        if not self._current_flits:
+            return None
+        ovc = self.out_vcs[self._current_vc]
+        if ovc.credits <= 0:
+            return None
+        ovc.credits -= 1
+        return self._current_vc, self._current_flits.popleft()
+
+    def pending_flits(self) -> int:
+        """Flits not yet handed to the network (queued packets included)."""
+        queued = sum(p.num_flits for p in self.queue)
+        return queued + len(self._current_flits)

@@ -1,0 +1,245 @@
+"""The synchronous cycle-level network: routers, links, and NIs.
+
+The network owns the global event wheel.  A cycle proceeds as:
+
+1. deliver this cycle's events (flit arrivals, returning credits, ejection
+   completions);
+2. network interfaces put flits on their injection channels;
+3. every router runs VC allocation, then switch allocation;
+4. granted flits leave their buffers: ejected flits complete after the
+   remaining pipeline latency, forwarded flits arrive downstream after
+   ``pipeline_stages`` cycles, and credits are scheduled back upstream.
+
+All latencies are derived from :class:`~repro.network.config.RouterConfig`;
+the defaults give the paper's 3-cycle-per-hop pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.energy.activity import ActivityCounters
+from repro.topology import Topology, make_topology
+
+from .buffer import VCState
+from .config import NetworkConfig
+from .flit import Flit, Packet
+from .interface import NetworkInterface
+from .router import OutputPort, Router
+
+_ARRIVAL = 0
+_CREDIT = 1
+_EJECT = 2
+
+
+class Network:
+    """A complete on-chip network built from a :class:`NetworkConfig`."""
+
+    def __init__(self, config: NetworkConfig, topology: Topology | None = None) -> None:
+        self.config = config
+        self.topology = topology or make_topology(config.topology, config.num_terminals)
+        if self.topology.num_terminals != config.num_terminals:
+            raise ValueError(
+                f"topology has {self.topology.num_terminals} terminals, "
+                f"config wants {config.num_terminals}"
+            )
+        rc = config.router
+        self.routers = [
+            Router(r, rc, self.topology) for r in range(self.topology.num_routers)
+        ]
+        self._wire()
+        self.interfaces = [
+            NetworkInterface(
+                t,
+                *self.topology.router_of(t),
+                config=rc,
+                policy=self.routers[self.topology.router_of(t)[0]].vc_policy,
+                topology=self.topology,
+            )
+            for t in range(self.topology.num_terminals)
+        ]
+        for ni in self.interfaces:
+            self.routers[ni.router_id].upstream[ni.local_port] = ni
+        self.counters = ActivityCounters()
+        #: Flits carried per directed link, keyed by (router, output port).
+        self.link_flits: dict[tuple[int, int], int] = {
+            (spec.src_router, spec.src_port): 0 for spec in self.topology.links()
+        }
+        self.cycle = 0
+        self._events: dict[int, list[tuple]] = {}
+        self._in_flight_flits = 0
+        #: Optional observer with on_flit_ejected / on_packet_ejected hooks
+        #: (set by the simulation engine).
+        self.stats = None
+
+    def _wire(self) -> None:
+        topo = self.topology
+        rc = self.config.router
+        for router in self.routers:
+            for port in range(topo.radix):
+                if topo.is_local_port(port):
+                    router.outputs[port] = OutputPort(
+                        port,
+                        is_ejection=True,
+                        dest_router=-1,
+                        dest_port=-1,
+                        num_vcs=rc.num_vcs,
+                        buffer_depth=rc.buffer_depth,
+                    )
+                    continue
+                nb = topo.neighbor(router.rid, port)
+                if nb is None:
+                    continue  # mesh edge: port unused
+                router.outputs[port] = OutputPort(
+                    port,
+                    is_ejection=False,
+                    dest_router=nb[0],
+                    dest_port=nb[1],
+                    num_vcs=rc.num_vcs,
+                    buffer_depth=rc.buffer_depth,
+                )
+        for spec in topo.links():
+            src = self.routers[spec.src_router]
+            self.routers[spec.dst_router].upstream[spec.dst_port] = src.outputs[
+                spec.src_port
+            ]
+
+    # --- event plumbing ---------------------------------------------------
+
+    def _schedule(self, when: int, event: tuple) -> None:
+        self._events.setdefault(when, []).append(event)
+
+    def _deliver(self, now: int) -> None:
+        events = self._events.pop(now, None)
+        if not events:
+            return
+        for ev in events:
+            kind = ev[0]
+            if kind == _ARRIVAL:
+                _, rid, port, vc, flit = ev
+                self.routers[rid].accept_flit(port, vc, flit)
+                self.counters.buffer_writes += 1
+            elif kind == _CREDIT:
+                _, sink, vc, release = ev
+                ovc = sink.out_vcs[vc]
+                ovc.credits += 1
+                if release:
+                    ovc.allocated = False
+            else:  # _EJECT
+                _, flit, terminal = ev
+                self._in_flight_flits -= 1
+                self.counters.flits_ejected += 1
+                if self.stats is not None:
+                    self.stats.on_flit_ejected(terminal, now)
+                if flit.is_tail:
+                    packet = flit.packet
+                    packet.ejected_cycle = now
+                    self.counters.packets_ejected += 1
+                    if self.stats is not None:
+                        self.stats.on_packet_ejected(packet, now)
+
+    # --- public API ---------------------------------------------------------
+
+    def inject(self, packet: Packet) -> bool:
+        """Queue a packet at its source NI; False when the queue is full."""
+        return self.interfaces[packet.src].enqueue(packet)
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        now = self.cycle
+        pipe = self.config.router.pipeline_stages
+        self._deliver(now)
+
+        for ni in self.interfaces:
+            sent = ni.next_flit()
+            if sent is not None:
+                vc, flit = sent
+                self._schedule(now + 1, (_ARRIVAL, ni.router_id, ni.local_port, vc, flit))
+                self._in_flight_flits += 1
+
+        for router in self.routers:
+            if router._va_pending:
+                router.vc_allocate()
+        for router in self.routers:
+            grants = router.switch_allocate()
+            for g in grants:
+                self._apply_grant(router, g, now, pipe)
+
+        self.counters.cycles += 1
+        self.cycle = now + 1
+
+    def _apply_grant(self, router: Router, grant, now: int, pipe: int) -> None:
+        ivc = router.inputs[grant.in_port][grant.vc]
+        flit = ivc.pop()
+        self.counters.buffer_reads += 1
+        self.counters.xbar_traversals += 1
+        out = router.outputs[grant.out_port]
+        assert out is not None
+        if out.is_ejection:
+            terminal = self.topology.terminal_of(router.rid, grant.out_port)
+            # ST + LT of the final hop happen before the NI receives it.
+            self._schedule(now + pipe, (_EJECT, flit, terminal))
+        else:
+            ovc = out.out_vcs[ivc.out_vc]
+            if ovc.credits <= 0:
+                raise RuntimeError(
+                    f"router {router.rid}: grant without downstream credit"
+                )
+            ovc.credits -= 1
+            self.counters.link_traversals += 1
+            self.link_flits[(router.rid, grant.out_port)] += 1
+            self._schedule(
+                now + pipe,
+                (_ARRIVAL, out.dest_router, out.dest_port, ivc.out_vc, flit),
+            )
+        upstream = router.upstream[grant.in_port]
+        if upstream is not None:
+            self._schedule(
+                now + self.config.router.credit_delay,
+                (_CREDIT, upstream, grant.vc, flit.is_tail),
+            )
+        if flit.is_tail:
+            ivc.release()
+
+    def run(self, cycles: int) -> None:
+        """Step the network ``cycles`` times."""
+        for _ in range(cycles):
+            self.step()
+
+    # --- occupancy queries ---------------------------------------------------
+
+    def buffered_flits(self) -> int:
+        """Flits buffered in all routers right now."""
+        return sum(r.buffered_flits() for r in self.routers)
+
+    def outstanding_flits(self) -> int:
+        """Flits anywhere between source NI queue and ejection.
+
+        ``_in_flight_flits`` counts flits from injection-channel entry until
+        ejection (buffered flits included), so it is disjoint from the NI
+        queues.
+        """
+        pending = sum(ni.pending_flits() for ni in self.interfaces)
+        return pending + self._in_flight_flits
+
+    def idle(self) -> bool:
+        """True when no flit is queued, buffered, or in flight."""
+        return self.outstanding_flits() == 0 and not self._events
+
+    def channel_utilization(self) -> dict[tuple[int, int], float]:
+        """Per-link utilization (flits carried / cycles simulated).
+
+        Keys are ``(router, output port)``; a value of 1.0 means the link
+        carried a flit every cycle.  Useful for spotting the saturated DOR
+        channels that bound permutation-traffic throughput.
+        """
+        cycles = max(1, self.counters.cycles)
+        return {link: count / cycles for link, count in self.link_flits.items()}
+
+    def hottest_links(self, n: int = 5) -> list[tuple[tuple[int, int], float]]:
+        """The ``n`` busiest links as ``((router, port), utilization)``."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        util = self.channel_utilization()
+        return sorted(util.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+__all__ = ["Network", "VCState"]

@@ -1,0 +1,222 @@
+"""Cycle-level router with the paper's 3-stage pipeline (Fig. 6(b)).
+
+Per cycle a router performs, in order:
+
+1. **VC allocation (VA).**  Input VCs whose head flit has been routed
+   (lookahead) compete for a free VC at the downstream router, chosen by the
+   configured :class:`~repro.core.vc_policy.VCSelectionPolicy`.
+2. **Switch allocation (SA).**  Every buffered VC with an output VC and a
+   downstream credit requests its output port; the configured allocator
+   (IF / WF / AP / PC / VIX) produces this cycle's crossbar grants.
+
+Switch traversal and link traversal are modelled as fixed latency applied by
+the :class:`~repro.network.network.Network` when it moves granted flits, so
+a hop costs ``pipeline_stages`` cycles end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core import RequestMatrix, RoundRobinArbiter, make_allocator, make_vc_policy
+from repro.core.requests import Grant
+from repro.topology.base import Topology
+
+from .buffer import InputVC, OutVC, VCState
+from .config import RouterConfig
+
+
+class OutputPort:
+    """One router output port and its downstream credit state."""
+
+    __slots__ = ("index", "is_ejection", "dest_router", "dest_port", "out_vcs")
+
+    def __init__(
+        self,
+        index: int,
+        *,
+        is_ejection: bool,
+        dest_router: int,
+        dest_port: int,
+        num_vcs: int,
+        buffer_depth: int,
+    ) -> None:
+        self.index = index
+        self.is_ejection = is_ejection
+        self.dest_router = dest_router
+        self.dest_port = dest_port
+        # Ejection ports sink flits directly (the NI always accepts), so they
+        # carry no credit state.
+        self.out_vcs: list[OutVC] = (
+            [] if is_ejection else [OutVC(buffer_depth) for _ in range(num_vcs)]
+        )
+
+
+class Router:
+    """A radix-P router instance inside a :class:`Network`."""
+
+    __slots__ = (
+        "rid",
+        "radix",
+        "config",
+        "topology",
+        "inputs",
+        "outputs",
+        "upstream",
+        "allocator",
+        "vc_policy",
+        "_va_arbiters",
+        "_matrix",
+        "_va_pending",
+    )
+
+    def __init__(self, rid: int, config: RouterConfig, topology: Topology) -> None:
+        self.rid = rid
+        self.radix = topology.radix
+        self.config = config
+        self.topology = topology
+        v = config.num_vcs
+        self.inputs: list[list[InputVC]] = [
+            [InputVC(p, i, config.buffer_depth) for i in range(v)]
+            for p in range(self.radix)
+        ]
+        # Output ports are wired by the Network after all routers exist.
+        self.outputs: list[OutputPort | None] = [None] * self.radix
+        # Upstream credit sinks per input port (OutputPort or NI), or None
+        # for dead-edge ports that can never receive flits.
+        self.upstream: list[object | None] = [None] * self.radix
+        self.allocator = make_allocator(
+            config.allocator,
+            self.radix,
+            self.radix,
+            v,
+            virtual_inputs=config.virtual_inputs,
+        )
+        self.vc_policy = make_vc_policy(config.vc_policy)
+        self._va_arbiters = [RoundRobinArbiter(self.radix * v) for _ in range(self.radix)]
+        self._matrix = RequestMatrix(self.radix, self.radix, v)
+        # VCs waiting for VC allocation, in arrival order.
+        self._va_pending: list[InputVC] = []
+
+    # --- flit arrival ------------------------------------------------------
+
+    def accept_flit(self, port: int, vc: int, flit) -> None:
+        """Buffer an arriving flit and, for heads, run lookahead routing."""
+        ivc = self.inputs[port][vc]
+        ivc.push(flit)
+        if flit.is_head:
+            if ivc.state is not VCState.IDLE:
+                raise RuntimeError(
+                    f"router {self.rid}: head flit for busy VC ({port}, {vc})"
+                )
+            ivc.src = flit.packet.src
+            ivc.dst = flit.packet.dst
+            out_port = self.topology.route(self.rid, ivc.dst)
+            ivc.out_port = out_port
+            out = self.outputs[out_port]
+            if out is None:
+                raise RuntimeError(
+                    f"router {self.rid}: route to {ivc.dst} uses unwired port {out_port}"
+                )
+            if out.is_ejection:
+                # Ejection needs no VC allocation: the NI always accepts.
+                ivc.out_vc = 0
+                ivc.state = VCState.ACTIVE
+            else:
+                ivc.state = VCState.VA_WAIT
+                self._va_pending.append(ivc)
+
+    # --- VC allocation ------------------------------------------------------
+
+    def vc_allocate(self) -> int:
+        """Run one cycle of VC allocation; returns the number of grants."""
+        if not self._va_pending:
+            return 0
+        by_output: dict[int, list[InputVC]] = {}
+        for ivc in self._va_pending:
+            by_output.setdefault(ivc.out_port, []).append(ivc)
+
+        v = self.config.num_vcs
+        k = self.config.effective_virtual_inputs
+        granted = 0
+        for out_port, requesters in by_output.items():
+            out = self.outputs[out_port]
+            assert out is not None and not out.is_ejection
+            free = [w for w, ovc in enumerate(out.out_vcs) if not ovc.allocated]
+            if not free:
+                continue
+            credits = [ovc.credits for ovc in out.out_vcs]
+            arbiter = self._va_arbiters[out_port]
+            index_of = {r.port * v + r.index: r for r in requesters}
+            while index_of and free:
+                win = arbiter.arbitrate(index_of.keys())
+                assert win is not None
+                arbiter.update(win)
+                ivc = index_of.pop(win)
+                allowed = self.topology.allowed_vcs(
+                    self.rid, out_port, ivc.src, ivc.dst, v
+                )
+                if allowed is None:
+                    candidates = free
+                else:
+                    candidates = [w for w in free if w in allowed]
+                    if not candidates:
+                        # No free VC in the packet's (dateline) class this
+                        # cycle; it stays in VA_WAIT and retries.
+                        continue
+                direction = self.topology.lookahead_direction(
+                    self.rid, out_port, ivc.dst
+                )
+                choice = self.vc_policy.select(
+                    candidates,
+                    credits,
+                    num_vcs=v,
+                    virtual_inputs=k,
+                    downstream_direction=direction,
+                )
+                free.remove(choice)
+                out.out_vcs[choice].allocated = True
+                ivc.out_vc = choice
+                ivc.state = VCState.ACTIVE
+                self._va_pending.remove(ivc)
+                granted += 1
+        return granted
+
+    # --- switch allocation ---------------------------------------------------
+
+    def switch_allocate(self) -> list[Grant]:
+        """Build this cycle's request matrix and run the switch allocator."""
+        matrix = self._matrix
+        matrix.clear()
+        requests = matrix.requests
+        tails = matrix.tails
+        outputs = self.outputs
+        active = VCState.ACTIVE
+        any_request = False
+        for port_vcs in self.inputs:
+            for ivc in port_vcs:
+                if ivc.state is not active or not ivc.queue:
+                    continue
+                out_port = ivc.out_port
+                out = outputs[out_port]
+                if not out.is_ejection and out.out_vcs[ivc.out_vc].credits <= 0:
+                    continue
+                flit = ivc.queue[0]
+                # Direct writes: the router's own state guarantees validity,
+                # so skip RequestMatrix.add's range checks in the hot loop.
+                requests[ivc.port][ivc.index] = out_port
+                tails[ivc.port][ivc.index] = flit.is_tail
+                any_request = True
+        if not any_request:
+            return []
+        return self.allocator.allocate(matrix)
+
+    # --- introspection ---------------------------------------------------------
+
+    def buffered_flits(self) -> int:
+        """Total flits currently buffered in this router."""
+        return sum(len(ivc.queue) for port in self.inputs for ivc in port)
+
+    def reset_allocation_state(self) -> None:
+        """Reset arbiter/allocator priority state (not buffer contents)."""
+        self.allocator.reset()
+        for arb in self._va_arbiters:
+            arb.reset()

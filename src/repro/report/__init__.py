@@ -1,0 +1,5 @@
+"""Terminal reporting helpers (ASCII charts for experiment reports)."""
+
+from .ascii_chart import bar_chart, line_chart
+
+__all__ = ["bar_chart", "line_chart"]

@@ -1,0 +1,108 @@
+"""Terminal-friendly charts for simulation results.
+
+The paper's figures are line charts (latency vs injection rate) and bar
+charts (throughput per scheme).  With no plotting dependency available,
+these renderers draw them as fixed-width ASCII so experiment reports can
+show the *shape* of a result — the knee of a latency curve, the ordering
+of a bar group — directly in the terminal and in test logs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_max: float | None = None,
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII line chart.
+
+    Each series gets a marker character; points falling on the same cell
+    show the marker drawn last.  Non-finite y values are skipped (a
+    saturated latency point simply leaves the column empty).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to draw")
+    markers = "*o+x#@%&"
+    all_x = _finite([x for pts in series.values() for x, _ in pts])
+    all_y = _finite([y for pts in series.values() for _, y in pts])
+    if not all_x or not all_y:
+        raise ValueError("no finite data points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = 0.0
+    y_hi = y_max if y_max is not None else max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if y > y_hi:
+                y = y_hi
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    top_label = f"{y_hi:.4g}"
+    for r, row in enumerate(grid):
+        prefix = top_label.rjust(8) if r == 0 else " " * 8
+        if r == height - 1:
+            prefix = f"{y_lo:.4g}".rjust(8)
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * 8 + " +" + "-" * width)
+    lines.append(
+        " " * 8
+        + "  "
+        + f"{x_lo:.4g}".ljust(width - 8)
+        + f"{x_hi:.4g}".rjust(8)
+    )
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{y_label} vs {x_label}:   {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal ASCII bars."""
+    if not values:
+        raise ValueError("need at least one bar")
+    finite = _finite(list(values.values()))
+    if not finite:
+        raise ValueError("no finite values")
+    peak = max(finite)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for name, value in values.items():
+        if not math.isfinite(value):
+            bar, shown = "?", "n/a"
+        else:
+            bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+            shown = f"{value:.4g}{unit}"
+        lines.append(f"{str(name).ljust(label_width)} |{bar.ljust(width)} {shown}")
+    return "\n".join(lines)

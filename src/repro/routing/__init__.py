@@ -1,0 +1,17 @@
+"""Routing algorithms (dimension-order routing with lookahead)."""
+
+from .dor import (
+    MeshDirection,
+    fbfly_hops,
+    fbfly_next_dimension,
+    mesh_hops,
+    mesh_next_direction,
+)
+
+__all__ = [
+    "MeshDirection",
+    "fbfly_hops",
+    "fbfly_next_dimension",
+    "mesh_hops",
+    "mesh_next_direction",
+]

@@ -1,0 +1,67 @@
+"""Deterministic dimension-order (X-then-Y) routing helpers.
+
+All three topologies in the paper route with DOR (Section 3), which is
+deadlock-free on meshes and on the single-hop-per-dimension flattened
+butterfly.  The helpers here work on router grid coordinates; topology
+classes translate the returned abstract direction into their own port
+numbering.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class MeshDirection(IntEnum):
+    """Abstract mesh hop directions (before port numbering)."""
+
+    EAST = 0
+    WEST = 1
+    NORTH = 2
+    SOUTH = 3
+    LOCAL = 4
+
+
+def mesh_next_direction(
+    cur_x: int, cur_y: int, dst_x: int, dst_y: int
+) -> MeshDirection:
+    """Next DOR hop on a mesh grid: fully resolve X before touching Y.
+
+    The Y axis grows southward (row 0 is the north edge), matching the
+    usual NoC floorplan convention.
+    """
+    if dst_x > cur_x:
+        return MeshDirection.EAST
+    if dst_x < cur_x:
+        return MeshDirection.WEST
+    if dst_y > cur_y:
+        return MeshDirection.SOUTH
+    if dst_y < cur_y:
+        return MeshDirection.NORTH
+    return MeshDirection.LOCAL
+
+
+def mesh_hops(cur_x: int, cur_y: int, dst_x: int, dst_y: int) -> int:
+    """Router-to-router hop count under DOR on a mesh (Manhattan distance)."""
+    return abs(dst_x - cur_x) + abs(dst_y - cur_y)
+
+
+def fbfly_next_dimension(
+    cur_x: int, cur_y: int, dst_x: int, dst_y: int
+) -> tuple[int, int] | None:
+    """Next DOR hop on a flattened butterfly.
+
+    Returns ``(dimension, target)`` — dimension 0 hops directly to column
+    ``target``, dimension 1 to row ``target`` — or ``None`` at the
+    destination router.  Each dimension is crossed in a single express hop.
+    """
+    if dst_x != cur_x:
+        return (0, dst_x)
+    if dst_y != cur_y:
+        return (1, dst_y)
+    return None
+
+
+def fbfly_hops(cur_x: int, cur_y: int, dst_x: int, dst_y: int) -> int:
+    """Router hops on a flattened butterfly (at most one per dimension)."""
+    return (1 if dst_x != cur_x else 0) + (1 if dst_y != cur_y else 0)

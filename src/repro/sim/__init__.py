@@ -1,0 +1,26 @@
+"""Simulation engine, statistics, and the single-router testbench."""
+
+from .engine import (
+    Simulation,
+    SimulationResult,
+    is_saturated,
+    run_simulation,
+    saturation_throughput,
+)
+from .single_router import SingleRouterExperiment, SingleRouterResult
+from .stats import StatsCollector
+from .sweep import SweepPoint, find_saturation_rate, latency_sweep
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "SingleRouterExperiment",
+    "SingleRouterResult",
+    "StatsCollector",
+    "SweepPoint",
+    "find_saturation_rate",
+    "is_saturated",
+    "latency_sweep",
+    "run_simulation",
+    "saturation_throughput",
+]

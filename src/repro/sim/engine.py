@@ -1,0 +1,175 @@
+"""Simulation controller: warmup, measurement, drain.
+
+:class:`Simulation` wires a network, a traffic injector, and a statistics
+collector together and runs the standard three-phase methodology:
+
+1. **warmup** — traffic flows, nothing is recorded;
+2. **measure** — packets created in this window are tracked end to end, and
+   ejected traffic counts toward throughput;
+3. **drain** — injection continues (keeping the network under load) until
+   every measured packet is delivered or a drain budget expires.  Past
+   saturation some measured packets never finish inside any budget; the
+   result marks this and latency is reported over the delivered subset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.network.config import NetworkConfig
+from repro.network.network import Network
+from repro.sim.stats import StatsCollector
+from repro.traffic.injector import TrafficInjector
+from repro.traffic.patterns import TrafficPattern, make_pattern
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    allocator: str
+    topology: str
+    injection_rate: float
+    packet_length: int
+    avg_latency: float
+    throughput_flits: float
+    throughput_packets_per_node: float
+    fairness: float
+    packets_created: int
+    packets_ejected: int
+    drained: bool
+    cycles: int
+    per_source_ejected: list[int] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_flits_per_node(self) -> float:
+        """Accepted throughput in flits/cycle/node."""
+        n = len(self.per_source_ejected) or 1
+        return self.throughput_flits / n
+
+
+class Simulation:
+    """One network + injector + stats run."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        *,
+        pattern: TrafficPattern | str = "uniform",
+        injection_rate: float = 0.1,
+        packet_length: int | None = None,
+        seed: int = 1,
+        burst_length: float = 1.0,
+    ) -> None:
+        self.config = config
+        self.network = Network(config)
+        if isinstance(pattern, str):
+            pattern = make_pattern(pattern, config.num_terminals)
+        self.pattern = pattern
+        self.injector = TrafficInjector(
+            self.network,
+            pattern,
+            injection_rate,
+            packet_length=packet_length,
+            seed=seed,
+            burst_length=burst_length,
+        )
+        self.stats = StatsCollector(config.num_terminals)
+        self.network.stats = self.stats
+        self.injector.stats = self.stats
+
+    def _step(self) -> None:
+        self.injector.tick(self.network.cycle)
+        self.network.step()
+
+    def run(
+        self,
+        warmup: int = 1000,
+        measure: int = 3000,
+        drain_limit: int | None = None,
+    ) -> SimulationResult:
+        """Run the three-phase simulation and return its summary."""
+        if warmup < 0 or measure <= 0:
+            raise ValueError("warmup must be >= 0 and measure > 0")
+        if drain_limit is None:
+            drain_limit = max(2000, 2 * measure)
+        for _ in range(warmup):
+            self._step()
+        start = self.network.cycle
+        self.stats.open_window(start, start + measure)
+        for _ in range(measure):
+            self._step()
+        drained_cycles = 0
+        while self.stats.outstanding and drained_cycles < drain_limit:
+            self._step()
+            drained_cycles += 1
+        stats = self.stats
+        return SimulationResult(
+            allocator=self.config.router.allocator,
+            topology=self.config.topology,
+            injection_rate=self.injector.rate,
+            packet_length=self.injector.packet_length,
+            avg_latency=stats.avg_latency(),
+            throughput_flits=stats.throughput_flits_per_cycle(),
+            throughput_packets_per_node=stats.throughput_packets_per_node(),
+            fairness=stats.fairness_max_min_ratio(),
+            packets_created=stats.packets_created,
+            packets_ejected=stats.packets_ejected,
+            drained=stats.outstanding == 0,
+            cycles=self.network.cycle,
+            per_source_ejected=list(stats.per_source_ejected),
+            counters=self.network.counters.snapshot(),
+        )
+
+
+def run_simulation(
+    config: NetworkConfig,
+    *,
+    pattern: TrafficPattern | str = "uniform",
+    injection_rate: float = 0.1,
+    packet_length: int | None = None,
+    seed: int = 1,
+    warmup: int = 1000,
+    measure: int = 3000,
+    drain_limit: int | None = None,
+    burst_length: float = 1.0,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulation`."""
+    sim = Simulation(
+        config,
+        pattern=pattern,
+        injection_rate=injection_rate,
+        packet_length=packet_length,
+        seed=seed,
+        burst_length=burst_length,
+    )
+    return sim.run(warmup=warmup, measure=measure, drain_limit=drain_limit)
+
+
+def saturation_throughput(
+    config: NetworkConfig,
+    *,
+    pattern: TrafficPattern | str = "uniform",
+    packet_length: int | None = None,
+    seed: int = 1,
+    warmup: int = 1000,
+    measure: int = 3000,
+) -> SimulationResult:
+    """Accepted throughput with every source saturated (rate = 1)."""
+    return run_simulation(
+        config,
+        pattern=pattern,
+        injection_rate=1.0,
+        packet_length=packet_length,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain_limit=0,
+    )
+
+
+def is_saturated(result: SimulationResult) -> bool:
+    """Heuristic saturation test: latency diverged or measured packets lost."""
+    return (not result.drained) or math.isnan(result.avg_latency)

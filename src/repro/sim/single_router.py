@@ -1,0 +1,119 @@
+"""Single-router switch-allocation efficiency harness (paper Section 4.2).
+
+This isolates the allocators from topology effects: one radix-P router,
+every input VC permanently backlogged with packets whose output ports are
+drawn uniformly at random, no credit or buffer limits downstream.  The
+measured metric is crossbar throughput in flits/cycle — at best ``P`` for a
+radix-P router — exactly the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import RequestMatrix, make_allocator, validate_grants
+
+
+@dataclass
+class SingleRouterResult:
+    """Outcome of one single-router saturation run."""
+
+    allocator: str
+    radix: int
+    num_vcs: int
+    virtual_inputs: int
+    packet_length: int
+    cycles: int
+    flits_transferred: int
+
+    @property
+    def throughput(self) -> float:
+        """Average flits/cycle through the crossbar."""
+        return self.flits_transferred / self.cycles if self.cycles else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Throughput as a fraction of the radix (ideal upper bound)."""
+        return self.throughput / self.radix
+
+
+class SingleRouterExperiment:
+    """Saturated single-router testbench."""
+
+    def __init__(
+        self,
+        allocator: str,
+        radix: int = 5,
+        num_vcs: int = 6,
+        *,
+        virtual_inputs: int = 2,
+        packet_length: int = 1,
+        seed: int = 1,
+        validate: bool = False,
+    ) -> None:
+        if radix < 2:
+            raise ValueError(f"radix must be >= 2, got {radix}")
+        if packet_length < 1:
+            raise ValueError(f"packet_length must be >= 1, got {packet_length}")
+        self.allocator_name = allocator
+        self.radix = radix
+        self.num_vcs = num_vcs
+        self.packet_length = packet_length
+        self.validate = validate
+        self.allocator = make_allocator(
+            allocator, radix, radix, num_vcs, virtual_inputs=virtual_inputs
+        )
+        self.rng = random.Random(seed)
+        # Backlogged VC state: (remaining flits, requested output).
+        self._remaining = [[0] * num_vcs for _ in range(radix)]
+        self._out = [[0] * num_vcs for _ in range(radix)]
+        for p in range(radix):
+            for v in range(num_vcs):
+                self._new_packet(p, v)
+        self._matrix = RequestMatrix(radix, radix, num_vcs)
+
+    def _new_packet(self, port: int, vc: int) -> None:
+        self._remaining[port][vc] = self.packet_length
+        self._out[port][vc] = self.rng.randrange(self.radix)
+
+    def step(self) -> int:
+        """Run one allocation cycle; returns flits transferred."""
+        matrix = self._matrix
+        matrix.clear()
+        for p in range(self.radix):
+            rem = self._remaining[p]
+            out = self._out[p]
+            for v in range(self.num_vcs):
+                matrix.add(p, v, out[v], tail=rem[v] == 1)
+        grants = self.allocator.allocate(matrix)
+        if self.validate:
+            limit = self.allocator.max_grants_per_input_port
+            validate_grants(
+                matrix,
+                grants,
+                max_per_input_port=limit,
+                virtual_inputs=self.allocator.virtual_inputs,
+            )
+        for g in grants:
+            self._remaining[g.in_port][g.vc] -= 1
+            if self._remaining[g.in_port][g.vc] == 0:
+                self._new_packet(g.in_port, g.vc)
+        return len(grants)
+
+    def run(self, cycles: int = 2000) -> SingleRouterResult:
+        """Run the saturated router for ``cycles`` and summarize."""
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        flits = 0
+        for _ in range(cycles):
+            flits += self.step()
+        return SingleRouterResult(
+            allocator=self.allocator_name,
+            radix=self.radix,
+            num_vcs=self.num_vcs,
+            virtual_inputs=self.allocator.virtual_inputs,
+            packet_length=self.packet_length,
+            cycles=cycles,
+            flits_transferred=flits,
+        )

@@ -1,0 +1,118 @@
+"""Measurement-window statistics.
+
+The collector observes packet creation and ejection events from the network
+and records, for a configurable measurement window:
+
+* packet latency (source-queue entry to tail ejection) for packets *created*
+  inside the window — the standard steady-state sampling methodology;
+* accepted throughput: flits and packets ejected inside the window;
+* per-source-node delivered packets, from which the paper's Figure 9
+  fairness metric (max/min node throughput) is computed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.flit import Packet
+
+
+class StatsCollector:
+    """Observer attached to a :class:`~repro.network.network.Network`."""
+
+    def __init__(self, num_terminals: int) -> None:
+        self.num_terminals = num_terminals
+        self.window_start = -1
+        self.window_end = -1
+        self.latencies: list[int] = []
+        self.flits_ejected = 0
+        self.packets_ejected = 0
+        self.packets_created = 0
+        self.per_source_ejected = [0] * num_terminals
+        self.per_source_created = [0] * num_terminals
+        self._outstanding: set[int] = set()
+
+    # --- window control ----------------------------------------------------
+
+    def open_window(self, start: int, end: int) -> None:
+        """Begin measuring packets created (and traffic ejected) in [start, end)."""
+        if end <= start:
+            raise ValueError(f"empty measurement window [{start}, {end})")
+        self.window_start = start
+        self.window_end = end
+
+    def _in_window(self, cycle: int) -> bool:
+        return self.window_start <= cycle < self.window_end
+
+    @property
+    def outstanding(self) -> int:
+        """Measured packets still in flight (drain criterion)."""
+        return len(self._outstanding)
+
+    # --- event hooks ------------------------------------------------------
+
+    def on_packet_created(self, packet: Packet) -> None:
+        if self._in_window(packet.created_cycle):
+            self.packets_created += 1
+            self.per_source_created[packet.src] += 1
+            self._outstanding.add(packet.pid)
+
+    def on_flit_ejected(self, terminal: int, cycle: int) -> None:
+        if self._in_window(cycle):
+            self.flits_ejected += 1
+
+    def on_packet_ejected(self, packet: Packet, cycle: int) -> None:
+        if self._in_window(cycle):
+            self.packets_ejected += 1
+            self.per_source_ejected[packet.src] += 1
+        if packet.pid in self._outstanding:
+            self._outstanding.discard(packet.pid)
+            self.latencies.append(cycle - packet.created_cycle)
+
+    # --- derived metrics ------------------------------------------------------
+
+    @property
+    def window_cycles(self) -> int:
+        return max(0, self.window_end - self.window_start)
+
+    def avg_latency(self) -> float:
+        """Mean packet latency over measured (created-in-window) packets."""
+        if not self.latencies:
+            return math.nan
+        return sum(self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] over measured packets."""
+        if not self.latencies:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        data = sorted(self.latencies)
+        idx = min(len(data) - 1, int(round(q / 100 * (len(data) - 1))))
+        return float(data[idx])
+
+    def throughput_flits_per_cycle(self) -> float:
+        """Accepted throughput in flits/cycle (network total)."""
+        if self.window_cycles == 0:
+            return math.nan
+        return self.flits_ejected / self.window_cycles
+
+    def throughput_packets_per_node(self) -> float:
+        """Accepted throughput in packets/cycle/node."""
+        if self.window_cycles == 0:
+            return math.nan
+        return self.packets_ejected / self.window_cycles / self.num_terminals
+
+    def fairness_max_min_ratio(self) -> float:
+        """Figure 9 metric: max over min per-source delivered packets.
+
+        ``inf`` when some source delivered nothing during the window (the
+        degenerate unfairness case).
+        """
+        if not any(self.per_source_ejected):
+            return math.nan
+        lo = min(self.per_source_ejected)
+        hi = max(self.per_source_ejected)
+        if lo == 0:
+            return math.inf
+        return hi / lo

@@ -1,0 +1,137 @@
+"""Load sweeps and saturation-point search.
+
+Utilities for the latency-vs-load studies every NoC evaluation runs:
+
+* :func:`latency_sweep` — one simulation per injection rate, returning the
+  (rate, latency, accepted-throughput) series of a Figure-8-style curve;
+* :func:`find_saturation_rate` — bisection search for the injection rate at
+  which the network stops accepting its offered load (the knee of the
+  curve), a scalar that makes allocator comparisons one-number simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import NetworkConfig
+from repro.sim.engine import SimulationResult, run_simulation
+from repro.traffic.patterns import TrafficPattern
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a latency/throughput-vs-load curve."""
+
+    injection_rate: float
+    avg_latency: float
+    accepted_packets_per_node: float
+    drained: bool
+
+
+def latency_sweep(
+    config: NetworkConfig,
+    rates: tuple[float, ...],
+    *,
+    pattern: TrafficPattern | str = "uniform",
+    seed: int = 1,
+    warmup: int = 1000,
+    measure: int = 3000,
+) -> list[SweepPoint]:
+    """Simulate every rate in ``rates`` and collect the curve."""
+    if not rates:
+        raise ValueError("need at least one injection rate")
+    points = []
+    for rate in rates:
+        if rate < 0:
+            raise ValueError(f"injection rate must be >= 0, got {rate}")
+        res = run_simulation(
+            config,
+            pattern=pattern,
+            injection_rate=rate,
+            seed=seed,
+            warmup=warmup,
+            measure=measure,
+        )
+        points.append(_to_point(res))
+    return points
+
+
+def _to_point(res: SimulationResult) -> SweepPoint:
+    return SweepPoint(
+        injection_rate=res.injection_rate,
+        avg_latency=res.avg_latency,
+        accepted_packets_per_node=res.throughput_packets_per_node,
+        drained=res.drained,
+    )
+
+
+def _accepts_load(
+    config: NetworkConfig,
+    rate: float,
+    *,
+    pattern: TrafficPattern | str,
+    seed: int,
+    warmup: int,
+    measure: int,
+    acceptance: float,
+) -> bool:
+    """True when the network delivers >= ``acceptance`` of its offered load
+    and every measured packet drains."""
+    res = run_simulation(
+        config,
+        pattern=pattern,
+        injection_rate=rate,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+    )
+    if not res.drained:
+        return False
+    return res.throughput_packets_per_node >= acceptance * rate
+
+
+def find_saturation_rate(
+    config: NetworkConfig,
+    *,
+    pattern: TrafficPattern | str = "uniform",
+    low: float = 0.0,
+    high: float = 0.5,
+    tolerance: float = 0.005,
+    acceptance: float = 0.95,
+    seed: int = 1,
+    warmup: int = 500,
+    measure: int = 1500,
+) -> float:
+    """Bisect for the highest injection rate the network still sustains.
+
+    A rate is "sustained" when accepted throughput stays within
+    ``acceptance`` of the offered load and all measured packets drain.
+    Returns the midpoint of the final bracket (packets/cycle/node).
+    """
+    if not 0 <= low < high:
+        raise ValueError(f"need 0 <= low < high, got [{low}, {high}]")
+    if not 0 < tolerance < high - low:
+        raise ValueError(f"tolerance {tolerance} out of range")
+    if not 0 < acceptance <= 1:
+        raise ValueError(f"acceptance must be in (0, 1], got {acceptance}")
+
+    kwargs = dict(
+        pattern=pattern,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        acceptance=acceptance,
+    )
+    # Ensure the bracket actually straddles the knee.
+    if not _accepts_load(config, max(low, tolerance), **kwargs):
+        return low
+    if _accepts_load(config, high, **kwargs):
+        return high
+    lo, hi = max(low, tolerance), high
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if _accepts_load(config, mid, **kwargs):
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

@@ -1,0 +1,21 @@
+"""Calibrated circuit delay models (Tables 1 and 3 of the paper)."""
+
+from .delay_model import (
+    WAVEFRONT_OVERHEAD,
+    RouterDelays,
+    allocator_delay,
+    crossbar_delay,
+    router_delays,
+    sa_stage_delay,
+    va_stage_delay,
+)
+
+__all__ = [
+    "RouterDelays",
+    "WAVEFRONT_OVERHEAD",
+    "allocator_delay",
+    "crossbar_delay",
+    "router_delays",
+    "sa_stage_delay",
+    "va_stage_delay",
+]

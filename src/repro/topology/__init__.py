@@ -1,0 +1,73 @@
+"""Network topologies: mesh, concentrated mesh, flattened butterfly.
+
+All three of the paper's 64-terminal configurations are available through
+:func:`make_topology`:
+
+* ``"mesh"``  — 8x8 mesh, radix-5 routers;
+* ``"cmesh"`` — 4x4 concentrated mesh (4:1), radix-8 routers;
+* ``"fbfly"`` — 4x4 flattened butterfly (4:1), radix-10 routers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import LinkSpec, Topology
+from .cmesh import CMeshTopology
+from .flattened_butterfly import FlattenedButterflyTopology
+from .mesh import MeshTopology
+from .torus import TorusTopology
+
+TOPOLOGY_NAMES = ("mesh", "cmesh", "fbfly", "torus")
+
+
+def make_topology(name: str, num_terminals: int = 64) -> Topology:
+    """Build one of the paper's topologies scaled to ``num_terminals``.
+
+    ``num_terminals`` must be a square (mesh) or 4x a square (cmesh/fbfly
+    with the paper's 4:1 concentration).
+    """
+    key = name.strip().lower()
+    if key == "mesh":
+        side = math.isqrt(num_terminals)
+        if side * side != num_terminals:
+            raise ValueError(f"mesh needs a square terminal count, got {num_terminals}")
+        return MeshTopology(side, side)
+    if key == "cmesh":
+        if num_terminals % 4 != 0:
+            raise ValueError(f"cmesh (4:1) needs terminals divisible by 4, got {num_terminals}")
+        side = math.isqrt(num_terminals // 4)
+        if side * side * 4 != num_terminals:
+            raise ValueError(
+                f"cmesh (4:1) needs 4*k^2 terminals, got {num_terminals}"
+            )
+        return CMeshTopology(side, side, concentration=4)
+    if key == "torus":
+        side = math.isqrt(num_terminals)
+        if side * side != num_terminals:
+            raise ValueError(
+                f"torus needs a square terminal count, got {num_terminals}"
+            )
+        return TorusTopology(side, side)
+    if key == "fbfly":
+        if num_terminals % 4 != 0:
+            raise ValueError(f"fbfly (4:1) needs terminals divisible by 4, got {num_terminals}")
+        side = math.isqrt(num_terminals // 4)
+        if side * side * 4 != num_terminals:
+            raise ValueError(
+                f"fbfly (4:1) needs 4*k^2 terminals, got {num_terminals}"
+            )
+        return FlattenedButterflyTopology(side, side, concentration=4)
+    raise ValueError(f"unknown topology {name!r}; expected one of {TOPOLOGY_NAMES}")
+
+
+__all__ = [
+    "CMeshTopology",
+    "FlattenedButterflyTopology",
+    "LinkSpec",
+    "MeshTopology",
+    "TOPOLOGY_NAMES",
+    "Topology",
+    "TorusTopology",
+    "make_topology",
+]

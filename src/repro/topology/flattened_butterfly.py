@@ -1,0 +1,123 @@
+"""Flattened butterfly (FBfly) topology — Kim, Balfour & Dally, MICRO 2007.
+
+Routers are arranged in a grid with concentration ``c``; every router has a
+direct (express) channel to *every* other router in its row and in its
+column.  The paper's 64-terminal FBfly is a 4x4 router grid with 4:1
+concentration: radix = 4 locals + 3 row peers + 3 column peers = 10.
+
+Port numbering for a ``width x height`` grid with concentration ``c``:
+
+* ``0..c-1`` — local (terminal) ports;
+* ``c .. c+width-2`` — row (X-dimension) ports, one per other column, in
+  ascending column order skipping the router's own column;
+* ``c+width-1 .. c+width+height-3`` — column (Y-dimension) ports, one per
+  other row, ascending and skipping the router's own row.
+
+DOR crosses the X dimension in one express hop, then Y — at most two hops
+between any pair of routers.
+"""
+
+from __future__ import annotations
+
+from repro.routing.dor import fbfly_hops, fbfly_next_dimension
+
+from .base import Topology
+
+
+class FlattenedButterflyTopology(Topology):
+    """Flattened butterfly on a ``width x height`` router grid."""
+
+    name = "fbfly"
+
+    def __init__(self, width: int = 4, height: int = 4, concentration: int = 4) -> None:
+        if width < 2 or height < 2:
+            raise ValueError(f"fbfly needs width, height >= 2; got {width}x{height}")
+        if concentration < 1:
+            raise ValueError(f"concentration must be >= 1, got {concentration}")
+        self.width = width
+        self.height = height
+        self.concentration = concentration
+        self.num_routers = width * height
+        self.num_terminals = self.num_routers * concentration
+        self.radix = concentration + (width - 1) + (height - 1)
+        self._row_base = concentration
+        self._col_base = concentration + (width - 1)
+
+    def coords(self, router: int) -> tuple[int, int]:
+        """Grid coordinates ``(x, y)`` of a router."""
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+        return router % self.width, router // self.width
+
+    def router_at(self, x: int, y: int) -> int:
+        """Router id at grid coordinates."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} fbfly")
+        return y * self.width + x
+
+    def row_port(self, router: int, dst_col: int) -> int:
+        """Port at ``router`` that reaches column ``dst_col`` in its row."""
+        x, _ = self.coords(router)
+        if dst_col == x:
+            raise ValueError("no row port to the router's own column")
+        if not 0 <= dst_col < self.width:
+            raise ValueError(f"column {dst_col} out of range")
+        index = dst_col if dst_col < x else dst_col - 1
+        return self._row_base + index
+
+    def col_port(self, router: int, dst_row: int) -> int:
+        """Port at ``router`` that reaches row ``dst_row`` in its column."""
+        _, y = self.coords(router)
+        if dst_row == y:
+            raise ValueError("no column port to the router's own row")
+        if not 0 <= dst_row < self.height:
+            raise ValueError(f"row {dst_row} out of range")
+        index = dst_row if dst_row < y else dst_row - 1
+        return self._col_base + index
+
+    def neighbor(self, router: int, port: int) -> tuple[int, int] | None:
+        if self.is_local_port(port):
+            return None
+        x, y = self.coords(router)
+        if self._row_base <= port < self._col_base:
+            index = port - self._row_base
+            dst_col = index if index < x else index + 1
+            dst = self.router_at(dst_col, y)
+            return dst, self.row_port(dst, x)
+        if self._col_base <= port < self.radix:
+            index = port - self._col_base
+            dst_row = index if index < y else index + 1
+            dst = self.router_at(x, dst_row)
+            return dst, self.col_port(dst, y)
+        raise ValueError(f"port {port} out of range for radix-{self.radix} router")
+
+    def router_of(self, terminal: int) -> tuple[int, int]:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return terminal // self.concentration, terminal % self.concentration
+
+    def route(self, router: int, dst_terminal: int) -> int:
+        dst_router, local = self.router_of(dst_terminal)
+        cx, cy = self.coords(router)
+        dx, dy = self.coords(dst_router)
+        hop = fbfly_next_dimension(cx, cy, dx, dy)
+        if hop is None:
+            return local
+        dim, target = hop
+        if dim == 0:
+            return self.row_port(router, target)
+        return self.col_port(router, target)
+
+    def port_direction_class(self, port: int) -> int | None:
+        if self.is_local_port(port):
+            return None
+        if self._row_base <= port < self._col_base:
+            return 0
+        if self._col_base <= port < self.radix:
+            return 1
+        raise ValueError(f"port {port} out of range for radix-{self.radix} router")
+
+    def min_hops(self, src_terminal: int, dst_terminal: int) -> int:
+        sx, sy = self.coords(self.router_of(src_terminal)[0])
+        dx, dy = self.coords(self.router_of(dst_terminal)[0])
+        return fbfly_hops(sx, sy, dx, dy)

@@ -1,0 +1,190 @@
+"""2D torus topology with dateline VC classes (library extension).
+
+The paper evaluates mesh, CMesh and FBfly; a torus is the natural fourth
+member of the family and is included as an extension.  Wraparound links
+make minimal DOR routing non-deadlock-free on their own: each ring forms a
+cyclic channel dependency.  The standard fix (Dally & Towles ch. 13) is
+*dateline* VC classes — a packet travels in VC class 0 until its ring
+traversal crosses the wrap link, then must use class 1, which breaks the
+cycle.  VC classes interleave over the VC indices (``vc % 2``), so they
+compose with VIX's contiguous virtual-input sub-groups: every sub-group
+contains VCs of both classes.
+
+Because routing is deterministic, a packet's class at any router is a pure
+function of (source, destination, position); the topology exposes it via
+:meth:`allowed_vcs`, which the router's VC allocator uses to filter
+candidate downstream VCs.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+PORT_LOCAL = 0
+PORT_EAST = 1
+PORT_WEST = 2
+PORT_NORTH = 3
+PORT_SOUTH = 4
+
+_OPPOSITE = {
+    PORT_EAST: PORT_WEST,
+    PORT_WEST: PORT_EAST,
+    PORT_NORTH: PORT_SOUTH,
+    PORT_SOUTH: PORT_NORTH,
+}
+
+
+def _ring_direction(src: int, dst: int, size: int) -> int:
+    """Minimal direction on a ring: +1 (increasing) or -1; ties go +1."""
+    delta = (dst - src) % size
+    if delta == 0:
+        raise ValueError("no travel needed")
+    return 1 if delta <= size // 2 else -1
+
+
+def _ring_crossed_wrap(src: int, cur: int, dst: int, size: int) -> bool:
+    """Has minimal travel ``src -> dst`` crossed the wrap link by ``cur``?
+
+    The wrap link is ``size-1 -> 0`` when travelling in the increasing
+    direction and ``0 -> size-1`` in the decreasing direction.
+    """
+    direction = _ring_direction(src, dst, size)
+    if direction > 0:
+        steps = (cur - src) % size
+        return src + steps >= size
+    steps = (src - cur) % size
+    return steps > src
+
+
+class TorusTopology(Topology):
+    """``width x height`` 2D torus, one terminal per radix-5 router."""
+
+    name = "torus"
+
+    #: VC classes needed for deadlock freedom on the rings.
+    num_vc_classes = 2
+
+    def __init__(self, width: int = 8, height: int = 8) -> None:
+        if width < 3 or height < 3:
+            raise ValueError(
+                f"torus needs width, height >= 3 (wrap links are degenerate "
+                f"below that); got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self.num_routers = width * height
+        self.num_terminals = self.num_routers
+        self.concentration = 1
+        self.radix = 5
+
+    def coords(self, router: int) -> tuple[int, int]:
+        """Grid coordinates ``(x, y)``; y grows southward."""
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+        return router % self.width, router // self.width
+
+    def router_at(self, x: int, y: int) -> int:
+        """Router id at (wrapped) grid coordinates."""
+        return (y % self.height) * self.width + (x % self.width)
+
+    def neighbor(self, router: int, port: int) -> tuple[int, int] | None:
+        if port == PORT_LOCAL:
+            return None
+        x, y = self.coords(router)
+        if port == PORT_EAST:
+            return self.router_at(x + 1, y), _OPPOSITE[port]
+        if port == PORT_WEST:
+            return self.router_at(x - 1, y), _OPPOSITE[port]
+        if port == PORT_NORTH:
+            return self.router_at(x, y - 1), _OPPOSITE[port]
+        if port == PORT_SOUTH:
+            return self.router_at(x, y + 1), _OPPOSITE[port]
+        raise ValueError(f"port {port} out of range for radix-5 torus router")
+
+    def router_of(self, terminal: int) -> tuple[int, int]:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return terminal, PORT_LOCAL
+
+    def route(self, router: int, dst_terminal: int) -> int:
+        dst_router, _ = self.router_of(dst_terminal)
+        cx, cy = self.coords(router)
+        dx, dy = self.coords(dst_router)
+        if cx != dx:
+            direction = _ring_direction(cx, dx, self.width)
+            return PORT_EAST if direction > 0 else PORT_WEST
+        if cy != dy:
+            direction = _ring_direction(cy, dy, self.height)
+            return PORT_SOUTH if direction > 0 else PORT_NORTH
+        return PORT_LOCAL
+
+    def port_direction_class(self, port: int) -> int | None:
+        if port == PORT_LOCAL:
+            return None
+        if port in (PORT_EAST, PORT_WEST):
+            return 0
+        if port in (PORT_NORTH, PORT_SOUTH):
+            return 1
+        raise ValueError(f"port {port} out of range for radix-5 torus router")
+
+    def min_hops(self, src_terminal: int, dst_terminal: int) -> int:
+        sx, sy = self.coords(self.router_of(src_terminal)[0])
+        dx, dy = self.coords(self.router_of(dst_terminal)[0])
+        ring_x = min((dx - sx) % self.width, (sx - dx) % self.width)
+        ring_y = min((dy - sy) % self.height, (sy - dy) % self.height)
+        return ring_x + ring_y
+
+    # --- dateline VC classes -------------------------------------------------
+
+    def vc_class_at(
+        self,
+        router: int,
+        src_terminal: int,
+        dst_terminal: int,
+        via_dim: int,
+    ) -> int:
+        """Dateline class of the VC a packet occupies at ``router``.
+
+        The class belongs to the **ring that delivered the packet**:
+        ``via_dim`` is 0 when the packet entered ``router`` over an
+        X-dimension channel, 1 for Y.  This matters at the dimension-turn
+        router: the packet sits in an X-ring buffer there, so the X
+        dateline discipline must keep applying even though its next hop is
+        in Y — classifying by the *next* hop instead re-opens the X-ring
+        cycle at the wrap column (a deadlock we regression-test against).
+        """
+        sx, sy = self.coords(self.router_of(src_terminal)[0])
+        dx, dy = self.coords(self.router_of(dst_terminal)[0])
+        cx, cy = self.coords(router)
+        if via_dim == 0:
+            if sx == dx:
+                return 0  # no X travel happened; vacuous
+            return 1 if _ring_crossed_wrap(sx, cx, dx, self.width) else 0
+        if via_dim == 1:
+            if sy == dy:
+                return 0
+            return 1 if _ring_crossed_wrap(sy, cy, dy, self.height) else 0
+        raise ValueError(f"via_dim must be 0 (X) or 1 (Y), got {via_dim}")
+
+    def allowed_vcs(
+        self, router: int, out_port: int, src_terminal: int, dst_terminal: int, num_vcs: int
+    ) -> list[int] | None:
+        """Downstream VCs the packet may occupy after crossing ``out_port``.
+
+        VC classes interleave over indices: class ``c`` owns the VCs with
+        ``vc % 2 == c``.  The class is the dateline state of the ring the
+        hop travels on (``out_port``'s dimension) evaluated at the
+        downstream router.  Returns ``None`` (no restriction) for ejection.
+        """
+        if self.is_local_port(out_port):
+            return None
+        if num_vcs < self.num_vc_classes:
+            raise ValueError(
+                f"torus dateline routing needs >= {self.num_vc_classes} VCs, "
+                f"got {num_vcs}"
+            )
+        dim = self.port_direction_class(out_port)
+        assert dim is not None
+        downstream = self.neighbor(router, out_port)[0]
+        cls = self.vc_class_at(downstream, src_terminal, dst_terminal, via_dim=dim)
+        return [vc for vc in range(num_vcs) if vc % 2 == cls]

@@ -1,0 +1,31 @@
+"""Traffic generation: synthetic patterns and open-loop injection."""
+
+from .injector import TrafficInjector
+from .patterns import (
+    PATTERN_NAMES,
+    BitComplement,
+    BitReverse,
+    Hotspot,
+    Neighbor,
+    Shuffle,
+    Tornado,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+
+__all__ = [
+    "BitComplement",
+    "BitReverse",
+    "Hotspot",
+    "Neighbor",
+    "PATTERN_NAMES",
+    "Shuffle",
+    "Tornado",
+    "TrafficInjector",
+    "TrafficPattern",
+    "Transpose",
+    "UniformRandom",
+    "make_pattern",
+]

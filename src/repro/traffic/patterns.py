@@ -1,0 +1,248 @@
+"""Synthetic traffic patterns.
+
+The paper's statistical evaluation uses uniform random traffic; the classic
+adversarial permutations (Dally & Towles, ch. 3.2) are provided as well —
+Section 2.3 argues the VIX VC-assignment policy helps specifically under
+adversarial patterns, and the extension benches use them.
+
+A pattern maps a source terminal to a destination terminal.  Stochastic
+patterns (uniform, hotspot) draw from the supplied RNG; permutations are
+deterministic functions of the source.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class TrafficPattern(ABC):
+    """Destination generator for one network size."""
+
+    name: str = "base"
+
+    def __init__(self, num_terminals: int) -> None:
+        if num_terminals < 2:
+            raise ValueError(f"need >= 2 terminals, got {num_terminals}")
+        self.num_terminals = num_terminals
+
+    @abstractmethod
+    def destination(self, src: int, rng: random.Random) -> int:
+        """Destination terminal for a packet injected at ``src``."""
+
+    def distribution(self, src: int) -> dict[int, float] | None:
+        """Exact destination distribution for ``src`` (probabilities
+        summing to 1), or ``None`` when unknown.  Used by the analytic
+        channel-load bounds in :mod:`repro.analysis`."""
+        return None
+
+    def _check_src(self, src: int) -> None:
+        if not 0 <= src < self.num_terminals:
+            raise ValueError(f"source {src} out of range 0..{self.num_terminals - 1}")
+
+
+class UniformRandom(TrafficPattern):
+    """Each packet targets a terminal drawn uniformly (self excluded)."""
+
+    name = "uniform"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        dst = rng.randrange(self.num_terminals - 1)
+        return dst if dst < src else dst + 1
+
+    def distribution(self, src: int) -> dict[int, float]:
+        self._check_src(src)
+        p = 1.0 / (self.num_terminals - 1)
+        return {d: p for d in range(self.num_terminals) if d != src}
+
+
+class _Permutation(TrafficPattern):
+    """Base for deterministic (permutation) patterns."""
+
+    def distribution(self, src: int) -> dict[int, float]:
+        return {self.destination(src, random.Random(0)): 1.0}
+
+
+class _BitPermutation(_Permutation):
+    """Base for permutations defined on the terminal-id bit string."""
+
+    def __init__(self, num_terminals: int) -> None:
+        super().__init__(num_terminals)
+        if num_terminals & (num_terminals - 1):
+            raise ValueError(
+                f"{self.name} needs a power-of-two terminal count, got {num_terminals}"
+            )
+        self.bits = num_terminals.bit_length() - 1
+
+
+class BitComplement(_BitPermutation):
+    """dst = ~src (every bit complemented)."""
+
+    name = "bit_complement"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        return src ^ (self.num_terminals - 1)
+
+
+class BitReverse(_BitPermutation):
+    """dst = reverse of src's bit string."""
+
+    name = "bit_reverse"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        out = 0
+        for i in range(self.bits):
+            if src & (1 << i):
+                out |= 1 << (self.bits - 1 - i)
+        return out
+
+
+class Shuffle(_BitPermutation):
+    """dst = src rotated left by one bit (perfect shuffle)."""
+
+    name = "shuffle"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        top = (src >> (self.bits - 1)) & 1
+        return ((src << 1) | top) & (self.num_terminals - 1)
+
+
+class Transpose(_Permutation):
+    """(x, y) -> (y, x) on a square grid of terminals."""
+
+    name = "transpose"
+
+    def __init__(self, num_terminals: int) -> None:
+        super().__init__(num_terminals)
+        side = int(round(num_terminals**0.5))
+        if side * side != num_terminals:
+            raise ValueError(
+                f"transpose needs a square terminal count, got {num_terminals}"
+            )
+        self.side = side
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        x, y = src % self.side, src // self.side
+        return x * self.side + y
+
+
+class Tornado(_Permutation):
+    """(x, y) -> ((x + ceil(side/2) - 1) mod side, y): worst-case for rings,
+    stresses the X dimension on meshes."""
+
+    name = "tornado"
+
+    def __init__(self, num_terminals: int) -> None:
+        super().__init__(num_terminals)
+        side = int(round(num_terminals**0.5))
+        if side * side != num_terminals:
+            raise ValueError(
+                f"tornado needs a square terminal count, got {num_terminals}"
+            )
+        self.side = side
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        x, y = src % self.side, src // self.side
+        nx = (x + (self.side + 1) // 2 - 1) % self.side
+        if nx == x:  # degenerate tiny grid: step one right instead
+            nx = (x + 1) % self.side
+        return y * self.side + nx
+
+
+class Neighbor(_Permutation):
+    """(x, y) -> (x+1 mod side, y): best-case nearest-neighbor traffic."""
+
+    name = "neighbor"
+
+    def __init__(self, num_terminals: int) -> None:
+        super().__init__(num_terminals)
+        side = int(round(num_terminals**0.5))
+        if side * side != num_terminals:
+            raise ValueError(
+                f"neighbor needs a square terminal count, got {num_terminals}"
+            )
+        self.side = side
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        x, y = src % self.side, src // self.side
+        return y * self.side + (x + 1) % self.side
+
+
+class Hotspot(TrafficPattern):
+    """Uniform random, except a fraction of packets target hotspot nodes."""
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        num_terminals: int,
+        hotspots: tuple[int, ...] = (0,),
+        fraction: float = 0.2,
+    ) -> None:
+        super().__init__(num_terminals)
+        if not hotspots:
+            raise ValueError("need at least one hotspot terminal")
+        for h in hotspots:
+            if not 0 <= h < num_terminals:
+                raise ValueError(f"hotspot {h} out of range")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.hotspots = tuple(hotspots)
+        self.fraction = fraction
+        self._uniform = UniformRandom(num_terminals)
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        self._check_src(src)
+        if rng.random() < self.fraction:
+            choices = [h for h in self.hotspots if h != src] or list(self.hotspots)
+            return rng.choice(choices)
+        return self._uniform.destination(src, rng)
+
+    def distribution(self, src: int) -> dict[int, float]:
+        self._check_src(src)
+        dist = {
+            d: (1.0 - self.fraction) * p
+            for d, p in self._uniform.distribution(src).items()
+        }
+        choices = [h for h in self.hotspots if h != src] or list(self.hotspots)
+        share = self.fraction / len(choices)
+        for h in choices:
+            dist[h] = dist.get(h, 0.0) + share
+        return dist
+
+
+PATTERN_NAMES = (
+    "uniform",
+    "bit_complement",
+    "bit_reverse",
+    "shuffle",
+    "transpose",
+    "tornado",
+    "neighbor",
+    "hotspot",
+)
+
+
+def make_pattern(name: str, num_terminals: int, **kwargs: object) -> TrafficPattern:
+    """Build a traffic pattern by name."""
+    classes: dict[str, type[TrafficPattern]] = {
+        "uniform": UniformRandom,
+        "bit_complement": BitComplement,
+        "bit_reverse": BitReverse,
+        "shuffle": Shuffle,
+        "transpose": Transpose,
+        "tornado": Tornado,
+        "neighbor": Neighbor,
+        "hotspot": Hotspot,
+    }
+    key = name.strip().lower()
+    if key not in classes:
+        raise ValueError(f"unknown pattern {name!r}; expected one of {PATTERN_NAMES}")
+    return classes[key](num_terminals, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,115 @@
+"""Tests for the analytic channel-load bounds."""
+
+import pytest
+
+from repro.analysis.bounds import channel_loads, saturation_bound
+from repro.topology import make_topology
+from repro.traffic.patterns import (
+    Hotspot,
+    Neighbor,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+
+
+class TestUniformMeshBound:
+    def test_8x8_mesh_uniform_bisection_bound(self):
+        """Textbook result: DOR uniform random on a k x k mesh is limited
+        by the bisection channels at 0.5 flits/cycle/node... adjusted for
+        self-traffic exclusion."""
+        topo = make_topology("mesh", 64)
+        bound = saturation_bound(topo, UniformRandom(64))
+        # Center X channels carry 4*8*8/2... exact value with self-traffic
+        # excluded is slightly above the 0.5 textbook figure.
+        assert bound == pytest.approx(0.5, rel=0.05)
+
+    def test_bound_is_per_channel_maximum(self):
+        topo = make_topology("mesh", 16)
+        analysis = channel_loads(topo, UniformRandom(16))
+        assert analysis.saturation_bound == pytest.approx(1.0 / analysis.max_load)
+
+    def test_hottest_channels_are_central_x_links(self):
+        topo = make_topology("mesh", 64)
+        analysis = channel_loads(topo, UniformRandom(64))
+        for (router, port), _load in analysis.hottest_channels(4):
+            x, _y = topo.coords(router)
+            assert port in (1, 2)  # East/West
+            assert x in (3, 4)  # the bisection columns
+
+
+class TestPermutationBounds:
+    def test_neighbor_traffic_is_cheap(self):
+        topo = make_topology("mesh", 64)
+        bound = saturation_bound(topo, Neighbor(64))
+        # Every flow is a single hop; each link carries at most one flow.
+        assert bound == pytest.approx(1.0)
+
+    def test_tornado_loads_x_rings(self):
+        topo = make_topology("mesh", 64)
+        bound = saturation_bound(topo, Tornado(64))
+        # 3-hop x-only flows on a mesh row: max 3 overlapping -> 1/3.
+        assert bound == pytest.approx(1 / 3, rel=0.01)
+
+    def test_transpose_bound_below_uniform(self):
+        topo = make_topology("mesh", 64)
+        uniform = saturation_bound(topo, UniformRandom(64))
+        transpose = saturation_bound(topo, Transpose(64))
+        assert transpose < uniform
+
+    def test_hotspot_bound_collapses_with_fraction(self):
+        topo = make_topology("mesh", 64)
+        mild = saturation_bound(topo, Hotspot(64, hotspots=(27,), fraction=0.1))
+        harsh = saturation_bound(topo, Hotspot(64, hotspots=(27,), fraction=0.5))
+        assert harsh < mild
+
+
+class TestCrossTopology:
+    @pytest.mark.parametrize("name", ["mesh", "cmesh", "fbfly", "torus"])
+    def test_bounds_finite_and_positive(self, name):
+        topo = make_topology(name, 64)
+        bound = saturation_bound(topo, UniformRandom(64))
+        assert 0 < bound < 10
+
+    def test_torus_beats_mesh_on_uniform(self):
+        """Wraparound halves the worst channel load."""
+        mesh = saturation_bound(make_topology("mesh", 64), UniformRandom(64))
+        torus = saturation_bound(make_topology("torus", 64), UniformRandom(64))
+        assert torus > mesh * 1.5
+
+    def test_fbfly_has_high_capacity(self):
+        fbfly = saturation_bound(make_topology("fbfly", 64), UniformRandom(64))
+        mesh = saturation_bound(make_topology("mesh", 64), UniformRandom(64))
+        assert fbfly > mesh
+
+
+class TestValidationAgainstSimulation:
+    def test_measured_throughput_below_bound(self):
+        """No allocator may beat the wiring bound; ideal VIX approaches it."""
+        from repro.network.config import paper_config
+        from repro.sim.engine import saturation_throughput
+
+        topo = make_topology("mesh", 64)
+        bound = saturation_bound(topo, UniformRandom(64))
+        for alloc in ("input_first", "ideal_vix"):
+            res = saturation_throughput(
+                paper_config(alloc), seed=3, warmup=400, measure=1200
+            )
+            assert res.throughput_flits_per_node <= bound * 1.02
+        # The ideal allocator gets close to the bound (> 80%).
+        assert res.throughput_flits_per_node > 0.8 * bound
+
+    def test_errors(self):
+        topo = make_topology("mesh", 16)
+        with pytest.raises(ValueError, match="sized for"):
+            channel_loads(topo, UniformRandom(64))
+
+        class NoDist(UniformRandom):
+            def distribution(self, src):
+                return None
+
+        with pytest.raises(ValueError, match="distribution"):
+            channel_loads(topo, NoDist(16))
+        with pytest.raises(ValueError):
+            channel_loads(topo, UniformRandom(16)).hottest_channels(0)

@@ -1,0 +1,107 @@
+"""Cross-allocator property tests (hypothesis).
+
+Every switch allocator, whatever its strategy, must emit grants that
+satisfy its scheme's structural invariants on *any* request matrix, and
+must be work-conserving in the single-requester case.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALLOCATOR_NAMES,
+    canonical_allocator_name,
+    make_allocator,
+    validate_grants,
+)
+from repro.core.requests import RequestMatrix
+
+PORTS = 5
+VCS = 6
+
+
+@st.composite
+def request_matrices(draw):
+    m = RequestMatrix(PORTS, PORTS, VCS)
+    n = draw(st.integers(min_value=0, max_value=PORTS * VCS))
+    for _ in range(n):
+        p = draw(st.integers(0, PORTS - 1))
+        v = draw(st.integers(0, VCS - 1))
+        o = draw(st.integers(0, PORTS - 1))
+        tail = draw(st.booleans())
+        m.add(p, v, o, tail=tail)
+    return m
+
+
+@pytest.mark.parametrize("name", ALLOCATOR_NAMES)
+@given(matrix=request_matrices(), cycles=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_property_grants_respect_scheme_invariants(name, matrix, cycles):
+    alloc = make_allocator(name, PORTS, PORTS, VCS)
+    for _ in range(cycles):  # state carries over; re-offer the same matrix
+        grants = alloc.allocate(matrix)
+        validate_grants(
+            matrix,
+            grants,
+            max_per_input_port=alloc.max_grants_per_input_port,
+            virtual_inputs=alloc.virtual_inputs,
+        )
+
+
+@pytest.mark.parametrize("name", ALLOCATOR_NAMES)
+@given(
+    p=st.integers(0, PORTS - 1),
+    v=st.integers(0, VCS - 1),
+    o=st.integers(0, PORTS - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_lone_request_always_granted(name, p, v, o):
+    """Work conservation: a single request in the router must win."""
+    alloc = make_allocator(name, PORTS, PORTS, VCS)
+    m = RequestMatrix(PORTS, PORTS, VCS)
+    m.add(p, v, o, tail=True)
+    grants = alloc.allocate(m)
+    assert len(grants) == 1
+    assert (grants[0].in_port, grants[0].vc, grants[0].out_port) == (p, v, o)
+
+
+@pytest.mark.parametrize("name", ALLOCATOR_NAMES)
+@given(matrix=request_matrices())
+@settings(max_examples=40, deadline=None)
+def test_property_some_grant_when_requests_exist(name, matrix):
+    """No allocator may return an empty grant set for a non-empty matrix."""
+    alloc = make_allocator(name, PORTS, PORTS, VCS)
+    if matrix.has_requests():
+        assert alloc.allocate(matrix)
+
+
+@given(matrix=request_matrices())
+@settings(max_examples=40, deadline=None)
+def test_property_ideal_dominates_everyone(matrix):
+    """Per-cycle, fresh-state grant count: ideal >= every other scheme."""
+    ideal = make_allocator("ideal_vix", PORTS, PORTS, VCS)
+    best = len(ideal.allocate(matrix))
+    for name in ("input_first", "wavefront", "augmenting_path", "vix"):
+        alloc = make_allocator(name, PORTS, PORTS, VCS)
+        assert len(alloc.allocate(matrix)) <= best
+
+
+@given(matrix=request_matrices())
+@settings(max_examples=40, deadline=None)
+def test_property_ap_dominates_port_level_schemes(matrix):
+    """AP is a maximum port matching: >= IF and WF grant counts (fresh state)."""
+    ap = make_allocator("augmenting_path", PORTS, PORTS, VCS)
+    ap_count = len(ap.allocate(matrix))
+    for name in ("input_first", "wavefront"):
+        alloc = make_allocator(name, PORTS, PORTS, VCS)
+        assert len(alloc.allocate(matrix)) <= ap_count
+
+
+def test_canonical_names_cover_aliases():
+    assert canonical_allocator_name("IF") == "input_first"
+    assert canonical_allocator_name("wf") == "wavefront"
+    assert canonical_allocator_name("AP") == "augmenting_path"
+    assert canonical_allocator_name("Ideal") == "ideal_vix"
+    with pytest.raises(ValueError):
+        canonical_allocator_name("magic")

@@ -1,0 +1,92 @@
+"""Statistical behaviour of the allocator family across load levels.
+
+These tests pin the *curves* rather than single points: how grant counts
+respond to request density, and how the schemes rank at each density.
+They are the unit-level shadow of Figure 7.
+"""
+
+import random
+
+import pytest
+
+from repro.core import make_allocator
+from repro.core.requests import RequestMatrix
+
+PORTS = 5
+VCS = 6
+
+
+def mean_grants(name, density, cycles=400, seed=9):
+    """Average grants/cycle when each VC requests with prob ``density``."""
+    rng = random.Random(seed)
+    alloc = make_allocator(name, PORTS, PORTS, VCS)
+    total = 0
+    for _ in range(cycles):
+        m = RequestMatrix(PORTS, PORTS, VCS)
+        for p in range(PORTS):
+            for v in range(VCS):
+                if rng.random() < density:
+                    m.add(p, v, rng.randrange(PORTS), tail=True)
+        total += len(alloc.allocate(m))
+    return total / cycles
+
+
+DENSITIES = (0.1, 0.3, 0.6, 1.0)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["input_first", "output_first", "wavefront", "augmenting_path",
+     "vix", "ideal_vix"],
+)
+def test_grants_monotone_in_density(name):
+    """More offered requests never reduce average grants.
+
+    (SPAROFLO is deliberately excluded: its load-adaptive mode drops to
+    one request per port near saturation, which is non-monotone by
+    design — covered in test_sparoflo.py.)
+    """
+    curve = [mean_grants(name, d) for d in DENSITIES]
+    for lo, hi in zip(curve, curve[1:]):
+        assert hi >= lo * 0.97  # allow tiny statistical wiggle
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_ranking_stable_across_densities(density):
+    """IF <= VIX <= ideal at every density; AP never beats ideal."""
+    g_if = mean_grants("input_first", density)
+    g_vix = mean_grants("vix", density)
+    g_ap = mean_grants("augmenting_path", density)
+    g_ideal = mean_grants("ideal_vix", density)
+    assert g_if <= g_vix * 1.02
+    assert g_vix <= g_ideal * 1.02
+    assert g_ap <= g_ideal * 1.02
+
+
+def test_ap_optimal_only_at_saturation():
+    """AP achieves the ideal *port-level* matching, but below saturation
+    the input-port constraint (one flit per port) keeps it measurably
+    under ideal VIX — the paper's Section 1 argument at the unit level."""
+    assert mean_grants("augmenting_path", 1.0) == pytest.approx(
+        mean_grants("ideal_vix", 1.0), rel=0.01
+    )
+    mid_ap = mean_grants("augmenting_path", 0.3)
+    mid_ideal = mean_grants("ideal_vix", 0.3)
+    assert mid_ap < mid_ideal * 0.98
+
+
+def test_very_low_density_everything_near_ideal():
+    """With very sparse requests there are few conflicts: all schemes
+    agree (the paper's low-load observation in Fig. 8)."""
+    for name in ("input_first", "wavefront", "vix"):
+        assert mean_grants(name, 0.02) == pytest.approx(
+            mean_grants("ideal_vix", 0.02), rel=0.05
+        )
+
+
+def test_vix_gain_grows_with_density():
+    """The VIX advantage is a high-load phenomenon."""
+    gain_low = mean_grants("vix", 0.1) / mean_grants("input_first", 0.1)
+    gain_high = mean_grants("vix", 1.0) / mean_grants("input_first", 1.0)
+    assert gain_high > gain_low
+    assert gain_high > 1.15

@@ -1,0 +1,168 @@
+"""Unit tests for the arbiter building blocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.arbiter import (
+    FixedPriorityArbiter,
+    MatrixArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+
+
+class TestRoundRobinArbiter:
+    def test_no_requests_returns_none(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.arbitrate([]) is None
+
+    def test_single_request_wins(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([2]) == 2
+
+    def test_pointer_starts_at_zero(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([0, 1, 2, 3]) == 0
+
+    def test_pointer_moves_past_winner(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([0, 1, 2, 3]) == 0
+        assert arb.grant([0, 1, 2, 3]) == 1
+        assert arb.grant([0, 1, 2, 3]) == 2
+        assert arb.grant([0, 1, 2, 3]) == 3
+        assert arb.grant([0, 1, 2, 3]) == 0
+
+    def test_wraps_to_find_requester(self):
+        arb = RoundRobinArbiter(4)
+        arb.update(2)  # pointer now 3
+        assert arb.grant([0, 1]) == 0
+
+    def test_fair_under_sustained_contention(self):
+        arb = RoundRobinArbiter(3)
+        wins = {0: 0, 1: 0, 2: 0}
+        for _ in range(300):
+            wins[arb.grant([0, 1, 2])] += 1
+        assert wins[0] == wins[1] == wins[2] == 100
+
+    def test_arbitrate_does_not_move_pointer(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.arbitrate([1, 2]) == 1
+        assert arb.arbitrate([1, 2]) == 1
+
+    def test_update_out_of_range_rejected(self):
+        arb = RoundRobinArbiter(4)
+        with pytest.raises(ValueError):
+            arb.update(4)
+
+    def test_reset_restores_pointer(self):
+        arb = RoundRobinArbiter(4)
+        arb.grant([3])
+        arb.reset()
+        assert arb.grant([0, 3]) == 0
+
+    def test_rejects_zero_requesters(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+
+class TestFixedPriorityArbiter:
+    def test_lowest_index_always_wins(self):
+        arb = FixedPriorityArbiter(5)
+        for _ in range(10):
+            assert arb.grant([4, 2, 3]) == 2
+
+    def test_unfair_by_design(self):
+        arb = FixedPriorityArbiter(3)
+        wins = [arb.grant([0, 1, 2]) for _ in range(50)]
+        assert all(w == 0 for w in wins)
+
+    def test_empty_requests(self):
+        assert FixedPriorityArbiter(3).arbitrate([]) is None
+
+    def test_out_of_range_requests_ignored(self):
+        arb = FixedPriorityArbiter(3)
+        assert arb.arbitrate([7, -1, 2]) == 2
+
+
+class TestMatrixArbiter:
+    def test_initial_priority_is_index_order(self):
+        arb = MatrixArbiter(4)
+        assert arb.arbitrate([1, 3]) == 1
+
+    def test_winner_becomes_lowest_priority(self):
+        arb = MatrixArbiter(3)
+        assert arb.grant([0, 1, 2]) == 0
+        assert arb.grant([0, 1, 2]) == 1
+        assert arb.grant([0, 1, 2]) == 2
+        assert arb.grant([0, 1, 2]) == 0
+
+    def test_least_recently_granted_wins(self):
+        arb = MatrixArbiter(3)
+        arb.grant([0])
+        arb.grant([0])
+        # 1 and 2 have not been granted; 1 ranked above 2 initially.
+        assert arb.grant([0, 1, 2]) == 1
+
+    def test_single_requester_fast_path(self):
+        arb = MatrixArbiter(4)
+        assert arb.arbitrate([3]) == 3
+
+    def test_reset(self):
+        arb = MatrixArbiter(3)
+        arb.grant([0, 1, 2])
+        arb.reset()
+        assert arb.arbitrate([0, 1, 2]) == 0
+
+    def test_fair_under_sustained_contention(self):
+        arb = MatrixArbiter(4)
+        wins = {i: 0 for i in range(4)}
+        for _ in range(400):
+            wins[arb.grant([0, 1, 2, 3])] += 1
+        assert all(count == 100 for count in wins.values())
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("round_robin", RoundRobinArbiter),
+        ("fixed", FixedPriorityArbiter),
+        ("matrix", MatrixArbiter),
+    ])
+    def test_make_arbiter(self, kind, cls):
+        assert isinstance(make_arbiter(kind, 4), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arbiter"):
+            make_arbiter("oracle", 4)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    reqs=st.lists(st.integers(min_value=0, max_value=15), max_size=20),
+    kind=st.sampled_from(["round_robin", "matrix"]),
+)
+def test_property_winner_is_a_requester(n, reqs, kind):
+    """Any grant must come from the requesting set."""
+    arb = make_arbiter(kind, n)
+    valid = [r for r in reqs if r < n]
+    winner = arb.arbitrate(valid)
+    if valid:
+        assert winner in valid
+    else:
+        assert winner is None
+
+
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    rounds=st.integers(min_value=10, max_value=60),
+)
+def test_property_round_robin_starvation_freedom(n, rounds):
+    """Under all-request contention every line wins within n grants."""
+    arb = RoundRobinArbiter(n)
+    last_win = {i: -1 for i in range(n)}
+    everyone = list(range(n))
+    for t in range(rounds * n):
+        winner = arb.grant(everyone)
+        last_win[winner] = t
+    for i, t in last_win.items():
+        assert t >= rounds * n - n, f"line {i} starved"

@@ -1,0 +1,84 @@
+"""Unit tests for the augmenting-path (AP) allocator."""
+
+import random
+
+from repro.core.augmenting import AugmentingPathAllocator
+from repro.core.matching import kuhn_matching, matching_size
+from repro.core.requests import RequestMatrix, validate_grants
+
+
+def matrix_for(alloc):
+    return RequestMatrix(alloc.num_inputs, alloc.num_outputs, alloc.num_vcs)
+
+
+class TestOptimalPortMatching:
+    def test_finds_maximum_matching(self):
+        alloc = AugmentingPathAllocator(3, 3, 2)
+        m = matrix_for(alloc)
+        # port 0 -> {0,1}, port 1 -> {0}: needs an augmenting path for 2.
+        m.add(0, 0, 0)
+        m.add(0, 1, 1)
+        m.add(1, 0, 0)
+        grants = alloc.allocate(m)
+        assert len(grants) == 2
+        assert {(g.in_port, g.out_port) for g in grants} == {(0, 1), (1, 0)}
+
+    def test_matches_kuhn_size_on_random_matrices(self):
+        rng = random.Random(9)
+        alloc = AugmentingPathAllocator(5, 5, 6)
+        for _ in range(200):
+            m = matrix_for(alloc)
+            for i in range(5):
+                for v in range(6):
+                    if rng.random() < 0.35:
+                        m.add(i, v, rng.randrange(5))
+            grants = alloc.allocate(m)
+            validate_grants(m, grants, max_per_input_port=1)
+            adj = [sorted(s) for s in m.port_request_sets()]
+            assert len(grants) == matching_size(kuhn_matching(5, 5, adj))
+
+    def test_input_port_constraint_still_binds(self):
+        """The paper's point: optimal matching cannot beat 1 flit/port."""
+        alloc = AugmentingPathAllocator(5, 5, 6)
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)
+        m.add(0, 1, 2)  # same port, two outputs
+        grants = alloc.allocate(m)
+        assert len(grants) == 1  # output 1 or 2 idles despite a requester
+
+
+class TestDeterministicUnfairness:
+    def test_ties_always_resolve_the_same_way(self):
+        """Fixed-order augmenting is greedy: no rotation across cycles."""
+        alloc = AugmentingPathAllocator(3, 3, 1)
+        winners = set()
+        for _ in range(20):
+            m = matrix_for(alloc)
+            m.add(0, 0, 0)
+            m.add(1, 0, 0)  # ports 0 and 1 fight for output 0 forever
+            grants = alloc.allocate(m)
+            assert len(grants) == 1
+            winners.add(grants[0].in_port)
+        assert winners == {0}  # port 1 starves — the Figure 9 pathology
+
+    def test_vc_selection_rotates(self):
+        alloc = AugmentingPathAllocator(2, 2, 3)
+        seen_vcs = set()
+        for _ in range(6):
+            m = matrix_for(alloc)
+            m.add(0, 0, 1)
+            m.add(0, 1, 1)
+            m.add(0, 2, 1)
+            grants = alloc.allocate(m)
+            seen_vcs.add(grants[0].vc)
+        assert seen_vcs == {0, 1, 2}
+
+    def test_reset(self):
+        alloc = AugmentingPathAllocator(2, 2, 2)
+        m = matrix_for(alloc)
+        m.add(0, 0, 0)
+        m.add(0, 1, 0)
+        first = alloc.allocate(m)
+        alloc.allocate(m)
+        alloc.reset()
+        assert alloc.allocate(m) == first

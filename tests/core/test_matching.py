@@ -1,0 +1,137 @@
+"""Unit + property tests for the bipartite-matching algorithms."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import hopcroft_karp, kuhn_matching, matching_size
+
+
+def brute_force_maximum(num_left, num_right, adj):
+    """Exponential-time oracle for tiny graphs."""
+    best = 0
+    lefts = [u for u in range(num_left) if adj[u]]
+    for size in range(len(lefts), 0, -1):
+        if size <= best:
+            break
+        for subset in itertools.combinations(lefts, size):
+            for assignment in itertools.product(*(adj[u] for u in subset)):
+                if len(set(assignment)) == size:
+                    best = max(best, size)
+                    break
+            if best == size:
+                break
+    return best
+
+
+class TestKuhn:
+    def test_empty_graph(self):
+        assert kuhn_matching(3, 3, [[], [], []]) == [-1, -1, -1]
+
+    def test_perfect_matching(self):
+        adj = [[0], [1], [2]]
+        assert kuhn_matching(3, 3, adj) == [0, 1, 2]
+
+    def test_requires_augmenting_path(self):
+        # Greedy (no augmentation) would match 0->0 and leave 1 unmatched.
+        adj = [[0, 1], [0]]
+        match = kuhn_matching(2, 2, adj)
+        assert matching_size(match) == 2
+        assert match == [1, 0]
+
+    def test_deterministic_tie_break_prefers_low_indices(self):
+        adj = [[0], [0]]  # both want right-0; only one can have it
+        match = kuhn_matching(2, 1, adj)
+        assert match == [0, -1]
+
+    def test_wrong_adjacency_length(self):
+        with pytest.raises(ValueError):
+            kuhn_matching(2, 2, [[0]])
+
+    def test_out_of_range_right_vertex(self):
+        with pytest.raises(ValueError):
+            kuhn_matching(1, 1, [[5]])
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adj = [[1, 2], [0], [2, 0]]
+        assert matching_size(hopcroft_karp(3, 3, adj)) == 3
+
+    def test_empty(self):
+        assert hopcroft_karp(2, 2, [[], []]) == [-1, -1]
+
+    def test_wrong_adjacency_length(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(3, 2, [[0]])
+
+
+class TestCrossCheck:
+    def test_agree_on_random_graphs(self):
+        rng = random.Random(17)
+        for _ in range(300):
+            nl = rng.randint(1, 8)
+            nr = rng.randint(1, 8)
+            adj = [
+                sorted({rng.randrange(nr) for _ in range(rng.randint(0, nr))})
+                for _ in range(nl)
+            ]
+            size_k = matching_size(kuhn_matching(nl, nr, adj))
+            size_hk = matching_size(hopcroft_karp(nl, nr, adj))
+            assert size_k == size_hk
+
+    def test_against_brute_force(self):
+        rng = random.Random(23)
+        for _ in range(60):
+            nl = rng.randint(1, 5)
+            nr = rng.randint(1, 5)
+            adj = [
+                sorted({rng.randrange(nr) for _ in range(rng.randint(0, nr))})
+                for _ in range(nl)
+            ]
+            expected = brute_force_maximum(nl, nr, adj)
+            assert matching_size(kuhn_matching(nl, nr, adj)) == expected
+
+
+@st.composite
+def bipartite_graphs(draw):
+    nl = draw(st.integers(min_value=1, max_value=7))
+    nr = draw(st.integers(min_value=1, max_value=7))
+    adj = [
+        sorted(
+            draw(
+                st.sets(st.integers(min_value=0, max_value=nr - 1), max_size=nr)
+            )
+        )
+        for _ in range(nl)
+    ]
+    return nl, nr, adj
+
+
+@given(bipartite_graphs())
+@settings(max_examples=200)
+def test_property_matching_is_valid_and_maximum(graph):
+    nl, nr, adj = graph
+    match = kuhn_matching(nl, nr, adj)
+    # validity: matched edges exist, right vertices distinct
+    used = [v for v in match if v != -1]
+    assert len(used) == len(set(used))
+    for u, v in enumerate(match):
+        if v != -1:
+            assert v in adj[u]
+    # maximality vs the independent implementation
+    assert matching_size(match) == matching_size(hopcroft_karp(nl, nr, adj))
+
+
+@given(bipartite_graphs())
+@settings(max_examples=100)
+def test_property_matching_bounded_by_degrees(graph):
+    nl, nr, adj = graph
+    size = matching_size(kuhn_matching(nl, nr, adj))
+    assert size <= min(nl, nr)
+    assert size <= sum(1 for a in adj if a)
+    covered = set().union(*adj) if any(adj) else set()
+    assert size <= len(covered)

@@ -1,0 +1,115 @@
+"""Unit tests for the request-matrix / grant model."""
+
+import pytest
+
+from repro.core.requests import NO_REQUEST, Grant, RequestMatrix, validate_grants
+
+
+@pytest.fixture
+def matrix():
+    return RequestMatrix(num_inputs=3, num_outputs=3, num_vcs=4)
+
+
+class TestRequestMatrix:
+    def test_starts_empty(self, matrix):
+        assert not matrix.has_requests()
+        assert matrix.total_requests() == 0
+
+    def test_add_and_query(self, matrix):
+        matrix.add(1, 2, 0, tail=True)
+        assert matrix.request_of(1, 2) == 0
+        assert matrix.is_tail(1, 2)
+        assert matrix.request_of(1, 3) == NO_REQUEST
+
+    def test_clear(self, matrix):
+        matrix.add(0, 0, 1)
+        matrix.clear()
+        assert not matrix.has_requests()
+        assert not matrix.is_tail(0, 0)
+
+    def test_vcs_requesting(self, matrix):
+        matrix.add(0, 0, 2)
+        matrix.add(0, 3, 2)
+        matrix.add(0, 1, 1)
+        assert matrix.vcs_requesting(0, 2) == [0, 3]
+        assert matrix.vcs_requesting(0, 0) == []
+
+    def test_port_request_sets(self, matrix):
+        matrix.add(0, 0, 2)
+        matrix.add(0, 1, 1)
+        matrix.add(2, 0, 1)
+        sets = matrix.port_request_sets()
+        assert sets == [{1, 2}, set(), {1}]
+
+    def test_total_requests(self, matrix):
+        matrix.add(0, 0, 0)
+        matrix.add(1, 1, 1)
+        matrix.add(2, 2, 2)
+        assert matrix.total_requests() == 3
+
+    @pytest.mark.parametrize("args", [(-1, 0, 0), (3, 0, 0), (0, 4, 0), (0, 0, 3)])
+    def test_add_rejects_out_of_range(self, matrix, args):
+        with pytest.raises(ValueError):
+            matrix.add(*args)
+
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(ValueError):
+            RequestMatrix(0, 3, 4)
+
+
+class TestValidateGrants:
+    def test_accepts_valid_grants(self, matrix):
+        matrix.add(0, 0, 0)
+        matrix.add(1, 0, 1)
+        validate_grants(matrix, [Grant(0, 0, 0), Grant(1, 0, 1)])
+
+    def test_rejects_phantom_grant(self, matrix):
+        with pytest.raises(AssertionError, match="does not match"):
+            validate_grants(matrix, [Grant(0, 0, 0)])
+
+    def test_rejects_double_output(self, matrix):
+        matrix.add(0, 0, 0)
+        matrix.add(1, 0, 0)
+        with pytest.raises(AssertionError, match="granted twice"):
+            validate_grants(
+                matrix, [Grant(0, 0, 0), Grant(1, 0, 0)], max_per_input_port=None
+            )
+
+    def test_rejects_two_grants_same_port_conventional(self, matrix):
+        matrix.add(0, 0, 0)
+        matrix.add(0, 3, 1)
+        with pytest.raises(AssertionError):
+            validate_grants(matrix, [Grant(0, 0, 0), Grant(0, 3, 1)])
+
+    def test_vix_allows_two_groups_same_port(self, matrix):
+        # 4 VCs, k=2 -> groups {0,1} and {2,3}.
+        matrix.add(0, 0, 0)
+        matrix.add(0, 3, 1)
+        validate_grants(
+            matrix,
+            [Grant(0, 0, 0), Grant(0, 3, 1)],
+            max_per_input_port=2,
+            virtual_inputs=2,
+        )
+
+    def test_vix_rejects_two_grants_same_group(self, matrix):
+        matrix.add(0, 2, 0)
+        matrix.add(0, 3, 1)
+        with pytest.raises(AssertionError, match="virtual input"):
+            validate_grants(
+                matrix,
+                [Grant(0, 2, 0), Grant(0, 3, 1)],
+                max_per_input_port=2,
+                virtual_inputs=2,
+            )
+
+    def test_ideal_allows_every_vc(self, matrix):
+        matrix.add(0, 0, 0)
+        matrix.add(0, 1, 1)
+        matrix.add(0, 2, 2)
+        validate_grants(
+            matrix,
+            [Grant(0, 0, 0), Grant(0, 1, 1), Grant(0, 2, 2)],
+            max_per_input_port=None,
+            virtual_inputs=4,
+        )

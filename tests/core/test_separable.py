@@ -1,0 +1,129 @@
+"""Unit tests for the separable input-first allocator (IF baseline)."""
+
+import pytest
+
+from repro.core.requests import Grant, RequestMatrix, validate_grants
+from repro.core.separable import SeparableInputFirstAllocator
+
+
+def make(num_ports=5, num_vcs=6, k=1):
+    return SeparableInputFirstAllocator(num_ports, num_ports, num_vcs, k)
+
+
+def matrix_for(alloc):
+    return RequestMatrix(alloc.num_inputs, alloc.num_outputs, alloc.num_vcs)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        alloc = make()
+        assert alloc.virtual_inputs == 1
+        assert alloc.max_grants_per_input_port == 1
+        assert alloc.group_size == 6
+
+    def test_rejects_uneven_partition(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            SeparableInputFirstAllocator(5, 5, 6, 4)
+
+    def test_rejects_k_above_vcs(self):
+        with pytest.raises(ValueError):
+            SeparableInputFirstAllocator(5, 5, 4, 8)
+
+    def test_vc_group_mapping(self):
+        alloc = make(num_vcs=6, k=2)
+        assert [alloc.vc_group(v) for v in range(6)] == [0, 0, 0, 1, 1, 1]
+
+
+class TestAllocation:
+    def test_empty_matrix_no_grants(self):
+        alloc = make()
+        assert alloc.allocate(matrix_for(alloc)) == []
+
+    def test_single_request_granted(self):
+        alloc = make()
+        m = matrix_for(alloc)
+        m.add(2, 3, 4)
+        assert alloc.allocate(m) == [Grant(2, 3, 4)]
+
+    def test_conflict_one_winner(self):
+        alloc = make()
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)
+        m.add(1, 0, 1)
+        grants = alloc.allocate(m)
+        assert len(grants) == 1
+        assert grants[0].out_port == 1
+
+    def test_disjoint_requests_all_granted(self):
+        alloc = make()
+        m = matrix_for(alloc)
+        for p in range(5):
+            m.add(p, 0, p)
+        assert len(alloc.allocate(m)) == 5
+
+    def test_one_grant_per_input_port(self):
+        alloc = make()
+        m = matrix_for(alloc)
+        # One port wants two different outputs: input-port constraint.
+        m.add(0, 0, 1)
+        m.add(0, 1, 2)
+        grants = alloc.allocate(m)
+        assert len(grants) == 1
+
+    def test_suboptimal_matching_exists(self):
+        """The paper's Fig. 5(a) scenario: separable IF can lose a pairing.
+
+        West wants {East}; South wants {East, North}.  If South's input
+        arbiter picks East, only one flit moves even though (West->East,
+        South->North) was possible.  Force that by aligning pointers.
+        """
+        alloc = make(num_ports=5, num_vcs=2)
+        m = matrix_for(alloc)
+        m.add(0, 0, 2)          # "West" wants output 2
+        m.add(1, 0, 2)          # "South" VC0 wants output 2
+        m.add(1, 1, 3)          # "South" VC1 wants output 3
+        grants = alloc.allocate(m)
+        # Fresh allocator: both input arbiters pick VC0 -> both want output
+        # 2 -> only one grant despite a 2-grant matching existing.
+        assert len(grants) == 1
+
+    def test_grants_always_valid(self):
+        alloc = make()
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)
+        m.add(0, 5, 2)
+        m.add(1, 2, 1)
+        m.add(3, 3, 1)
+        m.add(4, 4, 0)
+        validate_grants(m, alloc.allocate(m), max_per_input_port=1)
+
+    def test_round_robin_rotates_across_cycles(self):
+        alloc = make(num_ports=2, num_vcs=2)
+        m = matrix_for(alloc)
+        m.add(0, 0, 0)
+        m.add(1, 0, 0)
+        winners = set()
+        for _ in range(4):
+            grants = alloc.allocate(m)
+            assert len(grants) == 1
+            winners.add(grants[0].in_port)
+        assert winners == {0, 1}
+
+    def test_reset_restores_determinism(self):
+        alloc = make()
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)
+        m.add(1, 1, 1)
+        first = alloc.allocate(m)
+        alloc.allocate(m)
+        alloc.reset()
+        assert alloc.allocate(m) == first
+
+    def test_input_arbiter_picks_within_port(self):
+        alloc = make(num_ports=2, num_vcs=4)
+        m = matrix_for(alloc)
+        m.add(0, 1, 0)
+        m.add(0, 2, 1)
+        grants = alloc.allocate(m)
+        assert len(grants) == 1
+        assert grants[0].vc in (1, 2)

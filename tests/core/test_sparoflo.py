@@ -1,0 +1,119 @@
+"""Unit tests for the SPAROFLO-style allocator (Section 5 comparison)."""
+
+import random
+
+import pytest
+
+from repro.core.requests import RequestMatrix, validate_grants
+from repro.core.separable import SeparableInputFirstAllocator
+from repro.core.sparoflo import SparofloAllocator
+from repro.core.vix import VIXAllocator
+
+
+def matrix_for(alloc):
+    return RequestMatrix(alloc.num_inputs, alloc.num_outputs, alloc.num_vcs)
+
+
+def saturated_matrix(p, v, rng):
+    m = RequestMatrix(p, p, v)
+    for i in range(p):
+        for w in range(v):
+            m.add(i, w, rng.randrange(p))
+    return m
+
+
+class TestBasics:
+    def test_single_request_granted(self):
+        alloc = SparofloAllocator(5, 5, 6)
+        m = matrix_for(alloc)
+        m.add(2, 3, 4)
+        grants = alloc.allocate(m)
+        assert [(g.in_port, g.vc, g.out_port) for g in grants] == [(2, 3, 4)]
+
+    def test_one_grant_per_input_port(self):
+        """No virtual inputs: the port constraint binds despite multiple
+        requests being presented to output arbitration."""
+        alloc = SparofloAllocator(5, 5, 6, dynamic=False)
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)
+        m.add(0, 1, 2)
+        grants = alloc.allocate(m)
+        assert len(grants) == 1  # output 1 or 2 idles — unlike VIX
+
+    def test_conflict_detection_keeps_highest_priority(self):
+        """Two outputs picking the same port resolve by selection priority."""
+        alloc = SparofloAllocator(3, 3, 2, dynamic=False)
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)  # first pick of port 0 -> priority 0
+        m.add(0, 1, 2)  # second pick -> priority 1
+        grants = alloc.allocate(m)
+        assert len(grants) == 1
+        assert grants[0].out_port == 1
+
+    def test_invariants_on_random_traffic(self):
+        rng = random.Random(3)
+        alloc = SparofloAllocator(5, 5, 6)
+        for _ in range(300):
+            m = saturated_matrix(5, 6, rng)
+            grants = alloc.allocate(m)
+            validate_grants(m, grants, max_per_input_port=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparofloAllocator(5, 5, 6, max_requests_per_port=0)
+
+    def test_reset(self):
+        alloc = SparofloAllocator(3, 3, 2)
+        m = matrix_for(alloc)
+        m.add(0, 0, 0)
+        m.add(0, 1, 0)
+        first = alloc.allocate(m)
+        alloc.allocate(m)
+        alloc.reset()
+        assert alloc.allocate(m) == first
+
+
+class TestLoadAdaptivity:
+    def test_saturated_matrix_falls_back_to_one_request(self):
+        """Dynamic mode degenerates to plain separable near saturation."""
+        rng = random.Random(7)
+        alloc = SparofloAllocator(5, 5, 6, dynamic=True)
+        m = saturated_matrix(5, 6, rng)
+        assert alloc._requests_per_port(m) == 1
+
+    def test_light_matrix_presents_multiple_requests(self):
+        alloc = SparofloAllocator(5, 5, 6, dynamic=True)
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)
+        m.add(0, 1, 2)
+        assert alloc._requests_per_port(m) == 2
+        assert len(alloc.allocate(m)) == 1  # still one grant (conflicts)
+
+    def test_static_mode_ignores_load(self):
+        rng = random.Random(7)
+        alloc = SparofloAllocator(5, 5, 6, dynamic=False, max_requests_per_port=3)
+        assert alloc._requests_per_port(saturated_matrix(5, 6, rng)) == 3
+
+
+class TestPaperOrdering:
+    """Section 5: 'conflicts limit the efficiency of SPAROFLO when
+    compared to VIX' — IF < SPAROFLO(static) < VIX at saturation."""
+
+    def test_if_below_sparoflo_below_vix(self):
+        rng = random.Random(11)
+        p, v = 5, 6
+        allocators = {
+            "if": SeparableInputFirstAllocator(p, p, v),
+            "spf": SparofloAllocator(p, p, v, dynamic=False),
+            "vix": VIXAllocator(p, p, v, 2),
+        }
+        totals = dict.fromkeys(allocators, 0)
+        for _ in range(600):
+            base = saturated_matrix(p, v, rng)
+            for name, alloc in allocators.items():
+                m = RequestMatrix(p, p, v)
+                for i in range(p):
+                    for w in range(v):
+                        m.add(i, w, base.request_of(i, w))
+                totals[name] += len(alloc.allocate(m))
+        assert totals["if"] < totals["spf"] < totals["vix"]

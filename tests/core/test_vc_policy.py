@@ -1,0 +1,120 @@
+"""Unit tests for output-VC assignment policies (paper Section 2.3)."""
+
+import pytest
+
+from repro.core.vc_policy import (
+    DIR_X,
+    DIR_Y,
+    MaxCreditPolicy,
+    VixDimensionPolicy,
+    make_vc_policy,
+)
+
+
+class TestMaxCreditPolicy:
+    def setup_method(self):
+        self.policy = MaxCreditPolicy()
+
+    def test_picks_most_credits(self):
+        credits = [1, 5, 3, 2]
+        assert self.policy.select(
+            [0, 1, 2, 3], credits, num_vcs=4, virtual_inputs=1,
+            downstream_direction=None,
+        ) == 1
+
+    def test_only_candidates_considered(self):
+        credits = [9, 1, 2, 0]
+        assert self.policy.select(
+            [1, 2], credits, num_vcs=4, virtual_inputs=1,
+            downstream_direction=None,
+        ) == 2
+
+    def test_tie_breaks_to_lowest_vc(self):
+        credits = [3, 3, 3]
+        assert self.policy.select(
+            [2, 0, 1], credits, num_vcs=3, virtual_inputs=1,
+            downstream_direction=None,
+        ) == 0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            self.policy.select(
+                [], [1], num_vcs=1, virtual_inputs=1, downstream_direction=None
+            )
+
+    def test_ignores_direction(self):
+        credits = [1, 1, 1, 5]
+        got = self.policy.select(
+            [0, 3], credits, num_vcs=4, virtual_inputs=2,
+            downstream_direction=DIR_X,
+        )
+        assert got == 3
+
+
+class TestVixDimensionPolicy:
+    def setup_method(self):
+        self.policy = VixDimensionPolicy()
+
+    def select(self, candidates, credits, direction, num_vcs=6, k=2):
+        return self.policy.select(
+            candidates, credits, num_vcs=num_vcs, virtual_inputs=k,
+            downstream_direction=direction,
+        )
+
+    def test_x_traffic_goes_to_group0(self):
+        # 6 VCs, k=2: group 0 = VCs 0-2, group 1 = VCs 3-5.
+        got = self.select([0, 1, 3, 4], [5] * 6, DIR_X)
+        assert got in (0, 1)
+
+    def test_y_traffic_goes_to_group1(self):
+        got = self.select([0, 1, 3, 4], [5] * 6, DIR_Y)
+        assert got in (3, 4)
+
+    def test_max_credits_within_group(self):
+        credits = [1, 9, 2, 5, 5, 5]
+        assert self.select([0, 1, 2, 3], credits, DIR_X) == 1
+
+    def test_falls_back_when_preferred_group_full(self):
+        # Only group-1 VCs are free; X traffic must spill over.
+        got = self.select([3, 4, 5], [5] * 6, DIR_X)
+        assert got in (3, 4, 5)
+
+    def test_ejecting_packets_load_balance(self):
+        # direction None: pick the group with more free VCs.
+        got = self.select([0, 3, 4, 5], [5] * 6, None)
+        assert got in (3, 4, 5)
+
+    def test_load_balance_tie_breaks_by_credits(self):
+        # Equal free counts; group 1 has more total credits.
+        credits = [1, 1, 0, 4, 4, 0]
+        got = self.select([0, 1, 3, 4], credits, None)
+        assert got in (3, 4)
+
+    def test_k_wraps_direction_classes(self):
+        # k=3 with 6 VCs: groups of 2; DIR_Y -> group 1 (VCs 2,3).
+        got = self.policy.select(
+            [0, 2, 3, 4], [5] * 6, num_vcs=6, virtual_inputs=3,
+            downstream_direction=DIR_Y,
+        )
+        assert got in (2, 3)
+
+    def test_degenerates_gracefully_with_k1(self):
+        got = self.policy.select(
+            [0, 1, 2], [1, 2, 3], num_vcs=3, virtual_inputs=1,
+            downstream_direction=DIR_X,
+        )
+        assert got == 2  # one group: plain max-credit
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            self.select([], [5] * 6, DIR_X)
+
+
+class TestFactory:
+    def test_make_known_policies(self):
+        assert isinstance(make_vc_policy("max_credit"), MaxCreditPolicy)
+        assert isinstance(make_vc_policy("vix_dimension"), VixDimensionPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown VC policy"):
+            make_vc_policy("psychic")

@@ -1,0 +1,128 @@
+"""Unit tests for the VIX allocator — the paper's contribution."""
+
+import random
+
+import pytest
+
+from repro.core.requests import RequestMatrix, validate_grants
+from repro.core.separable import SeparableInputFirstAllocator
+from repro.core.vix import IdealVIXAllocator, VIXAllocator
+
+
+def matrix_for(alloc):
+    return RequestMatrix(alloc.num_inputs, alloc.num_outputs, alloc.num_vcs)
+
+
+class TestConstruction:
+    def test_default_is_two_virtual_inputs(self):
+        alloc = VIXAllocator(5, 5, 6)
+        assert alloc.virtual_inputs == 2
+        assert alloc.max_grants_per_input_port == 2
+        assert alloc.crossbar_inputs == 10
+        assert alloc.name == "VIX"
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError, match="virtual_inputs >= 2"):
+            VIXAllocator(5, 5, 6, virtual_inputs=1)
+
+    def test_ideal_uses_one_input_per_vc(self):
+        alloc = IdealVIXAllocator(5, 5, 6)
+        assert alloc.virtual_inputs == 6
+        assert alloc.group_size == 1
+        assert alloc.name == "iVIX"
+
+
+class TestInputPortConstraintRemoved:
+    def test_two_vcs_of_one_port_can_both_win(self):
+        """Fig. 4 of the paper: VC0 -> Local, VC2 -> East in one cycle."""
+        alloc = VIXAllocator(5, 5, 4, virtual_inputs=2)
+        m = matrix_for(alloc)
+        m.add(2, 0, 0)  # West port, VC0 (group 0) -> Local
+        m.add(2, 2, 1)  # West port, VC2 (group 1) -> East
+        grants = alloc.allocate(m)
+        assert len(grants) == 2
+        assert {g.out_port for g in grants} == {0, 1}
+        assert all(g.in_port == 2 for g in grants)
+
+    def test_same_group_still_constrained(self):
+        alloc = VIXAllocator(5, 5, 4, virtual_inputs=2)
+        m = matrix_for(alloc)
+        m.add(2, 0, 0)  # group 0
+        m.add(2, 1, 1)  # group 0 too
+        assert len(alloc.allocate(m)) == 1
+
+    def test_never_exceeds_k_grants_per_port(self):
+        alloc = VIXAllocator(5, 5, 6, virtual_inputs=2)
+        m = matrix_for(alloc)
+        for v in range(6):
+            m.add(0, v, v % 5)
+        grants = alloc.allocate(m)
+        assert len(grants) <= 2
+        validate_grants(m, grants, max_per_input_port=2, virtual_inputs=2)
+
+
+class TestMatchingImprovement:
+    def test_fig5_scenario_three_transfers(self):
+        """Fig. 5(b): virtual inputs expose enough requests for 3 grants."""
+        alloc = VIXAllocator(5, 5, 4, virtual_inputs=2)
+        m = matrix_for(alloc)
+        m.add(0, 0, 1)  # West VC0 (vin 0)  -> East
+        m.add(1, 0, 3)  # South VC0 (vin 0) -> North
+        m.add(1, 2, 1)  # South VC2 (vin 1) -> East
+        grants = alloc.allocate(m)
+        # Outputs 1 and 3 are both granted; the East conflict resolves to
+        # one of the two requesters.
+        assert {g.out_port for g in grants} == {1, 3}
+        assert len(grants) == 2
+        # Repeat with West also wanting North on its second virtual input:
+        m.add(0, 2, 3)
+        alloc.reset()
+        grants = alloc.allocate(m)
+        assert len(grants) == 2  # still 2 outputs requested in total
+
+    def test_beats_if_on_saturated_random_requests(self):
+        rng = random.Random(7)
+        p, v = 5, 6
+        if_alloc = SeparableInputFirstAllocator(p, p, v)
+        vix = VIXAllocator(p, p, v, virtual_inputs=2)
+        if_total = vix_total = 0
+        for _ in range(400):
+            m_if = RequestMatrix(p, p, v)
+            m_vix = RequestMatrix(p, p, v)
+            for i in range(p):
+                for w in range(v):
+                    out = rng.randrange(p)
+                    m_if.add(i, w, out)
+                    m_vix.add(i, w, out)
+            if_total += len(if_alloc.allocate(m_if))
+            vix_total += len(vix.allocate(m_vix))
+        assert vix_total > if_total * 1.1  # paper: >25% at saturation
+
+
+class TestIdealOptimality:
+    def test_every_requested_output_granted(self):
+        """k = v: any output with >= 1 requester must be granted (optimal)."""
+        rng = random.Random(3)
+        p, v = 5, 6
+        alloc = IdealVIXAllocator(p, p, v)
+        for _ in range(200):
+            m = matrix_for(alloc)
+            requested = set()
+            for i in range(p):
+                for w in range(v):
+                    out = rng.randrange(p)
+                    m.add(i, w, out)
+                    requested.add(out)
+            grants = alloc.allocate(m)
+            assert {g.out_port for g in grants} == requested
+            validate_grants(m, grants, max_per_input_port=None, virtual_inputs=v)
+
+    def test_sparse_requests_all_granted(self):
+        alloc = IdealVIXAllocator(4, 4, 4)
+        m = matrix_for(alloc)
+        m.add(0, 0, 0)
+        m.add(0, 1, 1)
+        m.add(0, 2, 2)
+        m.add(0, 3, 3)
+        # One port feeds all four outputs in a single cycle.
+        assert len(alloc.allocate(m)) == 4

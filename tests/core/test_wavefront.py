@@ -1,0 +1,120 @@
+"""Unit tests for the wavefront allocator."""
+
+import random
+
+from repro.core.matching import kuhn_matching, matching_size
+from repro.core.requests import RequestMatrix, validate_grants
+from repro.core.separable import SeparableInputFirstAllocator
+from repro.core.wavefront import WavefrontAllocator
+
+
+def matrix_for(alloc):
+    return RequestMatrix(alloc.num_inputs, alloc.num_outputs, alloc.num_vcs)
+
+
+class TestBasics:
+    def test_empty(self):
+        alloc = WavefrontAllocator(5, 5, 6)
+        assert alloc.allocate(matrix_for(alloc)) == []
+
+    def test_single_request(self):
+        alloc = WavefrontAllocator(5, 5, 6)
+        m = matrix_for(alloc)
+        m.add(3, 2, 4)
+        grants = alloc.allocate(m)
+        assert [(g.in_port, g.vc, g.out_port) for g in grants] == [(3, 2, 4)]
+
+    def test_diagonal_rotates(self):
+        alloc = WavefrontAllocator(4, 4, 2)
+        start = alloc.priority_diagonal
+        alloc.allocate(matrix_for(alloc))
+        assert alloc.priority_diagonal == (start + 1) % 4
+
+    def test_one_grant_per_row_and_column(self):
+        alloc = WavefrontAllocator(4, 4, 3)
+        m = matrix_for(alloc)
+        for i in range(4):
+            for v in range(3):
+                m.add(i, v, (i + v) % 4)
+        grants = alloc.allocate(m)
+        validate_grants(m, grants, max_per_input_port=1)
+
+    def test_reset(self):
+        alloc = WavefrontAllocator(4, 4, 2)
+        alloc.allocate(matrix_for(alloc))
+        alloc.reset()
+        assert alloc.priority_diagonal == 0
+
+
+class TestMaximality:
+    """Wavefront finds a *maximal* matching: no grantable pair left over."""
+
+    def _is_maximal(self, matrix, grants):
+        used_in = {g.in_port for g in grants}
+        used_out = {g.out_port for g in grants}
+        for i, outs in enumerate(matrix.port_request_sets()):
+            if i in used_in:
+                continue
+            if outs - used_out:
+                return False
+        return True
+
+    def test_maximal_on_random_matrices(self):
+        rng = random.Random(11)
+        alloc = WavefrontAllocator(5, 5, 6)
+        for _ in range(300):
+            m = matrix_for(alloc)
+            for i in range(5):
+                for v in range(6):
+                    if rng.random() < 0.4:
+                        m.add(i, v, rng.randrange(5))
+            grants = alloc.allocate(m)
+            validate_grants(m, grants, max_per_input_port=1)
+            assert self._is_maximal(m, grants)
+
+    def test_within_half_of_maximum(self):
+        """A maximal matching is at least half the maximum matching."""
+        rng = random.Random(5)
+        alloc = WavefrontAllocator(6, 6, 4)
+        for _ in range(200):
+            m = matrix_for(alloc)
+            for i in range(6):
+                for v in range(4):
+                    if rng.random() < 0.5:
+                        m.add(i, v, rng.randrange(6))
+            grants = alloc.allocate(m)
+            adj = [sorted(s) for s in m.port_request_sets()]
+            maximum = matching_size(kuhn_matching(6, 6, adj))
+            assert len(grants) * 2 >= maximum
+
+    def test_beats_separable_if_at_saturation(self):
+        rng = random.Random(2)
+        p, v = 5, 6
+        wf = WavefrontAllocator(p, p, v)
+        sep = SeparableInputFirstAllocator(p, p, v)
+        wf_total = sep_total = 0
+        for _ in range(400):
+            m1 = RequestMatrix(p, p, v)
+            m2 = RequestMatrix(p, p, v)
+            for i in range(p):
+                for w in range(v):
+                    out = rng.randrange(p)
+                    m1.add(i, w, out)
+                    m2.add(i, w, out)
+            wf_total += len(wf.allocate(m1))
+            sep_total += len(sep.allocate(m2))
+        assert wf_total > sep_total
+
+
+class TestFairness:
+    def test_rotating_diagonal_shares_grants(self):
+        alloc = WavefrontAllocator(3, 3, 1)
+        wins = {0: 0, 1: 0, 2: 0}
+        for _ in range(300):
+            m = matrix_for(alloc)
+            for i in range(3):
+                m.add(i, 0, 0)  # everyone wants output 0
+            grants = alloc.allocate(m)
+            assert len(grants) == 1
+            wins[grants[0].in_port] += 1
+        assert wins == {0: 100, 1: 100, 2: 100}

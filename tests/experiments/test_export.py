@@ -1,0 +1,80 @@
+"""Tests for JSON result export."""
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.experiments import table1_delays
+from repro.experiments.export import load_result, save_result, to_jsonable
+
+
+@dataclass
+class _Inner:
+    value: float
+
+
+@dataclass
+class _Outer:
+    name: str
+    scores: dict
+    inner: _Inner
+    items: tuple = ()
+
+
+class TestToJsonable:
+    def test_nested_dataclasses(self):
+        obj = _Outer("x", {}, _Inner(1.5), (1, 2))
+        out = to_jsonable(obj)
+        assert out == {
+            "name": "x",
+            "scores": {},
+            "inner": {"value": 1.5},
+            "items": [1, 2],
+        }
+
+    def test_tuple_keys_flattened(self):
+        out = to_jsonable({(5, "vix"): 1.0, "plain": 2})
+        assert out == {"5/vix": 1.0, "plain": 2}
+
+    def test_non_finite_floats(self):
+        out = to_jsonable({"a": math.inf, "b": -math.inf, "c": math.nan})
+        assert out == {"a": "inf", "b": "-inf", "c": "nan"}
+
+    def test_exotic_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert to_jsonable(Weird()) == "<weird>"
+
+    def test_real_experiment_result_serialises(self):
+        rows = table1_delays.run()
+        text = json.dumps(to_jsonable(rows))
+        assert "Mesh with VIX" in text
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        rows = table1_delays.run()
+        path = save_result(tmp_path / "t1.json", "t1", rows, fast=True)
+        doc = load_result(path)
+        assert doc["experiment"] == "t1"
+        assert doc["fidelity"] == "fast"
+        assert doc["result"][0]["design"] == "Mesh"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_result(tmp_path / "deep" / "dir" / "x.json", "t3", {}, fast=False)
+        assert path.exists()
+        assert load_result(path)["fidelity"] == "full"
+
+
+class TestCLIJson:
+    def test_cli_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["t1", "--json", str(tmp_path)]) == 0
+        doc = load_result(tmp_path / "t1.json")
+        assert doc["experiment"] == "t1"
+        assert "result written" in capsys.readouterr().out

@@ -1,0 +1,34 @@
+"""Tests for the radix-scaling extension experiment."""
+
+from repro.experiments import radix_scaling
+
+
+class TestRadixScaling:
+    def test_paper_topologies_all_fit(self):
+        """Radices 5, 8, 10 (mesh/cmesh/fbfly) support VIX — Section 2.4."""
+        result = radix_scaling.run(radices=(5, 8, 10))
+        assert all(p.vix_fits for p in result.points)
+        assert result.scaling_limit() is None
+
+    def test_fbfly_is_the_borderline_case(self):
+        """The paper calls radix 10 marginal: crossbar just under VA delay."""
+        point = radix_scaling.run(radices=(10,)).points[0]
+        assert point.vix_fits
+        assert point.xbar_vix_ps > 0.95 * point.allocation_ps
+
+    def test_scaling_limit_is_just_past_the_paper_configs(self):
+        result = radix_scaling.run()
+        limit = result.scaling_limit()
+        assert limit is not None
+        assert 11 <= limit <= 14
+
+    def test_crossbar_grows_faster_than_allocation(self):
+        """The structural reason for the limit: wire-RC vs log-depth logic."""
+        result = radix_scaling.run()
+        ratios = [p.xbar_vix_ps / p.allocation_ps for p in result.points]
+        assert ratios == sorted(ratios)
+
+    def test_report_flags_the_limit(self):
+        text = radix_scaling.report()
+        assert "radix 11" in text
+        assert "NO" in text

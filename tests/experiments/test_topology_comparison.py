@@ -1,0 +1,39 @@
+"""Smoke tests for the topology-comparison extension driver."""
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.experiments import topology_comparison
+
+
+@pytest.fixture(autouse=True)
+def tiny_runs(monkeypatch):
+    monkeypatch.setattr(
+        runner,
+        "FAST",
+        runner.RunLengths(
+            warmup=100,
+            measure=300,
+            single_router_cycles=300,
+            manycore_warmup=100,
+            manycore_measure=300,
+        ),
+    )
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+
+
+def test_subset_run_and_report():
+    res = topology_comparison.run(topologies=("mesh", "torus"), fast=True, seed=2)
+    assert set(res.bounds) == {"mesh", "torus"}
+    assert res.bounds["torus"] > res.bounds["mesh"]
+    for topo in ("mesh", "torus"):
+        assert 0 < res.efficiency(topo, "input_first") <= 1.05
+        assert res.throughput[(topo, "vix")] > 0
+    text = topology_comparison.report(res)
+    assert "Bound" in text and "torus" in text
+
+
+def test_registered_in_cli():
+    from repro.experiments import EXPERIMENTS
+
+    assert EXPERIMENTS["topo"] is topology_comparison

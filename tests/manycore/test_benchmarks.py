@@ -1,0 +1,87 @@
+"""Tests for the benchmark catalogue and workload mixes (Table 4 inputs)."""
+
+import pytest
+
+from repro.manycore.benchmarks import BENCHMARKS, BenchmarkProfile, get_benchmark
+from repro.manycore.workloads import (
+    MIXES,
+    PAPER_MIX_MPKI,
+    PAPER_MIX_SPEEDUP,
+    WorkloadMix,
+    get_mix,
+)
+
+
+class TestCatalogue:
+    def test_suite_has_35_benchmarks(self):
+        assert len(BENCHMARKS) == 35
+
+    def test_commercial_workloads_present(self):
+        for name in ("sap", "tpcw", "sjbb", "sjas"):
+            assert name in BENCHMARKS
+
+    def test_mpki_decomposition_consistent(self):
+        for b in BENCHMARKS.values():
+            assert b.l1_mpki + b.l2_mpki == pytest.approx(b.mpki)
+            assert b.l2_mpki == pytest.approx(b.l1_mpki * b.l2_miss_ratio)
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("MCF") is BENCHMARKS["mcf"]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("doom")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", -1.0, 0.5)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 10.0, 1.5)
+
+
+class TestMixes:
+    def test_eight_mixes(self):
+        assert sorted(MIXES) == [f"Mix{i}" for i in range(1, 9)]
+
+    def test_every_mix_fills_64_cores(self):
+        for mix in MIXES.values():
+            assert mix.num_cores == 64
+
+    def test_every_mix_has_six_unique_apps(self):
+        for mix in MIXES.values():
+            apps = [a for a, _ in mix.apps]
+            assert len(apps) == 6
+            assert len(set(apps)) == 6
+
+    @pytest.mark.parametrize("name", sorted(PAPER_MIX_MPKI))
+    def test_average_mpki_matches_table4(self, name):
+        """The catalogue was fitted so each mix reproduces Table 4 exactly."""
+        assert get_mix(name).average_mpki() == pytest.approx(
+            PAPER_MIX_MPKI[name], abs=0.05
+        )
+
+    def test_mpki_ordering_matches_paper(self):
+        """Table 4 lists mixes in increasing avg-MPKI order."""
+        values = [get_mix(f"Mix{i}").average_mpki() for i in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_paper_speedups_increase_with_mpki(self):
+        speedups = [PAPER_MIX_SPEEDUP[f"Mix{i}"] for i in range(1, 9)]
+        assert speedups == sorted(speedups)
+
+    def test_core_assignment_matches_counts(self):
+        mix = get_mix("Mix1")
+        profiles = mix.core_assignment()
+        assert len(profiles) == 64
+        assert sum(1 for p in profiles if p.name == "milc") == 11
+        assert sum(1 for p in profiles if p.name == "hmmer") == 10
+
+    def test_unknown_mix(self):
+        with pytest.raises(KeyError):
+            get_mix("Mix9")
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", (("doom", 11),))
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", (("mcf", 0),))

@@ -1,0 +1,123 @@
+"""Unit + property tests for the cache and MSHR models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manycore.cache import Cache, MSHRFile
+
+
+class TestCacheGeometry:
+    def test_paper_l2_bank_geometry(self):
+        c = Cache(256 * 1024, assoc=16, block_bytes=64)
+        assert c.num_sets == 256  # 4096 blocks / 16 ways
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(100, assoc=16, block_bytes=64)  # not divisible
+        with pytest.raises(ValueError):
+            Cache(0, assoc=1)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit_after_fill(self):
+        c = Cache(1024, assoc=2, block_bytes=64)
+        assert not c.access(5)
+        assert not c.lookup(5)  # miss does not fill
+        c.fill(5)
+        assert c.access(5)
+
+    def test_lru_eviction(self):
+        c = Cache(128, assoc=2, block_bytes=64)  # 1 set, 2 ways
+        c.fill(0)
+        c.fill(1)
+        c.access(0)          # 0 becomes MRU
+        evicted = c.fill(2)  # evicts LRU = 1
+        assert evicted == 1
+        assert c.lookup(0) and c.lookup(2) and not c.lookup(1)
+
+    def test_fill_of_resident_block_evicts_nothing(self):
+        c = Cache(128, assoc=2, block_bytes=64)
+        c.fill(0)
+        assert c.fill(0) is None
+        assert c.occupancy == 1
+
+    def test_set_index_separation(self):
+        c = Cache(256, assoc=1, block_bytes=64)  # 4 sets, direct mapped
+        c.fill(0)
+        c.fill(1)  # different set
+        assert c.lookup(0) and c.lookup(1)
+        evicted = c.fill(4)  # same set as 0 (4 % 4 == 0)
+        assert evicted == 0
+
+    def test_statistics(self):
+        c = Cache(128, assoc=2, block_bytes=64)
+        c.access(0)
+        c.fill(0)
+        c.access(0)
+        assert c.hits == 1 and c.misses == 1
+        assert c.miss_rate() == 0.5
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_occupancy_bounded(self, addrs):
+        c = Cache(512, assoc=2, block_bytes=64)  # 8 blocks
+        for a in addrs:
+            if not c.access(a):
+                c.fill(a)
+        assert c.occupancy <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fill_makes_resident(self, addrs):
+        c = Cache(1024, assoc=4, block_bytes=64)
+        for a in addrs:
+            c.fill(a)
+            assert c.lookup(a)
+
+
+class TestMSHR:
+    def test_allocate_and_release(self):
+        m = MSHRFile(2)
+        assert m.allocate(10, "a") == "new"
+        assert m.outstanding(10)
+        assert m.release(10) == ["a"]
+        assert not m.outstanding(10)
+
+    def test_merge_same_block(self):
+        m = MSHRFile(2)
+        assert m.allocate(10, "a") == "new"
+        assert m.allocate(10, "b") == "merged"
+        assert m.merges == 1
+        assert m.occupancy == 1  # merged, no new entry
+        assert m.release(10) == ["a", "b"]
+
+    def test_full_rejects_new_blocks_but_merges(self):
+        m = MSHRFile(1)
+        assert m.allocate(1, "a") == "new"
+        assert m.allocate(2, "b") == "full"
+        assert m.allocation_failures == 1
+        assert m.allocate(1, "c") == "merged"  # merging needs no entry
+
+    def test_release_unknown_block(self):
+        with pytest.raises(KeyError):
+            MSHRFile(2).release(5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_occupancy_never_exceeds_capacity(self, addrs):
+        m = MSHRFile(4)
+        rng = random.Random(1)
+        for a in addrs:
+            m.allocate(a, None)
+            if m.occupancy and rng.random() < 0.3:
+                # complete a random outstanding miss
+                block = next(iter(m._entries))
+                m.release(block)
+            assert m.occupancy <= 4

@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic trace-driven core model."""
+
+import pytest
+
+from repro.manycore.benchmarks import BenchmarkProfile
+from repro.manycore.core_model import Core
+
+
+def make_core(mpki=50.0, l2r=0.5, width=2, mlp=4, seed=1):
+    profile = BenchmarkProfile("test", mpki, l2r)
+    return Core(0, 0, profile, width=width, max_outstanding=mlp, seed=seed)
+
+
+class TestRetirement:
+    def test_unstalled_core_retires_at_width(self):
+        core = make_core(mpki=0.001)  # effectively never misses
+        for t in range(100):
+            core.tick(t)
+        assert core.instructions == 200
+        assert core.stall_cycles == 0
+
+    def test_core_stalls_at_mlp_limit(self):
+        core = make_core(mpki=1000.0, mlp=2)  # miss on ~every instruction
+        misses = []
+        for t in range(50):
+            misses.extend(core.tick(t))
+        assert len(core.outstanding) == 2
+        assert core.stall_cycles > 0
+
+    def test_reply_unblocks(self):
+        core = make_core(mpki=1000.0, mlp=1)
+        addrs = core.tick(0)
+        assert len(addrs) == 1
+        assert core.tick(1) == []  # stalled
+        core.receive_reply(addrs[0])
+        # Misses are probabilistic (p = l1_mpki/1000 per instruction), so
+        # poll a handful of cycles for the next one.
+        issued = []
+        for t in range(2, 20):
+            issued = core.tick(t)
+            if issued:
+                break
+        assert issued
+
+    def test_miss_rate_tracks_mpki(self):
+        core = make_core(mpki=50.0, l2r=0.5, mlp=1000)
+        for t in range(20000):
+            core.tick(t)
+            # complete everything instantly: no stalls, pure rate test
+            for a in list(core.outstanding):
+                core.receive_reply(a)
+        # 50 total MPKI at l2r=0.5 -> L1-MPKI = 33.3
+        measured = 1000 * core.misses_issued / core.instructions
+        assert measured == pytest.approx(50.0 / 1.5, rel=0.15)
+
+    def test_reset_counters(self):
+        core = make_core()
+        core.tick(0)
+        core.reset_counters()
+        assert core.instructions == 0
+        assert core.stall_cycles == 0
+
+    def test_ipc(self):
+        core = make_core(mpki=0.001)
+        for t in range(100):
+            core.tick(t)
+        assert core.ipc(100) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            core.ipc(0)
+
+
+class TestAddressStream:
+    def test_addresses_in_private_region(self):
+        core = make_core(mpki=1000.0, mlp=64)
+        core2 = Core(3, 3, BenchmarkProfile("t", 1000.0, 0.5),
+                     max_outstanding=64, seed=1)
+        a1, a2 = set(), set()
+        for t in range(50):
+            a1.update(core.tick(t))
+            a2.update(core2.tick(t))
+            for a in list(core.outstanding):
+                core.receive_reply(a)
+            for a in list(core2.outstanding):
+                core2.receive_reply(a)
+        assert not (a1 & a2)  # regions never collide
+
+    def test_reuse_fraction_tracks_l2_ratio(self):
+        """~(1 - l2_miss_ratio) of misses re-reference recent blocks."""
+        core = make_core(mpki=1000.0, l2r=0.3, mlp=10**9)
+        seen: set[int] = set()
+        fresh = reused = 0
+        for t in range(5000):
+            for a in core.tick(t):
+                if a in seen:
+                    reused += 1
+                else:
+                    fresh += 1
+                    seen.add(a)
+                core.receive_reply(a)
+        frac_fresh = fresh / (fresh + reused)
+        assert frac_fresh == pytest.approx(0.3, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_core(width=0)
+        with pytest.raises(ValueError):
+            make_core(mlp=0)
+
+    def test_deterministic_per_seed(self):
+        a = make_core(seed=5)
+        b = make_core(seed=5)
+        for t in range(50):
+            assert a.tick(t) == b.tick(t)
+            for addr in list(a.outstanding):
+                a.receive_reply(addr)
+            for addr in list(b.outstanding):
+                b.receive_reply(addr)

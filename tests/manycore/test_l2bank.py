@@ -1,0 +1,95 @@
+"""Unit tests for the shared L2 bank."""
+
+import pytest
+
+from repro.manycore.l2bank import L2Bank
+from repro.manycore.messages import Message, MessageKind
+
+
+def req(pid, addr, core=0, src=0, dst=5):
+    return Message(pid, src, dst, 0, MessageKind.L2_REQUEST, addr, core)
+
+
+def mem_reply(pid, addr, mc=9, bank=5):
+    return Message(pid, mc, bank, 0, MessageKind.MEM_REPLY, addr, 0)
+
+
+def make_bank(**kwargs):
+    defaults = dict(size_bytes=1024, assoc=2, block_bytes=64, mshrs=2,
+                    hit_latency=6)
+    defaults.update(kwargs)
+    return L2Bank(5, 5, mc_terminal=9, **defaults)
+
+
+class TestHitPath:
+    def test_hit_replies_after_hit_latency(self):
+        bank = make_bank()
+        bank.cache.fill(100)
+        bank.receive_request(req(0, 100, core=3, src=3), cycle=10)
+        assert bank.tick(15) == []  # 6-cycle latency not elapsed
+        out = bank.tick(16)
+        assert out == [(MessageKind.L2_REPLY, 3, 100, 3)]
+        assert bank.hits == 1
+
+    def test_requests_processed_in_order(self):
+        bank = make_bank()
+        bank.cache.fill(1)
+        bank.cache.fill(2)
+        bank.receive_request(req(0, 1, src=1), cycle=0)
+        bank.receive_request(req(1, 2, src=2), cycle=1)
+        out = bank.tick(10)
+        assert [d[1] for d in out] == [1, 2]
+
+
+class TestMissPath:
+    def test_miss_sends_memory_request(self):
+        bank = make_bank()
+        bank.receive_request(req(0, 77), cycle=0)
+        out = bank.tick(6)
+        assert out == [(MessageKind.MEM_REQUEST, 9, 77, 0)]
+        assert bank.mshrs.outstanding(77)
+
+    def test_secondary_miss_merges(self):
+        bank = make_bank()
+        bank.receive_request(req(0, 77, core=1, src=1), cycle=0)
+        bank.receive_request(req(1, 77, core=2, src=2), cycle=0)
+        out = bank.tick(6)
+        assert len(out) == 1  # only one memory request
+        replies = bank.receive_fill(mem_reply(9, 77))
+        assert len(replies) == 2
+        assert {r[1] for r in replies} == {1, 2}
+
+    def test_fill_makes_block_resident(self):
+        bank = make_bank()
+        bank.receive_request(req(0, 77), cycle=0)
+        bank.tick(6)
+        bank.receive_fill(mem_reply(9, 77))
+        assert bank.cache.lookup(77)
+
+    def test_mshr_full_retries_later(self):
+        bank = make_bank(mshrs=1)
+        bank.receive_request(req(0, 1), cycle=0)
+        bank.receive_request(req(1, 2), cycle=0)
+        out = bank.tick(6)
+        assert len(out) == 1  # block 2 stuck in retry queue
+        assert bank.busy
+        bank.receive_fill(mem_reply(9, 1))
+        out2 = bank.tick(7)
+        assert (MessageKind.MEM_REQUEST, 9, 2, 0) in out2
+
+    def test_wrong_message_kinds_rejected(self):
+        bank = make_bank()
+        with pytest.raises(ValueError):
+            bank.receive_request(mem_reply(0, 1), 0)
+        with pytest.raises(ValueError):
+            bank.receive_fill(req(0, 1))
+
+    def test_busy_flag(self):
+        bank = make_bank()
+        assert not bank.busy
+        bank.receive_request(req(0, 1), cycle=0)
+        assert bank.busy
+        bank.tick(6)
+        assert bank.busy  # MSHR outstanding
+        bank.receive_fill(mem_reply(9, 1))
+        assert not bank.busy

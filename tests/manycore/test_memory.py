@@ -1,0 +1,56 @@
+"""Unit tests for the memory controller model."""
+
+import pytest
+
+from repro.manycore.memory import MemoryController
+from repro.manycore.messages import Message, MessageKind
+
+
+def mem_req(pid, addr, bank=5):
+    return Message(pid, bank, 9, 0, MessageKind.MEM_REQUEST, addr, 0)
+
+
+class TestMemoryController:
+    def test_reply_after_access_latency(self):
+        mc = MemoryController(0, 9, access_latency=160, service_interval=4)
+        mc.receive_request(mem_req(0, 42), cycle=0)
+        assert mc.tick(0) == []   # issued at cycle 0, completes at 160
+        assert mc.tick(159) == []
+        out = mc.tick(160)
+        assert out == [(MessageKind.MEM_REPLY, 5, 42, 0)]
+        assert mc.requests_served == 1
+
+    def test_bandwidth_serialization(self):
+        mc = MemoryController(0, 9, access_latency=10, service_interval=4)
+        for i in range(3):
+            mc.receive_request(mem_req(i, i), cycle=0)
+        completions = []
+        for t in range(40):
+            for reply in mc.tick(t):
+                completions.append((t, reply[2]))
+        # Issues at 0, 4, 8 -> completes at 10, 14, 18.
+        assert [t for t, _ in completions] == [10, 14, 18]
+
+    def test_busy_and_queue_depth(self):
+        mc = MemoryController(0, 9, access_latency=10, service_interval=4)
+        assert not mc.busy
+        mc.receive_request(mem_req(0, 1), cycle=0)
+        mc.receive_request(mem_req(1, 2), cycle=0)
+        assert mc.queue_depth == 2
+        mc.tick(0)
+        assert mc.queue_depth == 1
+        assert mc.busy
+        assert mc.peak_queue == 2
+
+    def test_rejects_wrong_kind(self):
+        mc = MemoryController(0, 9)
+        with pytest.raises(ValueError):
+            mc.receive_request(
+                Message(0, 0, 9, 0, MessageKind.L2_REQUEST, 1, 0), 0
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryController(0, 9, access_latency=0)
+        with pytest.raises(ValueError):
+            MemoryController(0, 9, service_interval=0)

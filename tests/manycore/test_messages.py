@@ -1,0 +1,42 @@
+"""Unit tests for manycore protocol messages."""
+
+import pytest
+
+from repro.manycore.messages import (
+    CONTROL_FLITS,
+    DATA_FLITS,
+    Message,
+    MessageKind,
+)
+
+
+class TestMessageSizes:
+    def test_requests_are_single_flit(self):
+        for kind in (MessageKind.L2_REQUEST, MessageKind.MEM_REQUEST):
+            msg = Message(0, 1, 2, 0, kind, 0x40, 1)
+            assert msg.num_flits == CONTROL_FLITS == 1
+
+    def test_data_replies_carry_a_block(self):
+        """64B block on a 128-bit datapath: 4 data flits + head = 5."""
+        for kind in (MessageKind.L2_REPLY, MessageKind.MEM_REPLY):
+            msg = Message(0, 1, 2, 0, kind, 0x40, 1)
+            assert msg.num_flits == DATA_FLITS == 5
+
+
+class TestMessageFields:
+    def test_packet_fields_inherited(self):
+        msg = Message(7, 3, 9, 100, MessageKind.L2_REQUEST, 0xABC, 3)
+        assert (msg.pid, msg.src, msg.dst, msg.created_cycle) == (7, 3, 9, 100)
+        assert msg.block_addr == 0xABC
+        assert msg.core_id == 3
+
+    def test_flit_segmentation_works(self):
+        msg = Message(0, 1, 2, 0, MessageKind.MEM_REPLY, 0x40, 1)
+        flits = msg.make_flits()
+        assert len(flits) == 5
+        assert flits[0].is_head and flits[-1].is_tail
+        assert all(f.packet is msg for f in flits)
+
+    def test_repr_mentions_kind(self):
+        msg = Message(0, 1, 2, 0, MessageKind.MEM_REQUEST, 0x40, 1)
+        assert "MEM_REQUEST" in repr(msg)

@@ -1,0 +1,137 @@
+"""Tests for writeback traffic (dirty L1/L2 evictions)."""
+
+import pytest
+
+from repro.manycore.benchmarks import BenchmarkProfile
+from repro.manycore.core_model import Core
+from repro.manycore.l2bank import L2Bank
+from repro.manycore.memory import MemoryController
+from repro.manycore.messages import Message, MessageKind
+from repro.manycore.system import ManycoreConfig, ManycoreSystem
+from repro.network.config import NetworkConfig, RouterConfig
+
+
+def make_core(dirty=0.5, seed=1):
+    profile = BenchmarkProfile("t", 200.0, 0.5)
+    return Core(0, 0, profile, max_outstanding=64, dirty_fraction=dirty, seed=seed)
+
+
+class TestCoreWritebacks:
+    def test_writebacks_generated_at_dirty_fraction(self):
+        core = make_core(dirty=0.5)
+        for t in range(3000):
+            core.tick(t)
+            for a in list(core.outstanding):
+                core.receive_reply(a)
+            core.take_writebacks()
+        assert core.writebacks_issued == pytest.approx(
+            0.5 * core.misses_issued, rel=0.15
+        )
+
+    def test_zero_dirty_fraction_means_no_writebacks(self):
+        core = make_core(dirty=0.0)
+        for t in range(500):
+            core.tick(t)
+            for a in list(core.outstanding):
+                core.receive_reply(a)
+        assert core.writebacks_issued == 0
+        assert core.take_writebacks() == []
+
+    def test_take_writebacks_drains(self):
+        core = make_core(dirty=1.0)
+        for t in range(100):
+            core.tick(t)
+            for a in list(core.outstanding):
+                core.receive_reply(a)
+        first = core.take_writebacks()
+        assert first
+        assert core.take_writebacks() == []
+
+    def test_dirty_fraction_validation(self):
+        with pytest.raises(ValueError):
+            make_core(dirty=1.5)
+
+
+class TestBankWritebacks:
+    def make_bank(self, dirty=1.0):
+        return L2Bank(5, 5, mc_terminal=9, size_bytes=128, assoc=2,
+                      block_bytes=64, mshrs=4, dirty_fraction=dirty, seed=1)
+
+    def test_l1_writeback_installs_block_silently(self):
+        bank = self.make_bank()
+        msg = Message(0, 1, 5, 0, MessageKind.L1_WRITEBACK, 7, 1)
+        bank.receive_writeback(msg)
+        assert bank.cache.lookup(7)
+        assert bank.writebacks_received == 1
+        # Demand statistics untouched.
+        assert bank.hits == 0 and bank.misses == 0
+
+    def test_fill_eviction_emits_l2_writeback(self):
+        bank = self.make_bank(dirty=1.0)  # 1 set, 2 ways
+        for addr in (0, 1):
+            bank.receive_request(
+                Message(addr, 1, 5, 0, MessageKind.L2_REQUEST, addr, 1), 0
+            )
+        bank.tick(10)  # two MEM_REQUESTs out
+        bank.receive_fill(Message(10, 9, 5, 0, MessageKind.MEM_REPLY, 0, 1))
+        bank.receive_fill(Message(11, 9, 5, 0, MessageKind.MEM_REPLY, 1, 1))
+        # Third block forces an eviction; with dirty_fraction=1 a writeback
+        # to the MC must appear among the fill's outgoing messages.
+        bank.receive_request(
+            Message(2, 1, 5, 0, MessageKind.L2_REQUEST, 2, 1), 20
+        )
+        bank.tick(30)
+        out = bank.receive_fill(Message(12, 9, 5, 0, MessageKind.MEM_REPLY, 2, 1))
+        kinds = [d[0] for d in out]
+        assert MessageKind.L2_WRITEBACK in kinds
+        wb = next(d for d in out if d[0] is MessageKind.L2_WRITEBACK)
+        assert wb[1] == 9  # to the MC terminal
+
+    def test_wrong_kind_rejected(self):
+        bank = self.make_bank()
+        with pytest.raises(ValueError):
+            bank.receive_writeback(
+                Message(0, 1, 5, 0, MessageKind.L2_REQUEST, 7, 1)
+            )
+
+
+class TestMemoryWritebacks:
+    def test_writeback_consumes_bandwidth_but_no_reply(self):
+        mc = MemoryController(0, 9, access_latency=10, service_interval=4)
+        mc.receive_request(
+            Message(0, 5, 9, 0, MessageKind.L2_WRITEBACK, 7, -1), 0
+        )
+        mc.receive_request(
+            Message(1, 5, 9, 0, MessageKind.MEM_REQUEST, 8, 1), 0
+        )
+        replies = []
+        for t in range(30):
+            replies.extend(mc.tick(t))
+        # Only the read produces a reply; the writeback delayed its issue.
+        assert len(replies) == 1
+        assert replies[0][0] is MessageKind.MEM_REPLY
+        assert mc.requests_served == 2
+
+
+class TestSystemWritebacks:
+    def test_writeback_traffic_flows_end_to_end(self):
+        cfg = NetworkConfig(topology="mesh", num_terminals=16,
+                            router=RouterConfig())
+        profiles = [BenchmarkProfile(f"s{i}", 80.0, 0.5) for i in range(16)]
+        system = ManycoreSystem(
+            cfg, profiles, config=ManycoreConfig(dirty_fraction=0.8), seed=1
+        )
+        system.run(warmup=200, measure=1500)
+        assert sum(c.writebacks_issued for c in system.cores) > 0
+        assert sum(b.writebacks_received for b in system.banks) > 0
+
+    def test_dirty_fraction_zero_suppresses_writebacks(self):
+        cfg = NetworkConfig(topology="mesh", num_terminals=16,
+                            router=RouterConfig())
+        profiles = [BenchmarkProfile(f"s{i}", 80.0, 0.5) for i in range(16)]
+        system = ManycoreSystem(
+            cfg, profiles, config=ManycoreConfig(dirty_fraction=0.0), seed=1
+        )
+        system.run(warmup=200, measure=800)
+        assert sum(b.writebacks_received for b in system.banks) == 0
+        assert sum(b.writebacks_emitted for b in system.banks) == 0

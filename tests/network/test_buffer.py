@@ -1,0 +1,68 @@
+"""Unit tests for VC buffers and credit state."""
+
+import pytest
+
+from repro.network.buffer import InputVC, OutVC, VCState
+from repro.network.flit import Packet
+
+
+def flits(n=4):
+    return Packet(0, 0, 1, n, 0).make_flits()
+
+
+class TestInputVC:
+    def test_initial_state(self):
+        vc = InputVC(port=1, index=2, depth=5)
+        assert vc.state is VCState.IDLE
+        assert vc.occupancy == 0
+        assert vc.head() is None
+        assert vc.out_port == -1
+
+    def test_push_pop_fifo(self):
+        vc = InputVC(0, 0, 5)
+        fs = flits(3)
+        for f in fs:
+            vc.push(f)
+        assert vc.occupancy == 3
+        assert vc.head() is fs[0]
+        assert [vc.pop() for _ in range(3)] == fs
+
+    def test_overflow_raises(self):
+        vc = InputVC(0, 0, 2)
+        fs = flits(3)
+        vc.push(fs[0])
+        vc.push(fs[1])
+        with pytest.raises(OverflowError, match="credit protocol"):
+            vc.push(fs[2])
+
+    def test_release_resets_routing_state(self):
+        vc = InputVC(0, 0, 5)
+        vc.state = VCState.ACTIVE
+        vc.out_port = 3
+        vc.out_vc = 2
+        vc.dst = 9
+        vc.release()
+        assert vc.state is VCState.IDLE
+        assert (vc.out_port, vc.out_vc, vc.dst) == (-1, -1, -1)
+
+    def test_release_with_flits_buffered_is_an_error(self):
+        vc = InputVC(0, 0, 5)
+        vc.push(flits(1)[0])
+        with pytest.raises(RuntimeError, match="atomic VC allocation"):
+            vc.release()
+
+
+class TestOutVC:
+    def test_initial_credits_equal_depth(self):
+        ovc = OutVC(5)
+        assert ovc.credits == 5
+        assert not ovc.allocated
+
+    def test_credit_cycle(self):
+        ovc = OutVC(2)
+        ovc.allocated = True
+        ovc.credits -= 1
+        ovc.credits -= 1
+        assert ovc.credits == 0
+        ovc.credits += 1
+        assert ovc.credits == 1

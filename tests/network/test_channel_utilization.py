@@ -1,0 +1,74 @@
+"""Tests for per-link utilization tracking."""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.flit import Packet
+from repro.network.network import Network
+from repro.topology.mesh import PORT_EAST
+
+
+def make_network():
+    return Network(
+        NetworkConfig(topology="mesh", num_terminals=16,
+                      router=RouterConfig(), packet_length=4)
+    )
+
+
+def run_until_idle(net, packets, max_cycles=2000):
+    for p in packets:
+        assert net.inject(p)
+    for _ in range(max_cycles):
+        net.step()
+        if net.idle():
+            break
+
+
+class TestLinkAccounting:
+    def test_every_topology_link_tracked(self):
+        net = make_network()
+        assert len(net.link_flits) == len(net.topology.links())
+        assert all(v == 0 for v in net.link_flits.values())
+
+    def test_single_packet_path_counted(self):
+        net = make_network()
+        run_until_idle(net, [Packet(0, 0, 3, 4, 0)])
+        # Path 0 -> 1 -> 2 -> 3, each eastbound link carries 4 flits.
+        for rid in (0, 1, 2):
+            assert net.link_flits[(rid, PORT_EAST)] == 4
+        # Links off the path carried nothing.
+        assert net.link_flits[(4, PORT_EAST)] == 0
+
+    def test_total_matches_counter(self):
+        net = make_network()
+        packets = [Packet(i, i % 16, (i * 5 + 2) % 16, 4, 0) for i in range(20)]
+        run_until_idle(net, packets)
+        assert sum(net.link_flits.values()) == net.counters.link_traversals
+
+
+class TestUtilization:
+    def test_utilization_bounded_by_one(self):
+        net = make_network()
+        packets = [Packet(i, i % 16, (i * 5 + 2) % 16, 4, 0) for i in range(40)]
+        run_until_idle(net, packets)
+        util = net.channel_utilization()
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_hottest_links_sorted(self):
+        net = make_network()
+        # All traffic from the west edge to the east edge: row links load up.
+        packets = [Packet(i, 0, 3, 4, 0) for i in range(10)]
+        run_until_idle(net, packets)
+        hottest = net.hottest_links(3)
+        utils = [u for _, u in hottest]
+        assert utils == sorted(utils, reverse=True)
+        assert hottest[0][1] > 0
+
+    def test_hottest_links_validation(self):
+        with pytest.raises(ValueError):
+            make_network().hottest_links(0)
+
+    def test_idle_network_reports_zero(self):
+        net = make_network()
+        net.run(10)
+        assert all(u == 0.0 for u in net.channel_utilization().values())

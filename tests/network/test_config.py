@@ -1,0 +1,80 @@
+"""Unit tests for router/network configuration."""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig, paper_config
+
+
+class TestRouterConfig:
+    def test_paper_defaults(self):
+        rc = RouterConfig()
+        assert rc.num_vcs == 6
+        assert rc.buffer_depth == 5
+        assert rc.pipeline_stages == 3
+        assert rc.allocator == "input_first"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_vcs", 0),
+            ("buffer_depth", 0),
+            ("virtual_inputs", 0),
+            ("credit_delay", -1),
+            ("pipeline_stages", 0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            RouterConfig(**{field: value})
+
+    def test_effective_virtual_inputs_baseline(self):
+        assert RouterConfig(allocator="input_first").effective_virtual_inputs == 1
+        assert RouterConfig(allocator="wavefront").effective_virtual_inputs == 1
+        assert RouterConfig(allocator="augmenting_path").effective_virtual_inputs == 1
+
+    def test_effective_virtual_inputs_vix(self):
+        assert RouterConfig(allocator="vix", virtual_inputs=2).effective_virtual_inputs == 2
+        assert RouterConfig(allocator="ideal_vix").effective_virtual_inputs == 6
+
+    def test_vix_k_capped_by_vcs(self):
+        rc = RouterConfig(allocator="vix", virtual_inputs=8, num_vcs=4)
+        assert rc.effective_virtual_inputs == 4
+
+
+class TestNetworkConfig:
+    def test_defaults_match_methodology(self):
+        cfg = NetworkConfig()
+        assert cfg.num_terminals == 64
+        assert cfg.flit_width_bits == 128
+        assert cfg.packet_length == 4  # 512-bit packets
+
+    def test_with_router_replaces_fields(self):
+        cfg = NetworkConfig()
+        cfg2 = cfg.with_router(num_vcs=4)
+        assert cfg2.router.num_vcs == 4
+        assert cfg.router.num_vcs == 6  # original untouched
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(num_terminals=1)
+
+
+class TestPaperConfig:
+    def test_vix_enables_dimension_policy(self):
+        cfg = paper_config("vix")
+        assert cfg.router.vc_policy == "vix_dimension"
+        assert cfg.router.allocator == "vix"
+
+    def test_baseline_uses_max_credit(self):
+        cfg = paper_config("if")
+        assert cfg.router.vc_policy == "max_credit"
+        assert cfg.router.allocator == "input_first"
+
+    def test_aliases_resolve(self):
+        assert paper_config("WF").router.allocator == "wavefront"
+        assert paper_config("ideal").router.allocator == "ideal_vix"
+
+    def test_topology_and_vcs_pass_through(self):
+        cfg = paper_config("vix", topology="fbfly", num_vcs=4)
+        assert cfg.topology == "fbfly"
+        assert cfg.router.num_vcs == 4

@@ -1,0 +1,64 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.network.flit import Flit, FlitType, Packet
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        p = Packet(7, src=1, dst=2, num_flits=4, created_cycle=10)
+        assert (p.pid, p.src, p.dst, p.num_flits, p.created_cycle) == (7, 1, 2, 4, 10)
+        assert p.ejected_cycle == -1
+
+    def test_latency_requires_ejection(self):
+        p = Packet(0, 0, 1, 1, 5)
+        with pytest.raises(ValueError):
+            _ = p.latency
+        p.ejected_cycle = 25
+        assert p.latency == 20
+
+    def test_rejects_empty_packet(self):
+        with pytest.raises(ValueError):
+            Packet(0, 0, 1, 0, 0)
+
+    def test_multiflit_segmentation(self):
+        p = Packet(0, 0, 1, 4, 0)
+        flits = p.make_flits()
+        assert [f.ftype for f in flits] == [
+            FlitType.HEAD, FlitType.BODY, FlitType.BODY, FlitType.TAIL,
+        ]
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+        assert all(f.packet is p for f in flits)
+
+    def test_two_flit_packet_has_no_body(self):
+        flits = Packet(0, 0, 1, 2, 0).make_flits()
+        assert [f.ftype for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_single_flit_packet(self):
+        flits = Packet(0, 0, 1, 1, 0).make_flits()
+        assert len(flits) == 1
+        assert flits[0].ftype is FlitType.SINGLE
+
+
+class TestFlit:
+    def test_head_predicate(self):
+        p = Packet(0, 0, 1, 4, 0)
+        assert Flit(p, FlitType.HEAD, 0).is_head
+        assert Flit(p, FlitType.SINGLE, 0).is_head
+        assert not Flit(p, FlitType.BODY, 1).is_head
+        assert not Flit(p, FlitType.TAIL, 3).is_head
+
+    def test_tail_predicate(self):
+        p = Packet(0, 0, 1, 4, 0)
+        assert Flit(p, FlitType.TAIL, 3).is_tail
+        assert Flit(p, FlitType.SINGLE, 0).is_tail
+        assert not Flit(p, FlitType.HEAD, 0).is_tail
+        assert not Flit(p, FlitType.BODY, 1).is_tail
+
+    def test_exactly_one_head_one_tail_per_packet(self):
+        for n in (1, 2, 3, 8):
+            flits = Packet(0, 0, 1, n, 0).make_flits()
+            assert sum(1 for f in flits if f.is_head) == 1
+            assert sum(1 for f in flits if f.is_tail) == 1
+            assert len(flits) == n

@@ -1,0 +1,88 @@
+"""Unit tests for the network interface (injection side)."""
+
+from repro.core.vc_policy import MaxCreditPolicy
+from repro.network.config import RouterConfig
+from repro.network.flit import Packet
+from repro.network.interface import NetworkInterface
+from repro.topology.mesh import MeshTopology
+
+
+def make_ni(max_queue=4, **router_kwargs):
+    topo = MeshTopology(4, 4)
+    rc = RouterConfig(**router_kwargs)
+    return NetworkInterface(
+        terminal=0,
+        router_id=0,
+        local_port=0,
+        config=rc,
+        policy=MaxCreditPolicy(),
+        topology=topo,
+        max_queue=max_queue,
+    )
+
+
+class TestQueueing:
+    def test_enqueue_within_limit(self):
+        ni = make_ni(max_queue=2)
+        assert ni.enqueue(Packet(0, 0, 3, 4, 0))
+        assert ni.enqueue(Packet(1, 0, 3, 4, 0))
+        assert not ni.enqueue(Packet(2, 0, 3, 4, 0))
+        assert ni.packets_dropped == 1
+        assert ni.queue_length == 2
+
+    def test_pending_flits_counts_queued_packets(self):
+        ni = make_ni()
+        ni.enqueue(Packet(0, 0, 3, 4, 0))
+        assert ni.pending_flits() == 4
+
+
+class TestInjection:
+    def test_idle_ni_sends_nothing(self):
+        assert make_ni().next_flit() is None
+
+    def test_head_flit_allocates_vc_and_consumes_credit(self):
+        ni = make_ni()
+        ni.enqueue(Packet(0, 0, 3, 4, 0))
+        vc, flit = ni.next_flit()
+        assert flit.is_head
+        assert ni.out_vcs[vc].allocated
+        assert ni.out_vcs[vc].credits == 4  # depth 5 minus 1
+
+    def test_one_flit_per_cycle(self):
+        ni = make_ni()
+        ni.enqueue(Packet(0, 0, 3, 4, 0))
+        sent = [ni.next_flit() for _ in range(4)]
+        assert all(s is not None for s in sent)
+        vcs = {vc for vc, _ in sent}
+        assert len(vcs) == 1  # whole packet on one VC
+        assert sent[-1][1].is_tail
+        assert ni.next_flit() is None
+
+    def test_blocks_without_credit(self):
+        ni = make_ni(buffer_depth=2)
+        ni.enqueue(Packet(0, 0, 3, 4, 0))
+        assert ni.next_flit() is not None
+        assert ni.next_flit() is not None
+        assert ni.next_flit() is None  # 2 credits gone
+        vc = [i for i, o in enumerate(ni.out_vcs) if o.allocated][0]
+        ni.out_vcs[vc].credits += 1
+        assert ni.next_flit() is not None
+
+    def test_blocks_when_all_vcs_allocated(self):
+        ni = make_ni(num_vcs=1)
+        ni.enqueue(Packet(0, 0, 3, 1, 0))
+        ni.next_flit()
+        # VC 0 allocated (tail credit not yet returned); next packet waits.
+        ni.enqueue(Packet(1, 0, 5, 1, 0))
+        assert ni.next_flit() is None
+        ni.out_vcs[0].allocated = False
+        assert ni.next_flit() is not None
+
+    def test_second_packet_uses_free_vc(self):
+        ni = make_ni()
+        ni.enqueue(Packet(0, 0, 3, 1, 0))
+        ni.enqueue(Packet(1, 0, 5, 1, 0))
+        vc0, f0 = ni.next_flit()
+        vc1, f1 = ni.next_flit()
+        assert f0.packet.pid == 0 and f1.packet.pid == 1
+        assert vc0 != vc1  # first VC still allocated

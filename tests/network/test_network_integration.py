@@ -1,0 +1,192 @@
+"""Integration tests: whole-network behaviour end to end."""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.flit import Packet
+from repro.network.network import Network
+
+
+def make_network(allocator="input_first", terminals=16, topology="mesh", **rk):
+    cfg = NetworkConfig(
+        topology=topology,
+        num_terminals=terminals,
+        router=RouterConfig(allocator=allocator, **rk),
+        packet_length=4,
+    )
+    return Network(cfg)
+
+
+class RecordingStats:
+    """Minimal observer capturing ejection events."""
+
+    def __init__(self):
+        self.packets = []
+        self.flits = []
+
+    def on_flit_ejected(self, terminal, cycle):
+        self.flits.append((terminal, cycle))
+
+    def on_packet_ejected(self, packet, cycle):
+        self.packets.append((packet, cycle))
+
+
+def deliver(net, packets, max_cycles=500):
+    stats = RecordingStats()
+    net.stats = stats
+    for p in packets:
+        assert net.inject(p)
+    for _ in range(max_cycles):
+        net.step()
+        if net.idle():
+            break
+    return stats
+
+
+class TestSinglePacketDelivery:
+    def test_packet_reaches_destination(self):
+        net = make_network()
+        stats = deliver(net, [Packet(0, src=0, dst=15, num_flits=4, created_cycle=0)])
+        assert len(stats.packets) == 1
+        packet, cycle = stats.packets[0]
+        assert packet.pid == 0
+        assert packet.ejected_cycle == cycle
+
+    def test_all_flits_ejected_at_destination(self):
+        net = make_network()
+        stats = deliver(net, [Packet(0, 0, 15, 4, 0)])
+        assert len(stats.flits) == 4
+        assert all(term == 15 for term, _ in stats.flits)
+
+    def test_self_traffic_same_terminal(self):
+        net = make_network()
+        stats = deliver(net, [Packet(0, 5, 5, 4, 0)])
+        assert len(stats.packets) == 1
+
+    def test_network_idle_after_drain(self):
+        net = make_network()
+        deliver(net, [Packet(0, 0, 15, 4, 0)])
+        assert net.idle()
+        assert net.outstanding_flits() == 0
+
+    def test_zero_load_latency_scales_with_hops(self):
+        """Each extra mesh hop costs exactly pipeline_stages cycles."""
+        lat = {}
+        for dst in (1, 2, 3):  # 1, 2, 3 hops east on the 4x4 mesh
+            net = make_network()
+            stats = deliver(net, [Packet(0, 0, dst, 4, 0)])
+            lat[dst] = stats.packets[0][1]
+        assert lat[2] - lat[1] == 3
+        assert lat[3] - lat[2] == 3
+
+
+class TestConservationAndOrdering:
+    @pytest.mark.parametrize(
+        "allocator",
+        ["input_first", "wavefront", "augmenting_path", "packet_chaining", "vix", "ideal_vix"],
+    )
+    def test_flit_conservation(self, allocator):
+        """Every injected flit is ejected exactly once, for every allocator."""
+        net = make_network(allocator=allocator)
+        packets = [
+            Packet(i, src=i % 16, dst=(i * 7 + 3) % 16, num_flits=4, created_cycle=0)
+            for i in range(40)
+        ]
+        stats = deliver(net, packets, max_cycles=3000)
+        assert len(stats.packets) == 40
+        assert len(stats.flits) == 40 * 4
+        assert net.counters.flits_ejected == 160
+        assert net.counters.packets_ejected == 40
+
+    def test_flits_of_packet_arrive_in_order(self):
+        net = make_network()
+
+        seen = []
+
+        class OrderStats(RecordingStats):
+            def on_flit_ejected(self, terminal, cycle):
+                seen.append(cycle)
+
+        net.stats = OrderStats()
+        net.inject(Packet(0, 0, 15, 4, 0))
+        for _ in range(200):
+            net.step()
+            if net.idle():
+                break
+        assert seen == sorted(seen)
+        assert len(seen) == 4
+
+    def test_per_flow_packet_order_preserved(self):
+        """Same src->dst packets leave in injection order (same VC path
+        ordering is not guaranteed across VCs, but tails cannot overtake
+        when using distinct pids we can still check count)."""
+        net = make_network()
+        packets = [Packet(i, 0, 15, 4, 0) for i in range(6)]
+        stats = deliver(net, packets, max_cycles=1000)
+        assert len(stats.packets) == 6
+
+
+class TestCreditProtocol:
+    def test_credits_restored_after_drain(self):
+        net = make_network()
+        deliver(net, [Packet(0, 0, 15, 4, 0)])
+        for router in net.routers:
+            for out in router.outputs:
+                if out is None or out.is_ejection:
+                    continue
+                for ovc in out.out_vcs:
+                    assert ovc.credits == net.config.router.buffer_depth
+                    assert not ovc.allocated
+        for ni in net.interfaces:
+            for ovc in ni.out_vcs:
+                assert ovc.credits == net.config.router.buffer_depth
+                assert not ovc.allocated
+
+    def test_no_buffer_overflow_under_stress(self):
+        """Hammer one destination: credits must prevent any overflow."""
+        net = make_network(buffer_depth=2, num_vcs=2)
+        packets = [Packet(i, src=i % 15, dst=15, num_flits=4, created_cycle=0)
+                   for i in range(30)]
+        stats = deliver(net, packets, max_cycles=5000)
+        assert len(stats.packets) == 30  # OverflowError would have raised
+
+    def test_activity_counters_consistent(self):
+        net = make_network()
+        deliver(net, [Packet(0, 0, 3, 4, 0)])
+        c = net.counters
+        assert c.buffer_reads == c.buffer_writes  # drained network
+        assert c.xbar_traversals == c.buffer_reads
+        # Terminal 0 -> 3: routers 0-1-2-3, i.e. 3 inter-router links,
+        # crossed by each of the 4 flits (injection is not a network link).
+        assert c.link_traversals == 4 * 3
+        assert c.buffer_writes == 4 * 4  # buffered in each of 4 routers
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("topology,terminals", [("cmesh", 16), ("fbfly", 16)])
+    def test_delivery_on_concentrated_topologies(self, topology, terminals):
+        net = make_network(topology=topology, terminals=terminals)
+        packets = [
+            Packet(i, src=i % terminals, dst=(i * 5 + 2) % terminals,
+                   num_flits=4, created_cycle=0)
+            for i in range(30)
+        ]
+        stats = deliver(net, packets, max_cycles=3000)
+        assert len(stats.packets) == 30
+
+
+class TestVIXBehaviour:
+    def test_two_flits_leave_one_input_port_same_cycle(self):
+        """The Fig. 4 property observed in the real router pipeline."""
+        net = make_network(allocator="vix", virtual_inputs=2)
+        router = net.routers[1]  # middle of the bottom row
+        # Two packets arrive on the west input port in different VC groups,
+        # one ejecting locally, one continuing east.
+        p_local = Packet(0, 0, 1, 1, 0)
+        p_east = Packet(1, 0, 2, 1, 0)
+        router.accept_flit(2, 0, p_local.make_flits()[0])  # VC0, group 0
+        router.accept_flit(2, 3, p_east.make_flits()[0])   # VC3, group 1
+        router.vc_allocate()
+        grants = router.switch_allocate()
+        assert len(grants) == 2
+        assert {g.out_port for g in grants} == {0, 1}  # local + east

@@ -1,0 +1,75 @@
+"""Structural tests: the Network must wire routers exactly per topology."""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.interface import NetworkInterface
+from repro.network.network import Network
+
+
+def make_network(topology="mesh", terminals=16):
+    return Network(
+        NetworkConfig(topology=topology, num_terminals=terminals,
+                      router=RouterConfig())
+    )
+
+
+@pytest.mark.parametrize("topology,terminals", [
+    ("mesh", 16), ("cmesh", 16), ("fbfly", 16), ("mesh", 64),
+])
+class TestWiring:
+    def test_output_ports_match_topology(self, topology, terminals):
+        net = make_network(topology, terminals)
+        topo = net.topology
+        for router in net.routers:
+            for port in range(topo.radix):
+                out = router.outputs[port]
+                if topo.is_local_port(port):
+                    assert out is not None and out.is_ejection
+                elif topo.neighbor(router.rid, port) is None:
+                    assert out is None  # dead mesh edge
+                else:
+                    nb = topo.neighbor(router.rid, port)
+                    assert (out.dest_router, out.dest_port) == nb
+
+    def test_upstream_pointers_are_consistent(self, topology, terminals):
+        """router B's input p upstream must be the OutputPort that targets
+        (B, p) — or the NI on local ports."""
+        net = make_network(topology, terminals)
+        topo = net.topology
+        for router in net.routers:
+            for port in range(topo.radix):
+                upstream = router.upstream[port]
+                if topo.is_local_port(port):
+                    if upstream is not None:  # local port with a terminal
+                        assert isinstance(upstream, NetworkInterface)
+                        assert upstream.router_id == router.rid
+                        assert upstream.local_port == port
+                elif upstream is not None:
+                    assert upstream.dest_router == router.rid
+                    assert upstream.dest_port == port
+
+    def test_every_terminal_has_an_interface(self, topology, terminals):
+        net = make_network(topology, terminals)
+        assert len(net.interfaces) == terminals
+        for t, ni in enumerate(net.interfaces):
+            assert ni.terminal == t
+            r, lp = net.topology.router_of(t)
+            assert (ni.router_id, ni.local_port) == (r, lp)
+
+
+class TestConstructionErrors:
+    def test_terminal_count_mismatch_with_custom_topology(self):
+        from repro.topology import make_topology
+
+        topo = make_topology("mesh", 16)
+        cfg = NetworkConfig(topology="mesh", num_terminals=64,
+                            router=RouterConfig())
+        with pytest.raises(ValueError, match="terminals"):
+            Network(cfg, topology=topo)
+
+    def test_counters_start_at_zero(self):
+        net = make_network()
+        assert net.counters.cycles == 0
+        assert net.cycle == 0
+        assert net.idle()

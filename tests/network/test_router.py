@@ -1,0 +1,140 @@
+"""Unit tests for the router pipeline (VA + SA stages)."""
+
+import pytest
+
+from repro.network.buffer import VCState
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.flit import Packet
+from repro.network.network import Network
+from repro.topology.mesh import PORT_EAST, PORT_LOCAL, PORT_WEST
+
+
+def make_network(**router_kwargs):
+    cfg = NetworkConfig(
+        topology="mesh",
+        num_terminals=16,
+        router=RouterConfig(**router_kwargs),
+        packet_length=4,
+    )
+    return Network(cfg)
+
+
+def head_flit(dst, num_flits=1, pid=0):
+    return Packet(pid, 0, dst, num_flits, 0).make_flits()[0]
+
+
+class TestArrival:
+    def test_head_flit_triggers_lookahead_routing(self):
+        net = make_network()
+        router = net.routers[0]
+        # Destination terminal 3 is due east of router 0.
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3))
+        ivc = router.inputs[PORT_LOCAL][0]
+        assert ivc.out_port == PORT_EAST
+        assert ivc.state is VCState.VA_WAIT
+        assert ivc.dst == 3
+
+    def test_head_to_local_destination_skips_va(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=0))
+        ivc = router.inputs[PORT_LOCAL][0]
+        assert ivc.out_port == PORT_LOCAL
+        assert ivc.state is VCState.ACTIVE  # ejection needs no out VC
+        assert ivc.out_vc == 0
+
+    def test_head_on_busy_vc_is_protocol_violation(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3))
+        with pytest.raises(RuntimeError, match="busy VC"):
+            router.accept_flit(PORT_LOCAL, 0, head_flit(dst=5, pid=1))
+
+
+class TestVCAllocation:
+    def test_va_grants_free_downstream_vc(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3))
+        assert router.vc_allocate() == 1
+        ivc = router.inputs[PORT_LOCAL][0]
+        assert ivc.state is VCState.ACTIVE
+        assert 0 <= ivc.out_vc < 6
+        out = router.outputs[PORT_EAST]
+        assert out.out_vcs[ivc.out_vc].allocated
+
+    def test_va_blocks_when_all_vcs_allocated(self):
+        net = make_network(num_vcs=2)
+        router = net.routers[0]
+        out = router.outputs[PORT_EAST]
+        for ovc in out.out_vcs:
+            ovc.allocated = True
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3))
+        assert router.vc_allocate() == 0
+        assert router.inputs[PORT_LOCAL][0].state is VCState.VA_WAIT
+
+    def test_va_grants_multiple_vcs_per_output_per_cycle(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3, pid=0))
+        router.accept_flit(PORT_WEST, 1, head_flit(dst=3, pid=1))
+        assert router.vc_allocate() == 2
+        a = router.inputs[PORT_LOCAL][0].out_vc
+        b = router.inputs[PORT_WEST][1].out_vc
+        assert a != b  # distinct downstream VCs
+
+    def test_va_respects_queue_order_fairness(self):
+        net = make_network(num_vcs=1)  # only one downstream VC
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3, pid=0))
+        router.accept_flit(PORT_WEST, 0, head_flit(dst=3, pid=1))
+        assert router.vc_allocate() == 1
+        granted = [
+            p for p, port in ((PORT_LOCAL, router.inputs[PORT_LOCAL][0]),
+                              (PORT_WEST, router.inputs[PORT_WEST][0]))
+            if port.state is VCState.ACTIVE
+        ]
+        assert len(granted) == 1
+
+
+class TestSwitchAllocation:
+    def test_active_vc_with_credit_requests(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3))
+        router.vc_allocate()
+        grants = router.switch_allocate()
+        assert len(grants) == 1
+        g = grants[0]
+        assert (g.in_port, g.vc, g.out_port) == (PORT_LOCAL, 0, PORT_EAST)
+
+    def test_no_credit_no_request(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_LOCAL, 0, head_flit(dst=3))
+        router.vc_allocate()
+        ivc = router.inputs[PORT_LOCAL][0]
+        router.outputs[PORT_EAST].out_vcs[ivc.out_vc].credits = 0
+        assert router.switch_allocate() == []
+
+    def test_ejection_needs_no_credit(self):
+        net = make_network()
+        router = net.routers[0]
+        router.accept_flit(PORT_WEST, 0, head_flit(dst=0))
+        grants = router.switch_allocate()
+        assert len(grants) == 1
+        assert grants[0].out_port == PORT_LOCAL
+
+    def test_empty_router_no_grants(self):
+        net = make_network()
+        assert net.routers[5].switch_allocate() == []
+
+    def test_buffered_flits_counts(self):
+        net = make_network()
+        router = net.routers[0]
+        flits = Packet(0, 0, 3, 3, 0).make_flits()
+        for i, f in enumerate(flits):
+            router.inputs[PORT_LOCAL][0].push(f) if i else router.accept_flit(
+                PORT_LOCAL, 0, f
+            )
+        assert router.buffered_flits() == 3

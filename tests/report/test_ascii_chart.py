@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart renderers."""
+
+import math
+
+import pytest
+
+from repro.report.ascii_chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_single_series(self):
+        text = line_chart(
+            {"IF": [(0.0, 10.0), (0.5, 20.0), (1.0, 40.0)]},
+            width=20,
+            height=6,
+            x_label="rate",
+            y_label="latency",
+        )
+        assert "*" in text
+        assert "latency vs rate" in text
+        assert "* IF" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart(
+            {"IF": [(0, 1), (1, 2)], "VIX": [(0, 1), (1, 1.5)]},
+            width=20,
+            height=6,
+        )
+        assert "* IF" in text and "o VIX" in text
+
+    def test_monotone_series_rises_leftward_to_rightward(self):
+        text = line_chart({"s": [(0, 0), (1, 100)]}, width=20, height=5)
+        rows = [line[10:] for line in text.splitlines()[:5]]
+        top_col = rows[0].index("*")
+        bottom_col = rows[-1].index("*")
+        assert bottom_col < top_col
+
+    def test_skips_non_finite_points(self):
+        text = line_chart(
+            {"s": [(0, 1.0), (0.5, math.nan), (1.0, math.inf), (1.5, 2.0)]},
+            width=20,
+            height=5,
+        )
+        grid_only = "\n".join(text.splitlines()[:5])  # exclude axis + legend
+        assert grid_only.count("*") == 2
+
+    def test_y_cap_clamps_outliers(self):
+        text = line_chart(
+            {"s": [(0, 1.0), (1, 1000.0)]}, width=20, height=5, y_max=10.0
+        )
+        assert "10" in text.splitlines()[0]
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, math.nan)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 1)]}, width=2, height=2)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"IF": 1.0, "VIX": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        text = bar_chart({"a": 0.377, "b": 0.429}, unit=" f/c")
+        assert "0.377 f/c" in text and "0.429 f/c" in text
+
+    def test_non_finite_marked(self):
+        text = bar_chart({"a": 1.0, "b": math.inf})
+        assert "n/a" in text
+
+    def test_zero_value_gets_empty_bar(self):
+        text = bar_chart({"a": 0.0, "b": 1.0})
+        assert "|" in text.splitlines()[0]
+        assert "#" not in text.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

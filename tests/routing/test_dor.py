@@ -1,0 +1,42 @@
+"""Unit tests for the dimension-order routing helpers."""
+
+from repro.routing.dor import (
+    MeshDirection,
+    fbfly_hops,
+    fbfly_next_dimension,
+    mesh_hops,
+    mesh_next_direction,
+)
+
+
+class TestMeshNextDirection:
+    def test_local(self):
+        assert mesh_next_direction(3, 3, 3, 3) is MeshDirection.LOCAL
+
+    def test_x_resolves_first(self):
+        assert mesh_next_direction(0, 0, 2, 5) is MeshDirection.EAST
+        assert mesh_next_direction(4, 0, 2, 5) is MeshDirection.WEST
+
+    def test_y_after_x(self):
+        assert mesh_next_direction(2, 0, 2, 5) is MeshDirection.SOUTH
+        assert mesh_next_direction(2, 7, 2, 5) is MeshDirection.NORTH
+
+    def test_hops_is_manhattan(self):
+        assert mesh_hops(0, 0, 3, 4) == 7
+        assert mesh_hops(5, 5, 5, 5) == 0
+
+
+class TestFbflyNextDimension:
+    def test_local(self):
+        assert fbfly_next_dimension(1, 2, 1, 2) is None
+
+    def test_x_first(self):
+        assert fbfly_next_dimension(0, 0, 3, 2) == (0, 3)
+
+    def test_y_after_x(self):
+        assert fbfly_next_dimension(3, 0, 3, 2) == (1, 2)
+
+    def test_hops(self):
+        assert fbfly_hops(0, 0, 3, 2) == 2
+        assert fbfly_hops(0, 2, 3, 2) == 1
+        assert fbfly_hops(3, 2, 3, 2) == 0

@@ -1,0 +1,99 @@
+"""Focused tests for engine details: drain semantics, result fields."""
+
+import math
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.sim.engine import Simulation, run_simulation
+
+
+def small_config(**rk):
+    return NetworkConfig(
+        topology="mesh",
+        num_terminals=16,
+        router=RouterConfig(**rk),
+        packet_length=4,
+    )
+
+
+class TestDrainSemantics:
+    def test_drain_limit_zero_skips_drain(self):
+        sim = Simulation(small_config(), injection_rate=0.05, seed=3)
+        res = sim.run(warmup=100, measure=300, drain_limit=0)
+        # Cycles = warmup + measure exactly: no drain phase ran.
+        assert res.cycles == 400
+
+    def test_drain_runs_until_measured_packets_finish(self):
+        res = run_simulation(
+            small_config(), injection_rate=0.02, seed=3,
+            warmup=100, measure=300,
+        )
+        assert res.drained
+        # Latency samples exist for (nearly) all measured packets.
+        assert res.packets_created > 0
+
+    def test_undrained_run_reports_partial_latency(self):
+        res = run_simulation(
+            small_config(), injection_rate=1.0, seed=3,
+            warmup=100, measure=300, drain_limit=50,
+        )
+        assert not res.drained
+        # Latency is still reported over the delivered subset.
+        assert math.isnan(res.avg_latency) or res.avg_latency > 0
+
+
+class TestResultFields:
+    def test_throughput_flits_per_node_divides_by_terminals(self):
+        res = run_simulation(
+            small_config(), injection_rate=0.03, seed=3,
+            warmup=100, measure=400,
+        )
+        assert res.throughput_flits_per_node == pytest.approx(
+            res.throughput_flits / 16
+        )
+
+    def test_counters_snapshot_present(self):
+        res = run_simulation(
+            small_config(), injection_rate=0.03, seed=3,
+            warmup=50, measure=200,
+        )
+        assert res.counters["cycles"] >= 250
+        assert res.counters["flits_ejected"] > 0
+
+    def test_per_source_counts_shape(self):
+        res = run_simulation(
+            small_config(), injection_rate=0.05, seed=3,
+            warmup=100, measure=300,
+        )
+        assert len(res.per_source_ejected) == 16
+        assert sum(res.per_source_ejected) == res.packets_ejected
+
+    def test_metadata_fields(self):
+        res = run_simulation(
+            small_config(allocator="vix"), injection_rate=0.02, seed=3,
+            warmup=50, measure=150,
+        )
+        assert res.allocator == "vix"
+        assert res.topology == "mesh"
+        assert res.injection_rate == 0.02
+        assert res.packet_length == 4
+
+
+class TestPatternIntegration:
+    @pytest.mark.parametrize("pattern", ["transpose", "neighbor", "tornado"])
+    def test_permutation_patterns_run_end_to_end(self, pattern):
+        res = run_simulation(
+            small_config(), pattern=pattern, injection_rate=0.05, seed=3,
+            warmup=100, measure=400,
+        )
+        assert res.packets_ejected > 0
+
+    def test_pattern_object_accepted(self):
+        from repro.traffic.patterns import Transpose
+
+        res = run_simulation(
+            small_config(), pattern=Transpose(16), injection_rate=0.05,
+            seed=3, warmup=100, measure=300,
+        )
+        assert res.packets_ejected > 0

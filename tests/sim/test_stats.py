@@ -1,0 +1,116 @@
+"""Unit tests for the statistics collector."""
+
+import math
+
+import pytest
+
+from repro.network.flit import Packet
+from repro.sim.stats import StatsCollector
+
+
+def make_packet(pid, src=0, created=10):
+    return Packet(pid, src, 1, 4, created)
+
+
+class TestWindowing:
+    def test_open_window_validation(self):
+        s = StatsCollector(4)
+        with pytest.raises(ValueError):
+            s.open_window(10, 10)
+
+    def test_events_outside_window_ignored(self):
+        s = StatsCollector(4)
+        s.open_window(10, 20)
+        s.on_packet_created(make_packet(0, created=5))   # too early
+        s.on_packet_created(make_packet(1, created=20))  # too late
+        assert s.packets_created == 0
+        s.on_flit_ejected(0, 9)
+        s.on_flit_ejected(0, 20)
+        assert s.flits_ejected == 0
+
+    def test_events_inside_window_counted(self):
+        s = StatsCollector(4)
+        s.open_window(10, 20)
+        s.on_packet_created(make_packet(0, created=10))
+        s.on_flit_ejected(0, 19)
+        assert s.packets_created == 1
+        assert s.flits_ejected == 1
+
+
+class TestLatency:
+    def test_latency_of_measured_packet(self):
+        s = StatsCollector(4)
+        s.open_window(0, 100)
+        p = make_packet(0, created=10)
+        s.on_packet_created(p)
+        p.ejected_cycle = 42
+        s.on_packet_ejected(p, 42)
+        assert s.avg_latency() == 32
+        assert s.outstanding == 0
+
+    def test_latency_recorded_even_after_window(self):
+        """Packets created in-window are tracked through the drain phase."""
+        s = StatsCollector(4)
+        s.open_window(0, 20)
+        p = make_packet(0, created=15)
+        s.on_packet_created(p)
+        s.on_packet_ejected(p, 90)
+        assert s.avg_latency() == 75
+
+    def test_unmeasured_packet_ignored_for_latency(self):
+        s = StatsCollector(4)
+        s.open_window(10, 20)
+        p = make_packet(0, created=5)
+        s.on_packet_created(p)
+        s.on_packet_ejected(p, 15)
+        assert math.isnan(s.avg_latency())
+
+    def test_percentiles(self):
+        s = StatsCollector(4)
+        s.open_window(0, 1000)
+        for i in range(10):
+            p = make_packet(i, created=0)
+            s.on_packet_created(p)
+            s.on_packet_ejected(p, (i + 1) * 10)
+        assert s.latency_percentile(0) == 10
+        assert s.latency_percentile(100) == 100
+        # index round(4.5) = 4 under banker's rounding -> 5th smallest.
+        assert s.latency_percentile(50) == 50
+        with pytest.raises(ValueError):
+            s.latency_percentile(120)
+
+
+class TestThroughputAndFairness:
+    def test_throughput_metrics(self):
+        s = StatsCollector(4)
+        s.open_window(0, 100)
+        for i in range(20):
+            p = make_packet(i, src=i % 4, created=1)
+            s.on_packet_created(p)
+            s.on_packet_ejected(p, 50)
+            for _ in range(4):
+                s.on_flit_ejected(1, 50)
+        assert s.throughput_flits_per_cycle() == pytest.approx(0.8)
+        assert s.throughput_packets_per_node() == pytest.approx(0.05)
+
+    def test_fairness_ratio(self):
+        s = StatsCollector(2)
+        s.open_window(0, 100)
+        for i, src in enumerate([0, 0, 0, 1]):
+            p = make_packet(i, src=src, created=1)
+            s.on_packet_created(p)
+            s.on_packet_ejected(p, 10)
+        assert s.fairness_max_min_ratio() == 3.0
+
+    def test_fairness_with_starved_source_is_inf(self):
+        s = StatsCollector(2)
+        s.open_window(0, 100)
+        p = make_packet(0, src=0, created=1)
+        s.on_packet_created(p)
+        s.on_packet_ejected(p, 10)
+        assert s.fairness_max_min_ratio() == math.inf
+
+    def test_fairness_nan_when_nothing_delivered(self):
+        s = StatsCollector(2)
+        s.open_window(0, 100)
+        assert math.isnan(s.fairness_max_min_ratio())

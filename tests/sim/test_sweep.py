@@ -1,0 +1,70 @@
+"""Tests for load sweeps and the saturation-point finder."""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.sim.sweep import find_saturation_rate, latency_sweep
+
+
+def small_config(allocator="input_first"):
+    return NetworkConfig(
+        topology="mesh",
+        num_terminals=16,
+        router=RouterConfig(
+            allocator=allocator,
+            vc_policy="vix_dimension" if allocator == "vix" else "max_credit",
+        ),
+        packet_length=4,
+    )
+
+
+class TestLatencySweep:
+    def test_curve_shape(self):
+        points = latency_sweep(
+            small_config(),
+            rates=(0.01, 0.05, 0.09),
+            seed=3,
+            warmup=200,
+            measure=500,
+        )
+        assert [p.injection_rate for p in points] == [0.01, 0.05, 0.09]
+        # Latency is non-decreasing with load (within this coarse sweep).
+        assert points[0].avg_latency <= points[-1].avg_latency
+        assert all(p.accepted_packets_per_node > 0 for p in points)
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            latency_sweep(small_config(), rates=())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            latency_sweep(small_config(), rates=(-0.1,))
+
+
+class TestSaturationFinder:
+    def test_finds_a_knee_in_plausible_range(self):
+        rate = find_saturation_rate(
+            small_config(),
+            high=0.4,
+            tolerance=0.02,
+            seed=3,
+            warmup=200,
+            measure=500,
+        )
+        # 4x4 mesh with 4-flit packets saturates around 0.08-0.2 pkt/node.
+        assert 0.04 < rate < 0.3
+
+    def test_vix_saturates_later_than_if(self):
+        kwargs = dict(high=0.4, tolerance=0.02, seed=3, warmup=300, measure=700)
+        base = find_saturation_rate(small_config("input_first"), **kwargs)
+        vix = find_saturation_rate(small_config("vix"), **kwargs)
+        assert vix >= base
+
+    def test_validation(self):
+        cfg = small_config()
+        with pytest.raises(ValueError):
+            find_saturation_rate(cfg, low=0.5, high=0.4)
+        with pytest.raises(ValueError):
+            find_saturation_rate(cfg, tolerance=0.0)
+        with pytest.raises(ValueError):
+            find_saturation_rate(cfg, acceptance=1.5)

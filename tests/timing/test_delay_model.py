@@ -1,0 +1,128 @@
+"""Tests for the calibrated circuit delay models (Tables 1 and 3)."""
+
+import math
+
+import pytest
+
+from repro.timing.delay_model import (
+    WAVEFRONT_OVERHEAD,
+    allocator_delay,
+    crossbar_delay,
+    router_delays,
+    sa_stage_delay,
+    va_stage_delay,
+)
+
+TABLE1 = [
+    # (radix, k, va, sa, xbar)
+    (5, 1, 300.0, 280.0, 167.0),
+    (5, 2, 300.0, 290.0, 205.0),
+    (8, 1, 340.0, 315.0, 205.0),
+    (8, 2, 340.0, 330.0, 289.0),
+    (10, 1, 360.0, 340.0, 238.0),
+    (10, 2, 360.0, 345.0, 359.0),
+]
+
+
+class TestTable1Calibration:
+    @pytest.mark.parametrize("radix,k,va,sa,xbar", TABLE1)
+    def test_published_values_exact(self, radix, k, va, sa, xbar):
+        d = router_delays(radix, 6, k)
+        assert d.va_ps == va
+        assert d.sa_ps == sa
+        assert d.xbar_ps == xbar
+
+    @pytest.mark.parametrize("radix,k,va,sa,xbar", TABLE1)
+    def test_analytic_models_within_tolerance(self, radix, k, va, sa, xbar):
+        """The fitted models track synthesis within a few picoseconds."""
+        d = router_delays(radix, 6, k, calibrated=False)
+        assert d.va_ps == pytest.approx(va, abs=2.0)
+        assert d.sa_ps == pytest.approx(sa, abs=5.0)
+        assert d.xbar_ps == pytest.approx(xbar, abs=2.0)
+
+    def test_crossbar_size_string(self):
+        assert router_delays(5, 6, 2).crossbar_size == "10 x 5"
+        assert router_delays(10, 6, 1).crossbar_size == "10 x 10"
+
+
+class TestArchitecturalConclusions:
+    """The claims Section 2.4 draws from Table 1."""
+
+    @pytest.mark.parametrize("radix,k,va,sa,xbar", TABLE1)
+    def test_crossbar_never_on_critical_path(self, radix, k, va, sa, xbar):
+        d = router_delays(radix, 6, k)
+        assert not d.xbar_on_critical_path
+        assert d.cycle_time_ps == max(va, sa)
+
+    def test_mesh_vix_crossbar_within_70_percent(self):
+        d = router_delays(5, 6, 2)
+        assert d.xbar_slack_fraction <= 0.70
+
+    def test_mesh_vix_crossbar_increase_22_percent(self):
+        base = router_delays(5, 6, 1).xbar_ps
+        vix = router_delays(5, 6, 2).xbar_ps
+        assert vix / base == pytest.approx(1.22, abs=0.02)
+
+    def test_fbfly_vix_crossbar_increase_about_50_percent(self):
+        base = router_delays(10, 6, 1).xbar_ps
+        vix = router_delays(10, 6, 2).xbar_ps
+        assert vix / base == pytest.approx(1.50, abs=0.02)
+
+    def test_va_unaffected_by_vix(self):
+        for radix in (5, 8, 10):
+            assert router_delays(radix, 6, 1).va_ps == router_delays(radix, 6, 2).va_ps
+
+
+class TestAnalyticModels:
+    def test_va_monotone_in_radix_and_vcs(self):
+        assert va_stage_delay(8, 6) > va_stage_delay(5, 6)
+        assert va_stage_delay(5, 8) > va_stage_delay(5, 6)
+
+    def test_sa_monotone_in_output_arbiter(self):
+        assert sa_stage_delay(8, 6) > sa_stage_delay(5, 6)
+
+    def test_vix_sa_slightly_slower(self):
+        """Halved input arbiters almost offset doubled output arbiters."""
+        base = sa_stage_delay(5, 6, 1)
+        vix = sa_stage_delay(5, 6, 2)
+        assert 0 < vix - base < 25
+
+    def test_crossbar_monotone(self):
+        assert crossbar_delay(10, 5) > crossbar_delay(5, 5)
+        assert crossbar_delay(5, 10) > crossbar_delay(5, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            va_stage_delay(0, 6)
+        with pytest.raises(ValueError):
+            sa_stage_delay(5, 6, 7)
+        with pytest.raises(ValueError):
+            crossbar_delay(0, 5)
+
+    def test_extrapolates_to_unsynthesized_configs(self):
+        d = router_delays(6, 4, 2)  # not in the paper's table
+        assert d.va_ps > 0 and d.sa_ps > 0 and d.xbar_ps > 0
+
+
+class TestTable3:
+    def test_separable_280ps(self):
+        assert allocator_delay("if") == 280.0
+
+    def test_wavefront_39_percent_slower(self):
+        wf = allocator_delay("wavefront")
+        assert wf == pytest.approx(390.0, abs=1.0)
+        assert WAVEFRONT_OVERHEAD == pytest.approx(1.393, abs=0.01)
+
+    def test_augmenting_path_infeasible(self):
+        assert math.isinf(allocator_delay("ap"))
+
+    def test_vix_delay_within_router_budget(self):
+        """VIX SA (290 ps) stays below the VA stage (300 ps): no slowdown."""
+        assert allocator_delay("vix") <= va_stage_delay(5, 6) + 1
+
+    def test_packet_chaining_uses_separable_delay(self):
+        assert allocator_delay("pc") == allocator_delay("if")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            allocator_delay("quantum")

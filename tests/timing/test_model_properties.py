@@ -1,0 +1,66 @@
+"""Property tests on the analytic timing models (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.delay_model import (
+    crossbar_delay,
+    router_delays,
+    sa_stage_delay,
+    va_stage_delay,
+)
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=32),
+    num_vcs=st.sampled_from([2, 4, 6, 8]),
+)
+@settings(max_examples=80)
+def test_property_va_monotone_and_positive(radix, num_vcs):
+    d = va_stage_delay(radix, num_vcs)
+    assert d > 0
+    assert va_stage_delay(radix + 1, num_vcs) > d
+    assert va_stage_delay(radix, num_vcs * 2) > d
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=32),
+    num_vcs=st.sampled_from([2, 4, 6, 8, 12]),
+)
+@settings(max_examples=80)
+def test_property_sa_grows_with_radix(radix, num_vcs):
+    d = sa_stage_delay(radix, num_vcs, 1)
+    assert d > 0
+    assert sa_stage_delay(radix + 1, num_vcs, 1) > d
+
+
+@given(
+    num_vcs=st.sampled_from([4, 6, 8, 12]),
+    radix=st.integers(min_value=2, max_value=20),
+)
+@settings(max_examples=80)
+def test_property_vix_sa_overhead_small_and_positive(num_vcs, radix):
+    """Doubled output arbiters dominate halved input arbiters, slightly."""
+    base = sa_stage_delay(radix, num_vcs, 1)
+    vix = sa_stage_delay(radix, num_vcs, 2)
+    assert 0 < vix - base < 60
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=64),
+    cols=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=80)
+def test_property_crossbar_monotone_in_both_dimensions(rows, cols):
+    d = crossbar_delay(rows, cols)
+    assert d > 0
+    assert crossbar_delay(rows + 1, cols) > d
+    assert crossbar_delay(rows, cols + 1) > d
+
+
+@given(radix=st.integers(min_value=2, max_value=16))
+@settings(max_examples=40)
+def test_property_cycle_time_is_max_stage(radix):
+    d = router_delays(radix, 6, 2, calibrated=False)
+    assert d.cycle_time_ps == max(d.va_ps, d.sa_ps, d.xbar_ps)
+    assert 0 < d.xbar_slack_fraction <= 1.0 or d.xbar_on_critical_path

@@ -1,0 +1,81 @@
+"""Unit tests for the concentrated mesh topology."""
+
+import pytest
+
+from repro.topology.cmesh import CMeshTopology
+
+
+@pytest.fixture
+def cmesh():
+    return CMeshTopology(4, 4, concentration=4)
+
+
+class TestStructure:
+    def test_paper_configuration(self, cmesh):
+        assert cmesh.num_routers == 16
+        assert cmesh.num_terminals == 64
+        assert cmesh.radix == 8  # 4 locals + E/W/N/S
+        assert cmesh.concentration == 4
+
+    def test_local_ports(self, cmesh):
+        for p in range(4):
+            assert cmesh.is_local_port(p)
+            assert cmesh.neighbor(0, p) is None
+        for p in range(4, 8):
+            assert not cmesh.is_local_port(p)
+
+    def test_terminal_mapping(self, cmesh):
+        assert cmesh.router_of(0) == (0, 0)
+        assert cmesh.router_of(5) == (1, 1)
+        assert cmesh.router_of(63) == (15, 3)
+        for t in range(64):
+            r, lp = cmesh.router_of(t)
+            assert cmesh.terminal_of(r, lp) == t
+
+    def test_neighbor_symmetry(self, cmesh):
+        for r in range(16):
+            for p in range(4, 8):
+                nb = cmesh.neighbor(r, p)
+                if nb is None:
+                    continue
+                other, in_port = nb
+                assert cmesh.neighbor(other, in_port) == (r, p)
+
+    def test_link_count(self, cmesh):
+        # 4x4 mesh of routers: 2 * 2 * 3 * 4 directed links.
+        assert len(cmesh.links()) == 48
+
+
+class TestRouting:
+    def test_same_router_delivery(self, cmesh):
+        # Terminals 0..3 share router 0.
+        assert cmesh.route(0, 2) == 2  # local port 2
+
+    def test_x_then_y(self, cmesh):
+        # Router 0 (0,0) to terminal on router (2,1) = router 6.
+        dst = cmesh.terminal_of(6, 0)
+        assert cmesh.route(0, dst) == 4  # East
+        # Router 2 at (2,0): x resolved, go south (port 7).
+        assert cmesh.route(2, dst) == 7
+
+    def test_every_pair_reaches_destination(self, cmesh):
+        for src in range(0, 64, 5):
+            for dst in range(64):
+                path = cmesh.path(src, dst)
+                r_dst, _ = cmesh.router_of(dst)
+                assert path[-1] == r_dst
+                assert len(path) - 1 == cmesh.min_hops(src, dst)
+
+    def test_min_hops_same_router_is_zero(self, cmesh):
+        assert cmesh.min_hops(0, 3) == 0
+
+    def test_direction_classes(self, cmesh):
+        assert cmesh.port_direction_class(0) is None
+        assert cmesh.port_direction_class(4) == 0  # E
+        assert cmesh.port_direction_class(5) == 0  # W
+        assert cmesh.port_direction_class(6) == 1  # N
+        assert cmesh.port_direction_class(7) == 1  # S
+
+    def test_bad_port(self, cmesh):
+        with pytest.raises(ValueError):
+            cmesh.neighbor(0, 8)

@@ -1,0 +1,97 @@
+"""Unit tests for the flattened-butterfly topology."""
+
+import pytest
+
+from repro.topology.flattened_butterfly import FlattenedButterflyTopology
+
+
+@pytest.fixture
+def fbfly():
+    return FlattenedButterflyTopology(4, 4, concentration=4)
+
+
+class TestStructure:
+    def test_paper_configuration(self, fbfly):
+        assert fbfly.num_routers == 16
+        assert fbfly.num_terminals == 64
+        assert fbfly.radix == 10  # 4 local + 3 row + 3 column
+
+    def test_row_fully_connected(self, fbfly):
+        # Router (0,0) reaches every other column in its row directly.
+        reached = set()
+        for p in range(4, 7):
+            nb = fbfly.neighbor(0, p)
+            assert nb is not None
+            reached.add(fbfly.coords(nb[0]))
+        assert reached == {(1, 0), (2, 0), (3, 0)}
+
+    def test_column_fully_connected(self, fbfly):
+        reached = set()
+        for p in range(7, 10):
+            nb = fbfly.neighbor(0, p)
+            assert nb is not None
+            reached.add(fbfly.coords(nb[0]))
+        assert reached == {(0, 1), (0, 2), (0, 3)}
+
+    def test_neighbor_symmetry(self, fbfly):
+        for r in range(16):
+            for p in range(4, 10):
+                other, in_port = fbfly.neighbor(r, p)
+                assert fbfly.neighbor(other, in_port) == (r, p)
+
+    def test_no_dead_ports(self, fbfly):
+        """Unlike a mesh, every non-local port is wired (fully connected)."""
+        for r in range(16):
+            for p in range(4, 10):
+                assert fbfly.neighbor(r, p) is not None
+
+    def test_link_count(self, fbfly):
+        # Per row: 4 routers * 3 row ports = 12 directed; 4 rows -> 48.
+        # Same for columns -> 96 total.
+        assert len(fbfly.links()) == 96
+
+    def test_row_port_lookup(self, fbfly):
+        r = fbfly.router_at(2, 0)
+        assert fbfly.row_port(r, 0) == 4
+        assert fbfly.row_port(r, 1) == 5
+        assert fbfly.row_port(r, 3) == 6
+        with pytest.raises(ValueError):
+            fbfly.row_port(r, 2)  # own column
+
+
+class TestRouting:
+    def test_at_most_two_hops(self, fbfly):
+        for src in range(0, 64, 3):
+            for dst in range(64):
+                assert fbfly.min_hops(src, dst) <= 2
+                path = fbfly.path(src, dst)
+                assert len(path) - 1 == fbfly.min_hops(src, dst)
+                assert path[-1] == fbfly.router_of(dst)[0]
+
+    def test_x_dimension_first(self, fbfly):
+        # (0,0) -> terminal at (3,2): first hop must go to column 3.
+        dst_router = fbfly.router_at(3, 2)
+        dst = fbfly.terminal_of(dst_router, 0)
+        port = fbfly.route(0, dst)
+        nb = fbfly.neighbor(0, port)
+        assert fbfly.coords(nb[0]) == (3, 0)
+
+    def test_direct_express_hop(self, fbfly):
+        # Same row: exactly one hop regardless of column distance.
+        src = fbfly.terminal_of(fbfly.router_at(0, 1), 0)
+        dst = fbfly.terminal_of(fbfly.router_at(3, 1), 0)
+        assert fbfly.min_hops(src, dst) == 1
+
+    def test_direction_classes(self, fbfly):
+        assert fbfly.port_direction_class(0) is None
+        for p in range(4, 7):
+            assert fbfly.port_direction_class(p) == 0
+        for p in range(7, 10):
+            assert fbfly.port_direction_class(p) == 1
+
+    def test_local_delivery(self, fbfly):
+        assert fbfly.route(0, 1) == 1
+
+    def test_bad_port(self, fbfly):
+        with pytest.raises(ValueError):
+            fbfly.neighbor(0, 10)

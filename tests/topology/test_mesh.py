@@ -1,0 +1,132 @@
+"""Unit tests for the 2D mesh topology."""
+
+import pytest
+
+from repro.topology.mesh import (
+    PORT_EAST,
+    PORT_LOCAL,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+    MeshTopology,
+)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(8, 8)
+
+
+class TestStructure:
+    def test_sizes(self, mesh):
+        assert mesh.num_routers == 64
+        assert mesh.num_terminals == 64
+        assert mesh.radix == 5
+        assert mesh.concentration == 1
+
+    def test_coords_roundtrip(self, mesh):
+        for r in range(64):
+            x, y = mesh.coords(r)
+            assert mesh.router_at(x, y) == r
+
+    def test_neighbor_symmetry(self, mesh):
+        """If A reaches B via port p, B reaches A via the opposite port."""
+        for r in range(64):
+            for p in range(1, 5):
+                nb = mesh.neighbor(r, p)
+                if nb is None:
+                    continue
+                other, in_port = nb
+                back = mesh.neighbor(other, in_port)
+                assert back == (r, p)
+
+    def test_corner_has_two_neighbors(self, mesh):
+        links = [p for p in range(1, 5) if mesh.neighbor(0, p) is not None]
+        assert len(links) == 2
+
+    def test_center_has_four_neighbors(self, mesh):
+        center = mesh.router_at(4, 4)
+        links = [p for p in range(1, 5) if mesh.neighbor(center, p) is not None]
+        assert len(links) == 4
+
+    def test_local_port_has_no_neighbor(self, mesh):
+        assert mesh.neighbor(10, PORT_LOCAL) is None
+
+    def test_link_count(self, mesh):
+        # 8x8 mesh: 2 * (7*8 + 7*8) directed links.
+        assert len(mesh.links()) == 2 * 2 * 7 * 8
+
+    def test_terminal_attachment(self, mesh):
+        assert mesh.router_of(13) == (13, PORT_LOCAL)
+        assert mesh.terminal_of(13, PORT_LOCAL) == 13
+
+
+class TestRouting:
+    def test_local_delivery(self, mesh):
+        assert mesh.route(5, 5) == PORT_LOCAL
+
+    def test_x_first(self, mesh):
+        # From (0,0) to (3,3): go east until x resolves.
+        assert mesh.route(0, mesh.router_at(3, 3)) == PORT_EAST
+        # From (3,0) to (3,3): x resolved, go south.
+        assert mesh.route(mesh.router_at(3, 0), mesh.router_at(3, 3)) == PORT_SOUTH
+
+    def test_all_directions(self, mesh):
+        center = mesh.router_at(4, 4)
+        assert mesh.route(center, mesh.router_at(6, 4)) == PORT_EAST
+        assert mesh.route(center, mesh.router_at(2, 4)) == PORT_WEST
+        assert mesh.route(center, mesh.router_at(4, 2)) == PORT_NORTH
+        assert mesh.route(center, mesh.router_at(4, 6)) == PORT_SOUTH
+
+    def test_every_pair_reaches_destination(self, mesh):
+        for src in range(0, 64, 7):
+            for dst in range(64):
+                path = mesh.path(src, dst)
+                assert path[-1] == dst
+                assert len(path) - 1 == mesh.min_hops(src, dst)
+
+    def test_dor_is_minimal_and_x_before_y(self, mesh):
+        path = mesh.path(0, mesh.router_at(5, 3))
+        xs = [mesh.coords(r)[0] for r in path]
+        ys = [mesh.coords(r)[1] for r in path]
+        # X changes first, then stays; Y only changes after X settles.
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        first_y_move = next(i for i in range(1, len(ys)) if ys[i] != ys[i - 1])
+        assert xs[first_y_move - 1] == 5
+
+
+class TestDirectionClasses:
+    def test_classes(self, mesh):
+        assert mesh.port_direction_class(PORT_LOCAL) is None
+        assert mesh.port_direction_class(PORT_EAST) == 0
+        assert mesh.port_direction_class(PORT_WEST) == 0
+        assert mesh.port_direction_class(PORT_NORTH) == 1
+        assert mesh.port_direction_class(PORT_SOUTH) == 1
+
+    def test_lookahead_matches_next_hop(self, mesh):
+        # Packet at router 0 heading to (3,2): next hop router (1,0),
+        # where it keeps going east -> direction class 0.
+        dst = mesh.router_at(3, 2)
+        assert mesh.lookahead_direction(0, PORT_EAST, dst) == 0
+        # At (3,0) heading south to (3,2): downstream (3,1) continues
+        # south -> class 1.
+        r = mesh.router_at(3, 0)
+        assert mesh.lookahead_direction(r, PORT_SOUTH, dst) == 1
+        # At (3,1) the downstream router is the destination -> None.
+        r = mesh.router_at(3, 1)
+        assert mesh.lookahead_direction(r, PORT_SOUTH, dst) is None
+
+
+class TestValidation:
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            MeshTopology(1, 8)
+
+    def test_bad_router_id(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.coords(64)
+
+    def test_bad_port(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.neighbor(0, 9)

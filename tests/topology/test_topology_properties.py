@@ -1,0 +1,133 @@
+"""Property tests and factory tests spanning all topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    CMeshTopology,
+    FlattenedButterflyTopology,
+    MeshTopology,
+    TorusTopology,
+    make_topology,
+)
+
+TOPOLOGIES = {
+    "mesh": MeshTopology(8, 8),
+    "cmesh": CMeshTopology(4, 4, 4),
+    "fbfly": FlattenedButterflyTopology(4, 4, 4),
+    "torus": TorusTopology(4, 4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_routes_terminate_minimally(name, data):
+    topo = TOPOLOGIES[name]
+    src = data.draw(st.integers(0, topo.num_terminals - 1))
+    dst = data.draw(st.integers(0, topo.num_terminals - 1))
+    path = topo.path(src, dst)
+    assert path[0] == topo.router_of(src)[0]
+    assert path[-1] == topo.router_of(dst)[0]
+    assert len(path) - 1 == topo.min_hops(src, dst)
+    assert len(set(path)) == len(path)  # no router revisited (loop-free)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_links_are_consistent_with_neighbor(name):
+    topo = TOPOLOGIES[name]
+    for spec in topo.links():
+        assert topo.neighbor(spec.src_router, spec.src_port) == (
+            spec.dst_router,
+            spec.dst_port,
+        )
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_every_input_port_has_unique_upstream(name):
+    """No two output ports feed the same input port."""
+    topo = TOPOLOGIES[name]
+    seen = set()
+    for spec in topo.links():
+        key = (spec.dst_router, spec.dst_port)
+        assert key not in seen, f"input port {key} fed twice"
+        seen.add(key)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_terminals_partition_local_ports(name):
+    topo = TOPOLOGIES[name]
+    seen = set()
+    for t in range(topo.num_terminals):
+        r, lp = topo.router_of(t)
+        assert topo.is_local_port(lp)
+        assert (r, lp) not in seen
+        seen.add((r, lp))
+    assert len(seen) == topo.num_terminals
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_lookahead_consistent_with_path(name, data):
+    """lookahead_direction must describe the hop actually taken downstream."""
+    topo = TOPOLOGIES[name]
+    src = data.draw(st.integers(0, topo.num_terminals - 1))
+    dst = data.draw(st.integers(0, topo.num_terminals - 1))
+    router = topo.router_of(src)[0]
+    port = topo.route(router, dst)
+    if topo.is_local_port(port):
+        return
+    direction = topo.lookahead_direction(router, port, dst)
+    downstream = topo.neighbor(router, port)[0]
+    next_port = topo.route(downstream, dst)
+    assert direction == topo.port_direction_class(next_port)
+
+
+class TestDORDeadlockFreedom:
+    """DOR is deadlock-free iff no Y->X port dependency ever occurs."""
+
+    @pytest.mark.parametrize("name", ["mesh", "cmesh"])
+    def test_no_y_to_x_turns(self, name):
+        topo = TOPOLOGIES[name]
+        for src in range(topo.num_terminals):
+            for dst in range(0, topo.num_terminals, 7):
+                path = topo.path(src, dst)
+                classes = []
+                for i, router in enumerate(path[:-1]):
+                    port = topo.route(router, dst)
+                    classes.append(topo.port_direction_class(port))
+                # Once a Y-class hop happens, no X-class hop may follow.
+                seen_y = False
+                for c in classes:
+                    if c == 1:
+                        seen_y = True
+                    elif c == 0:
+                        assert not seen_y, f"Y->X turn on {src}->{dst}"
+
+
+class TestFactory:
+    def test_make_all(self):
+        assert make_topology("mesh", 64).num_routers == 64
+        assert make_topology("cmesh", 64).num_routers == 16
+        assert make_topology("fbfly", 64).num_routers == 16
+
+    def test_scales_to_other_sizes(self):
+        assert make_topology("mesh", 16).num_routers == 16
+        assert make_topology("cmesh", 16).num_routers == 4
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            make_topology("mesh", 48)
+        with pytest.raises(ValueError):
+            make_topology("cmesh", 60)
+
+    def test_torus_supported(self):
+        topo = make_topology("torus", 64)
+        assert topo.name == "torus"
+        assert topo.num_routers == 64
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("hypercube", 64)

@@ -1,0 +1,76 @@
+"""Unit tests for the Bernoulli traffic injector."""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.network import Network
+from repro.traffic.injector import TrafficInjector
+from repro.traffic.patterns import UniformRandom
+
+
+def make_network(terminals=16):
+    return Network(
+        NetworkConfig(
+            topology="mesh",
+            num_terminals=terminals,
+            router=RouterConfig(),
+            packet_length=4,
+        )
+    )
+
+
+class TestInjection:
+    def test_rate_zero_injects_nothing(self):
+        net = make_network()
+        inj = TrafficInjector(net, UniformRandom(16), rate=0.0, seed=1)
+        assert sum(inj.tick(t) for t in range(50)) == 0
+
+    def test_rate_controls_volume(self):
+        net = make_network()
+        inj = TrafficInjector(net, UniformRandom(16), rate=0.1, seed=1)
+        total = sum(inj.tick(t) for t in range(200))
+        expected = 0.1 * 16 * 200
+        assert expected * 0.8 < total < expected * 1.2
+
+    def test_saturated_sources_keep_bounded_backlog(self):
+        net = make_network()
+        inj = TrafficInjector(net, UniformRandom(16), rate=1.0, seed=1)
+        for t in range(20):
+            inj.tick(t)
+            net.step()
+        for ni in net.interfaces:
+            assert ni.queue_length <= 4
+
+    def test_packet_length_override(self):
+        net = make_network()
+        inj = TrafficInjector(net, UniformRandom(16), rate=1.0,
+                              packet_length=1, seed=1)
+        inj.tick(0)
+        assert all(p.num_flits == 1
+                   for ni in net.interfaces for p in ni.queue)
+
+    def test_created_counter_and_pids_unique(self):
+        net = make_network()
+        inj = TrafficInjector(net, UniformRandom(16), rate=0.5, seed=2)
+        for t in range(30):
+            inj.tick(t)
+            net.step()
+        assert inj.packets_created > 0
+
+    def test_validation(self):
+        net = make_network()
+        with pytest.raises(ValueError):
+            TrafficInjector(net, UniformRandom(16), rate=-0.1)
+        with pytest.raises(ValueError):
+            TrafficInjector(net, UniformRandom(64), rate=0.1)  # size mismatch
+        with pytest.raises(ValueError):
+            TrafficInjector(net, UniformRandom(16), rate=0.1, packet_length=0)
+
+    def test_deterministic_with_seed(self):
+        net1, net2 = make_network(), make_network()
+        inj1 = TrafficInjector(net1, UniformRandom(16), rate=0.3, seed=9)
+        inj2 = TrafficInjector(net2, UniformRandom(16), rate=0.3, seed=9)
+        for t in range(20):
+            assert inj1.tick(t) == inj2.tick(t)
+            net1.step()
+            net2.step()

@@ -1,0 +1,141 @@
+"""Unit + property tests for traffic patterns."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.patterns import (
+    PATTERN_NAMES,
+    BitComplement,
+    BitReverse,
+    Hotspot,
+    Neighbor,
+    Shuffle,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+
+
+class TestUniformRandom:
+    def test_never_self(self):
+        pat = UniformRandom(64)
+        rng = random.Random(1)
+        assert all(pat.destination(s, rng) != s for s in range(64) for _ in range(20))
+
+    def test_covers_all_destinations(self):
+        pat = UniformRandom(8)
+        rng = random.Random(2)
+        seen = {pat.destination(0, rng) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+    def test_roughly_uniform(self):
+        pat = UniformRandom(16)
+        rng = random.Random(3)
+        counts = Counter(pat.destination(5, rng) for _ in range(15000))
+        expected = 15000 / 15
+        assert all(0.7 * expected < counts[d] < 1.3 * expected for d in counts)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            UniformRandom(8).destination(8, random.Random(0))
+
+
+class TestPermutations:
+    def test_bit_complement(self):
+        pat = BitComplement(64)
+        assert pat.destination(0, None) == 63
+        assert pat.destination(0b101010, None) == 0b010101
+
+    def test_bit_reverse(self):
+        pat = BitReverse(64)  # 6 bits
+        assert pat.destination(0b000001, None) == 0b100000
+        assert pat.destination(0b110000, None) == 0b000011
+
+    def test_shuffle(self):
+        pat = Shuffle(8)  # 3 bits: rotate left
+        assert pat.destination(0b001, None) == 0b010
+        assert pat.destination(0b100, None) == 0b001
+
+    def test_transpose(self):
+        pat = Transpose(64)
+        # (x=3, y=1) -> (x=1, y=3)
+        assert pat.destination(1 * 8 + 3, None) == 3 * 8 + 1
+
+    def test_tornado_half_ring(self):
+        pat = Tornado(64)
+        # (x, y) -> (x+3 mod 8, y)
+        assert pat.destination(0, None) == 3
+        assert pat.destination(6, None) == 1
+
+    def test_neighbor(self):
+        pat = Neighbor(64)
+        assert pat.destination(0, None) == 1
+        assert pat.destination(7, None) == 0  # wraps in x
+
+    @pytest.mark.parametrize("cls", [BitComplement, BitReverse, Shuffle])
+    def test_bit_patterns_need_power_of_two(self, cls):
+        with pytest.raises(ValueError):
+            cls(48)
+
+    @pytest.mark.parametrize("cls", [Transpose, Tornado, Neighbor])
+    def test_grid_patterns_need_square(self, cls):
+        with pytest.raises(ValueError):
+            cls(48)
+
+    @pytest.mark.parametrize(
+        "cls", [BitComplement, BitReverse, Transpose, Tornado, Neighbor]
+    )
+    def test_is_a_permutation(self, cls):
+        pat = cls(64)
+        dsts = [pat.destination(s, None) for s in range(64)]
+        assert sorted(dsts) == list(range(64))
+
+
+class TestHotspot:
+    def test_hotspot_gets_extra_traffic(self):
+        pat = Hotspot(64, hotspots=(7,), fraction=0.5)
+        rng = random.Random(4)
+        counts = Counter(pat.destination(0, rng) for _ in range(4000))
+        assert counts[7] > 1500  # ~50% plus uniform share
+
+    def test_fraction_zero_is_uniform(self):
+        pat = Hotspot(64, hotspots=(7,), fraction=0.0)
+        rng = random.Random(5)
+        counts = Counter(pat.destination(0, rng) for _ in range(2000))
+        assert counts[7] < 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hotspot(64, hotspots=())
+        with pytest.raises(ValueError):
+            Hotspot(64, hotspots=(99,))
+        with pytest.raises(ValueError):
+            Hotspot(64, fraction=1.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_make_every_pattern(self, name):
+        pat = make_pattern(name, 64)
+        assert pat.num_terminals == 64
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_pattern("telepathy", 64)
+
+
+@given(
+    name=st.sampled_from(PATTERN_NAMES),
+    src=st.integers(min_value=0, max_value=63),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=150)
+def test_property_destination_in_range(name, src, seed):
+    pat = make_pattern(name, 64)
+    dst = pat.destination(src, random.Random(seed))
+    assert 0 <= dst < 64
