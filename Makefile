@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples all clean
+.PHONY: install test bench bench-fast bench-full examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Parallel fan-out (one worker per core) with machine-readable timings.
+bench-fast:
+	REPRO_JOBS=auto $(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_sweep.json -s
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -23,4 +28,5 @@ all: test bench
 
 clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	rm -f BENCH_sweep.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,7 +12,14 @@ paper-fidelity windows (slower but tighter numbers).
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Benchmarks time the simulations themselves; serving repeats from the
+# on-disk result cache would reduce them to JSON reads.  Opt out unless the
+# invoker explicitly set a policy.
+os.environ.setdefault("REPRO_NO_CACHE", "1")
 
 
 @pytest.fixture

@@ -9,6 +9,7 @@ Public API highlights:
 * :class:`repro.sim.SingleRouterExperiment` — Fig. 7 testbench;
 * :mod:`repro.timing` / :mod:`repro.energy` — calibrated circuit models;
 * :mod:`repro.manycore` — the 64-core application-level substrate;
+* :mod:`repro.parallel` — process fan-out + result caching for the above;
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -22,6 +23,7 @@ from repro.core import (
     make_allocator,
 )
 from repro.network import Network, NetworkConfig, RouterConfig, paper_config
+from repro.parallel import ParallelRunner, ResultCache, SimJob, run_sim_jobs
 from repro.sim import (
     Simulation,
     SimulationResult,
@@ -41,8 +43,11 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "PacketChainingAllocator",
+    "ParallelRunner",
+    "ResultCache",
     "RouterConfig",
     "SeparableInputFirstAllocator",
+    "SimJob",
     "Simulation",
     "SimulationResult",
     "SingleRouterExperiment",
@@ -55,6 +60,7 @@ __all__ = [
     "make_pattern",
     "make_topology",
     "paper_config",
+    "run_sim_jobs",
     "run_simulation",
     "saturation_bound",
     "saturation_throughput",

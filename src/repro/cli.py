@@ -5,12 +5,14 @@ Usage::
     vix-repro list              # show available experiments
     vix-repro t1                # Table 1 (stage delays)
     vix-repro f8 --full         # Figure 8 at paper-fidelity run lengths
+    vix-repro f8 --jobs auto    # fan simulations out over all CPU cores
     vix-repro all               # everything (slow)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import EXPERIMENTS, get_experiment
@@ -55,11 +57,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument(
+        "--jobs",
+        metavar="N",
+        help="worker processes for simulation fan-out: a count or 'auto' "
+        "(one per CPU core); default 1 / $REPRO_JOBS",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (equivalent to REPRO_NO_CACHE=1)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also write each result as DIR/<experiment>.json",
     )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        from repro.parallel import resolve_jobs
+
+        try:
+            resolve_jobs(args.jobs)
+        except ValueError:
+            parser.error(
+                f"--jobs expects an integer or 'auto', got {args.jobs!r}"
+            )
 
     key = args.experiment.strip().lower()
     if key == "list":
@@ -67,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     targets = sorted(EXPERIMENTS) if key == "all" else [key]
     fast = not args.full
+    if args.no_cache:
+        # Environment, not argument passing: the cache check lives deep in
+        # the parallel layer and every experiment should see the opt-out.
+        os.environ["REPRO_NO_CACHE"] = "1"
     for target in targets:
         try:
             module = get_experiment(target)
@@ -80,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["fast"] = fast
         if "seed" in run.__code__.co_varnames:
             kwargs["seed"] = args.seed
+        if args.jobs is not None and "jobs" in run.__code__.co_varnames:
+            kwargs["jobs"] = args.jobs
         result = run(**kwargs)
         print(module.report(result))
         if args.json:

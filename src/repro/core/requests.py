@@ -37,8 +37,7 @@ class RequestMatrix:
         "num_vcs",
         "requests",
         "tails",
-        "_blank_requests",
-        "_blank_tails",
+        "dirty",
     )
 
     def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
@@ -51,17 +50,27 @@ class RequestMatrix:
             [NO_REQUEST] * num_vcs for _ in range(num_inputs)
         ]
         self.tails: list[list[bool]] = [[False] * num_vcs for _ in range(num_inputs)]
-        # Templates for fast slice-assignment clearing (hot loop).
-        self._blank_requests = [NO_REQUEST] * num_vcs
-        self._blank_tails = [False] * num_vcs
+        #: Cells written since the last :meth:`clear`, as ``(in_port, vc)``
+        #: pairs.  Writers that bypass :meth:`add` (the router's hot loop)
+        #: must append here, or their cells survive the next clear.
+        self.dirty: list[tuple[int, int]] = []
 
     def clear(self) -> None:
-        """Remove every request (reused across cycles to avoid reallocation)."""
-        blank_r = self._blank_requests
-        blank_t = self._blank_tails
-        for row, trow in zip(self.requests, self.tails):
-            row[:] = blank_r
-            trow[:] = blank_t
+        """Remove every request (reused across cycles to avoid reallocation).
+
+        Only the cells dirtied since the previous clear are touched, so an
+        idle or lightly loaded router pays for its actual requests, not for
+        the full ``radix x num_vcs`` matrix.
+        """
+        dirty = self.dirty
+        if not dirty:
+            return
+        requests = self.requests
+        tails = self.tails
+        for in_port, vc in dirty:
+            requests[in_port][vc] = NO_REQUEST
+            tails[in_port][vc] = False
+        dirty.clear()
 
     def add(self, in_port: int, vc: int, out_port: int, *, tail: bool = False) -> None:
         """Register that VC ``vc`` of ``in_port`` requests ``out_port``."""
@@ -73,6 +82,7 @@ class RequestMatrix:
             raise ValueError(f"out_port {out_port} out of range")
         self.requests[in_port][vc] = out_port
         self.tails[in_port][vc] = tail
+        self.dirty.append((in_port, vc))
 
     def request_of(self, in_port: int, vc: int) -> int:
         """Requested output of ``(in_port, vc)``, or :data:`NO_REQUEST`."""

@@ -135,10 +135,32 @@ class SeparableInputFirstAllocator(SwitchAllocator):
         contiguous = self.partition == "contiguous"
         gs = self._group_size
 
+        # Single-request fast path: with one live request both phases are
+        # forced moves, so skip all the candidate bookkeeping and perform
+        # just the two pointer rotations a full run would have made.
+        dirty = matrix.dirty
+        if len(dirty) == 1:
+            p, vc = dirty[0]
+            out = matrix.requests[p][vc]
+            if out != NO_REQUEST:
+                g = self.vc_group(vc)
+                if plain:
+                    self._input_arbiters[p][g].update(self._local_of(vc))
+                self._output_arbiters[out].update(p * self._k + g)
+                if not plain:
+                    self._input_arbiters[p][g].update(self._local_of(vc))
+                return [Grant(p, vc, out)]
+
+        # Idle-port fast path: only cells recorded in ``matrix.dirty`` can
+        # hold a request (see RequestMatrix), so phase 1 visits just the
+        # ports with live traffic instead of scanning ``radix x v`` cells.
+        # Sorted ascending to keep winner ordering identical to a full scan.
+        ports = sorted({p for p, _ in dirty})
+
         # Phase 1: each crossbar input picks one requesting VC.
         # winners[(port, group)] = (vc, out_port)
         winners: dict[tuple[int, int], tuple[int, int]] = {}
-        for p in range(self.num_inputs):
+        for p in ports:
             row = matrix.requests[p]
             arbiters = self._input_arbiters[p]
             for g in range(self._k):
@@ -158,7 +180,13 @@ class SeparableInputFirstAllocator(SwitchAllocator):
                 if not local:
                     continue
                 arb = arbiters[g]
-                if plain:
+                if len(local) == 1:
+                    # A lone candidate wins regardless of the pointer; only
+                    # the pointer rotation (plain policy) must still happen.
+                    choice = local[0]
+                    if plain:
+                        arb.update(choice)
+                elif plain:
                     # Conventional separable arbitration: the pointer
                     # rotates on the phase-1 choice whether or not phase 2
                     # grants it — exactly the uncoordinated behaviour the
@@ -177,11 +205,16 @@ class SeparableInputFirstAllocator(SwitchAllocator):
             per_output.setdefault(out, []).append((p, g, vc))
         for out, cands in per_output.items():
             arb = self._output_arbiters[out]
-            index_of = {p * self._k + g: (p, g, vc) for (p, g, vc) in cands}
-            win = arb.arbitrate(index_of.keys())
-            assert win is not None
-            arb.update(win)
-            p, g, vc = index_of[win]
+            if len(cands) == 1:
+                # Uncontended output: the pointer cannot change the winner.
+                p, g, vc = cands[0]
+                arb.update(p * self._k + g)
+            else:
+                index_of = {p * self._k + g: (p, g, vc) for (p, g, vc) in cands}
+                win = arb.arbitrate(index_of.keys())
+                assert win is not None
+                arb.update(win)
+                p, g, vc = index_of[win]
             grants.append(Grant(p, vc, out))
             if not plain:
                 # iSLIP-style update: only granted inputs rotate, which

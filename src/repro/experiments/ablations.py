@@ -32,9 +32,9 @@ from repro.core import (
 )
 from repro.core.requests import RequestMatrix
 from repro.network.config import paper_config
-from repro.sim.engine import saturation_throughput
+from repro.parallel import ExecutionStats, ParallelRunner, SimJob
 
-from .runner import format_table, improvement, run_lengths
+from .runner import format_table, improvement, perf_footer, run_lengths
 
 
 def _single_router_throughput(alloc, radix: int, num_vcs: int, cycles: int, seed: int) -> float:
@@ -60,83 +60,104 @@ class AblationResult:
     """All ablation measurements, keyed by (study, variant)."""
 
     values: dict[tuple[str, str], float] = field(default_factory=dict)
+    perf: ExecutionStats | None = None
 
     def gain(self, study: str, variant: str, base: str) -> float:
         return improvement(self.values[(study, variant)], self.values[(study, base)])
 
 
-def run(*, radix: int = 5, num_vcs: int = 6, seed: int = 1, fast: bool | None = None) -> AblationResult:
+def _ablation_point(spec: tuple) -> float:
+    """Worker: build the allocator from its spec and measure it (picklable —
+    allocator classes pickle by reference)."""
+    cls, args, kwargs, radix, num_vcs, cycles, seed = spec
+    alloc = cls(*args, **kwargs)
+    return _single_router_throughput(alloc, radix, num_vcs, cycles, seed)
+
+
+def run(
+    *,
+    radix: int = 5,
+    num_vcs: int = 6,
+    seed: int = 1,
+    fast: bool | None = None,
+    jobs: int | str | None = None,
+) -> AblationResult:
     """Run every ablation study."""
     lengths = run_lengths(fast)
     cycles = lengths.single_router_cycles
     result = AblationResult()
+    runner = ParallelRunner(jobs)
 
-    # A1: VC-assignment policy at mesh saturation.
-    for policy in ("vix_dimension", "max_credit"):
-        cfg = paper_config("vix").with_router(vc_policy=policy)
-        res = saturation_throughput(
-            cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
+    # A1: VC-assignment policy at mesh saturation (network simulations).
+    a1 = [
+        ("vix_dimension", paper_config("vix").with_router(vc_policy="vix_dimension")),
+        ("max_credit", paper_config("vix").with_router(vc_policy="max_credit")),
+        ("if_baseline", paper_config("if")),
+    ]
+    a1_jobs = [
+        SimJob(
+            cfg,
+            injection_rate=1.0,
+            seed=seed,
+            warmup=lengths.warmup,
+            measure=lengths.measure,
+            drain_limit=0,
         )
-        result.values[("vc_policy", policy)] = res.throughput_flits_per_node
-    base_cfg = paper_config("if")
-    base = saturation_throughput(
-        base_cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
-    )
-    result.values[("vc_policy", "if_baseline")] = base.throughput_flits_per_node
+        for _, cfg in a1
+    ]
+    for (name, _), res in zip(a1, runner.run(a1_jobs)):
+        result.values[("vc_policy", name)] = res.throughput_flits_per_node
 
-    # A2: pointer policy (single router).
+    # A2..A6 are saturated single-router points; collect every (study,
+    # variant) as an allocator spec, then fan them out in one batch.
+    points: list[tuple[tuple[str, str], tuple]] = []
+
+    def add(study: str, variant: str, cls, *args, **kwargs) -> None:
+        points.append(((study, variant), (cls, args, kwargs)))
+
+    # A2: pointer policy.
     for name, cls, k in (("if", SeparableInputFirstAllocator, 1), ("vix", VIXAllocator, 2)):
         for policy in ("plain", "on_grant"):
-            alloc = cls(radix, radix, num_vcs, k, pointer_policy=policy)
-            result.values[("pointer", f"{name}/{policy}")] = _single_router_throughput(
-                alloc, radix, num_vcs, cycles, seed
-            )
+            add("pointer", f"{name}/{policy}", cls, radix, radix, num_vcs, k,
+                pointer_policy=policy)
 
-    # A3: partition (single router, VIX k=2).
+    # A3: partition (VIX k=2).
     for partition in ("contiguous", "interleaved"):
-        alloc = VIXAllocator(radix, radix, num_vcs, 2, partition=partition)
-        result.values[("partition", partition)] = _single_router_throughput(
-            alloc, radix, num_vcs, cycles, seed
-        )
+        add("partition", partition, VIXAllocator, radix, radix, num_vcs, 2,
+            partition=partition)
 
-    # A4: SPAROFLO vs IF vs VIX (single router).
-    variants = {
-        "if": SeparableInputFirstAllocator(radix, radix, num_vcs),
-        "sparoflo_static": SparofloAllocator(radix, radix, num_vcs, dynamic=False),
-        "sparoflo_dynamic": SparofloAllocator(radix, radix, num_vcs, dynamic=True),
-        "vix": VIXAllocator(radix, radix, num_vcs, 2),
-    }
-    for name, alloc in variants.items():
-        result.values[("sparoflo", name)] = _single_router_throughput(
-            alloc, radix, num_vcs, cycles, seed
-        )
+    # A4: SPAROFLO vs IF vs VIX.
+    add("sparoflo", "if", SeparableInputFirstAllocator, radix, radix, num_vcs)
+    add("sparoflo", "sparoflo_static", SparofloAllocator, radix, radix, num_vcs,
+        dynamic=False)
+    add("sparoflo", "sparoflo_dynamic", SparofloAllocator, radix, radix, num_vcs,
+        dynamic=True)
+    add("sparoflo", "vix", VIXAllocator, radix, radix, num_vcs, 2)
 
-    # A6: separable phase order (single router): input-first vs
-    # output-first, with and without virtual inputs.
-    order_variants = {
-        "input_first": SeparableInputFirstAllocator(radix, radix, num_vcs),
-        "output_first": SeparableOutputFirstAllocator(radix, radix, num_vcs),
-        "input_first_vix": VIXAllocator(radix, radix, num_vcs, 2),
-        "output_first_vix": SeparableOutputFirstAllocator(
-            radix, radix, num_vcs, virtual_inputs=2
-        ),
-    }
-    for name, alloc in order_variants.items():
-        result.values[("phase_order", name)] = _single_router_throughput(
-            alloc, radix, num_vcs, cycles, seed
-        )
+    # A6: separable phase order, with and without virtual inputs.
+    add("phase_order", "input_first", SeparableInputFirstAllocator, radix, radix, num_vcs)
+    add("phase_order", "output_first", SeparableOutputFirstAllocator, radix, radix, num_vcs)
+    add("phase_order", "input_first_vix", VIXAllocator, radix, radix, num_vcs, 2)
+    add("phase_order", "output_first_vix", SeparableOutputFirstAllocator, radix, radix,
+        num_vcs, virtual_inputs=2)
 
-    # A5: virtual-input count sweep (single router).
+    # A5: virtual-input count sweep.
     for k in (1, 2, 3, 6):
-        alloc = (
-            SeparableInputFirstAllocator(radix, radix, num_vcs)
-            if k == 1
-            else VIXAllocator(radix, radix, num_vcs, k)
-        )
-        result.values[("vinputs", f"k={k}")] = _single_router_throughput(
-            alloc, radix, num_vcs, cycles, seed
-        )
+        if k == 1:
+            add("vinputs", "k=1", SeparableInputFirstAllocator, radix, radix, num_vcs)
+        else:
+            add("vinputs", f"k={k}", VIXAllocator, radix, radix, num_vcs, k)
 
+    values = runner.map(
+        _ablation_point,
+        [
+            (cls, args, kwargs, radix, num_vcs, cycles, seed)
+            for _, (cls, args, kwargs) in points
+        ],
+    )
+    for (key, _), value in zip(points, values):
+        result.values[key] = value
+    result.perf = runner.stats
     return result
 
 
@@ -222,6 +243,9 @@ def report(result: AblationResult | None = None) -> str:
             ],
         )
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        lines.extend(["", footer])
     return "\n".join(lines)
 
 

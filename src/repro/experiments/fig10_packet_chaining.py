@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import paper_config
-from repro.sim.engine import saturation_throughput
+from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
 
-from .runner import format_table, improvement, run_lengths
+from .runner import format_table, improvement, perf_footer, run_lengths
 
 ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "packet_chaining", "vix")
 LABELS = {
@@ -34,25 +34,35 @@ class Fig10Result:
     """Saturation throughput (flits/cycle/node) per allocator."""
 
     throughput: dict[str, float]
+    perf: ExecutionStats | None = None
 
     def gain_over_if(self, allocator: str) -> float:
         return improvement(self.throughput[allocator], self.throughput["input_first"])
 
 
-def run(*, seed: int = 1, fast: bool | None = None) -> Fig10Result:
+def run(
+    *, seed: int = 1, fast: bool | None = None, jobs: int | str | None = None
+) -> Fig10Result:
     """Measure single-flit saturation throughput for every scheme."""
     lengths = run_lengths(fast)
-    throughput: dict[str, float] = {}
-    for alloc in ALLOCATORS:
-        cfg = paper_config(alloc, packet_length=1)
-        res = saturation_throughput(
-            cfg,
+    sim_jobs = [
+        SimJob(
+            paper_config(alloc, packet_length=1),
+            injection_rate=1.0,
             seed=seed,
             warmup=lengths.warmup,
             measure=lengths.measure,
+            drain_limit=0,
         )
-        throughput[alloc] = res.throughput_flits_per_node
-    return Fig10Result(throughput=throughput)
+        for alloc in ALLOCATORS
+    ]
+    stats = ExecutionStats()
+    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    throughput = {
+        alloc: res.throughput_flits_per_node
+        for alloc, res in zip(ALLOCATORS, results)
+    }
+    return Fig10Result(throughput=throughput, perf=stats)
 
 
 def report(result: Fig10Result | None = None) -> str:
@@ -67,12 +77,16 @@ def report(result: Fig10Result | None = None) -> str:
     bars = bar_chart(
         {LABELS[a]: result.throughput[a] for a in ALLOCATORS}, unit=" f/c/n"
     )
-    return (
+    text = (
         "Figure 10: 8x8 mesh, single-flit packets, max injection\n"
         + format_table(["Allocator", "Flits/cyc/node", "vs IF"], rows)
         + "\n"
         + bars
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

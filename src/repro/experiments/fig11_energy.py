@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 from repro.energy import ActivityCounters, EnergyBreakdown, EnergyModel
 from repro.network.config import paper_config
-from repro.sim.engine import run_simulation
+from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
 
-from .runner import format_table, improvement, run_lengths
+from .runner import format_table, improvement, perf_footer, run_lengths
 
 SCHEMES = ("input_first", "vix")
 LABELS = {"input_first": "Baseline (IF)", "vix": "VIX"}
@@ -30,6 +30,7 @@ class Fig11Result:
     """Energy breakdowns (pJ/bit components) per scheme."""
 
     breakdowns: dict[str, EnergyBreakdown]
+    perf: ExecutionStats | None = None
 
     def per_bit(self, scheme: str) -> float:
         return self.breakdowns[scheme].per_bit
@@ -44,20 +45,27 @@ def run(
     injection_rate: float = 0.1,
     seed: int = 1,
     fast: bool | None = None,
+    jobs: int | str | None = None,
 ) -> Fig11Result:
     """Simulate both configurations and evaluate the energy models."""
     lengths = run_lengths(fast)
-    breakdowns: dict[str, EnergyBreakdown] = {}
-    for scheme in SCHEMES:
-        cfg = paper_config(scheme)
-        sim = run_simulation(
-            cfg,
+    configs = {scheme: paper_config(scheme) for scheme in SCHEMES}
+    sim_jobs = [
+        SimJob(
+            configs[scheme],
             injection_rate=injection_rate,
             seed=seed,
             warmup=lengths.warmup,
             measure=lengths.measure,
             drain_limit=0,
         )
+        for scheme in SCHEMES
+    ]
+    stats = ExecutionStats()
+    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    breakdowns: dict[str, EnergyBreakdown] = {}
+    for scheme, sim in zip(SCHEMES, results):
+        cfg = configs[scheme]
         counters = ActivityCounters(**sim.counters)
         model = EnergyModel(
             radix=5,
@@ -68,7 +76,7 @@ def run(
             flit_width_bits=cfg.flit_width_bits,
         )
         breakdowns[scheme] = model.evaluate(counters)
-    return Fig11Result(breakdowns=breakdowns)
+    return Fig11Result(breakdowns=breakdowns, perf=stats)
 
 
 def report(result: Fig11Result | None = None) -> str:
@@ -87,12 +95,16 @@ def report(result: Fig11Result | None = None) -> str:
         ["Configuration"] + [c.capitalize() for c in COMPONENTS] + ["Total"],
         rows,
     )
-    return (
+    text = (
         "Figure 11: network energy per bit (pJ/bit), mesh @ 0.1 pkt/cyc/node\n"
         + table
         + f"\nVIX total overhead: {result.vix_total_overhead():+.1%} "
         f"(paper: +{PAPER_TOTAL_OVERHEAD:.0%})"
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

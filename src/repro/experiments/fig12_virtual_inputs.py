@@ -18,9 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import paper_config
-from repro.sim.engine import saturation_throughput
+from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
 
-from .runner import format_table, improvement, run_lengths
+from .runner import format_table, improvement, perf_footer, run_lengths
 
 TOPOLOGIES = ("mesh", "fbfly", "cmesh")
 VC_COUNTS = (4, 6)
@@ -33,6 +33,7 @@ class Fig12Result:
     (topology, num_vcs, config label)."""
 
     throughput: dict[tuple[str, int, str], float]
+    perf: ExecutionStats | None = None
 
     def gain(self, topology: str, num_vcs: int, config: str = "1:2 VIX") -> float:
         """Gain of a VIX configuration over the no-VIX baseline."""
@@ -70,21 +71,38 @@ def run(
     vc_counts: tuple[int, ...] = VC_COUNTS,
     seed: int = 1,
     fast: bool | None = None,
+    jobs: int | str | None = None,
 ) -> Fig12Result:
-    """Sweep topology x VC count x virtual-input configuration."""
+    """Sweep topology x VC count x virtual-input configuration.
+
+    The 18-point grid (3 topologies x 2 VC counts x 3 configurations) is
+    the repo's biggest embarrassingly parallel workload; all points fan out
+    in one batch.
+    """
     lengths = run_lengths(fast)
-    throughput: dict[tuple[str, int, str], float] = {}
-    for topo in topologies:
-        for vcs in vc_counts:
-            for label in CONFIG_LABELS:
-                cfg = paper_config(
-                    topology=topo, num_vcs=vcs, **_config_args(label, vcs)
-                )
-                res = saturation_throughput(
-                    cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
-                )
-                throughput[(topo, vcs, label)] = res.throughput_flits_per_node
-    return Fig12Result(throughput=throughput)
+    keys = [
+        (topo, vcs, label)
+        for topo in topologies
+        for vcs in vc_counts
+        for label in CONFIG_LABELS
+    ]
+    sim_jobs = [
+        SimJob(
+            paper_config(topology=topo, num_vcs=vcs, **_config_args(label, vcs)),
+            injection_rate=1.0,
+            seed=seed,
+            warmup=lengths.warmup,
+            measure=lengths.measure,
+            drain_limit=0,
+        )
+        for topo, vcs, label in keys
+    ]
+    stats = ExecutionStats()
+    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    throughput = {
+        key: res.throughput_flits_per_node for key, res in zip(keys, results)
+    }
+    return Fig12Result(throughput=throughput, perf=stats)
 
 
 def report(result: Fig12Result | None = None) -> str:
@@ -125,6 +143,9 @@ def report(result: Fig12Result | None = None) -> str:
             "buffer reduction (mesh 4-VC VIX vs 6-VC no VIX): "
             f"{result.buffer_reduction_gain():+.1%}"
         )
+    footer = perf_footer(result.perf)
+    if footer:
+        lines.extend(["", footer])
     return "\n".join(lines)
 
 

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.parallel import ExecutionStats, ParallelRunner
 from repro.sim.single_router import SingleRouterExperiment
 
-from .runner import format_table, improvement, run_lengths
+from .runner import format_table, improvement, perf_footer, run_lengths
 
 RADICES = (5, 8, 10)
 ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix", "ideal_vix")
@@ -35,6 +36,7 @@ class Fig7Result:
     packet_length: int
     cycles: int
     throughput: dict[tuple[int, str], float]
+    perf: ExecutionStats | None = None
 
     def gain_over_if(self, radix: int, allocator: str) -> float:
         """Relative throughput gain of ``allocator`` over IF at ``radix``."""
@@ -44,6 +46,20 @@ class Fig7Result:
         )
 
 
+def _simulate_point(spec: tuple) -> float:
+    """Worker: one saturated single-router run (must be picklable)."""
+    radix, alloc, num_vcs, packet_length, seed, cycles = spec
+    exp = SingleRouterExperiment(
+        alloc,
+        radix=radix,
+        num_vcs=num_vcs,
+        virtual_inputs=2,
+        packet_length=packet_length,
+        seed=seed,
+    )
+    return exp.run(cycles).throughput
+
+
 def run(
     *,
     num_vcs: int = 6,
@@ -51,23 +67,22 @@ def run(
     cycles: int | None = None,
     seed: int = 1,
     fast: bool | None = None,
+    jobs: int | str | None = None,
 ) -> Fig7Result:
     """Run the single-router sweep of Figure 7."""
     if cycles is None:
         cycles = run_lengths(fast).single_router_cycles
-    throughput: dict[tuple[int, str], float] = {}
-    for radix in RADICES:
-        for alloc in ALLOCATORS:
-            exp = SingleRouterExperiment(
-                alloc,
-                radix=radix,
-                num_vcs=num_vcs,
-                virtual_inputs=2,
-                packet_length=packet_length,
-                seed=seed,
-            )
-            throughput[(radix, alloc)] = exp.run(cycles).throughput
-    return Fig7Result(num_vcs, packet_length, cycles, throughput)
+    keys = [(radix, alloc) for radix in RADICES for alloc in ALLOCATORS]
+    runner = ParallelRunner(jobs)
+    values = runner.map(
+        _simulate_point,
+        [
+            (radix, alloc, num_vcs, packet_length, seed, cycles)
+            for radix, alloc in keys
+        ],
+    )
+    throughput = dict(zip(keys, values))
+    return Fig7Result(num_vcs, packet_length, cycles, throughput, runner.stats)
 
 
 def report(result: Fig7Result | None = None) -> str:
@@ -82,11 +97,15 @@ def report(result: Fig7Result | None = None) -> str:
         row.append(f"{result.gain_over_if(radix, 'augmenting_path'):+.0%}")
         rows.append(row)
     headers = ["Router"] + [LABELS[a] for a in ALLOCATORS] + ["VIX vs IF", "AP vs IF"]
-    return (
+    text = (
         "Single-router throughput (flits/cycle), saturated inputs, "
         f"{result.num_vcs} VCs, {result.packet_length}-flit packets:\n"
         + format_table(headers, rows)
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

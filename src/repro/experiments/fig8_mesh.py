@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.network.config import paper_config
-from repro.sim.engine import SimulationResult, run_simulation, saturation_throughput
+from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.sim.engine import SimulationResult
 
-from .runner import improvement, run_lengths
+from .runner import improvement, perf_footer, run_lengths
 
 ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix")
 LABELS = {
@@ -41,6 +42,8 @@ class Fig8Result:
     curves: dict[str, list[SimulationResult]] = field(default_factory=dict)
     #: allocator -> saturation result (rate = 1.0).
     saturation: dict[str, SimulationResult] = field(default_factory=dict)
+    #: Execution counters for the runs behind this result.
+    perf: ExecutionStats | None = None
 
     def saturation_flits_per_node(self, allocator: str) -> float:
         return self.saturation[allocator].throughput_flits_per_node
@@ -68,28 +71,55 @@ def run(
     seed: int = 1,
     fast: bool | None = None,
     include_curves: bool = True,
+    jobs: int | str | None = None,
 ) -> Fig8Result:
-    """Run the Figure 8 sweep."""
+    """Run the Figure 8 sweep.
+
+    Every (allocator, rate) point is independent, so the whole figure fans
+    out through :mod:`repro.parallel` as one flat job list.
+    """
     lengths = run_lengths(fast)
     if rates is None:
         rates = FAST_RATES if lengths.measure <= 2000 else DEFAULT_RATES
     result = Fig8Result(rates=tuple(rates))
+    sim_jobs: list[SimJob] = []
+    slots: list[tuple[str, bool]] = []  # (allocator, is_saturation)
     for alloc in allocators:
         cfg = paper_config(alloc, topology=topology)
         if include_curves:
-            result.curves[alloc] = [
-                run_simulation(
-                    cfg,
-                    injection_rate=rate,
-                    seed=seed,
-                    warmup=lengths.warmup,
-                    measure=lengths.measure,
+            result.curves[alloc] = []
+            for rate in rates:
+                sim_jobs.append(
+                    SimJob(
+                        cfg,
+                        injection_rate=rate,
+                        seed=seed,
+                        warmup=lengths.warmup,
+                        measure=lengths.measure,
+                    )
                 )
-                for rate in rates
-            ]
-        result.saturation[alloc] = saturation_throughput(
-            cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
+                slots.append((alloc, False))
+        # Saturation throughput: fully backlogged sources, no drain phase.
+        sim_jobs.append(
+            SimJob(
+                cfg,
+                injection_rate=1.0,
+                seed=seed,
+                warmup=lengths.warmup,
+                measure=lengths.measure,
+                drain_limit=0,
+            )
         )
+        slots.append((alloc, True))
+    stats = ExecutionStats()
+    for (alloc, is_saturation), res in zip(
+        slots, run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    ):
+        if is_saturation:
+            result.saturation[alloc] = res
+        else:
+            result.curves[alloc].append(res)
+    result.perf = stats
     return result
 
 
@@ -137,6 +167,9 @@ def report(result: Fig8Result | None = None) -> str:
         thr = result.saturation_flits_per_node(alloc)
         gain = result.throughput_gain(alloc) if alloc != "input_first" else 0.0
         lines.append(f"  {LABELS[alloc]:>4s}: {thr:.3f}  ({gain:+.1%} vs IF)")
+    footer = perf_footer(result.perf)
+    if footer:
+        lines.extend(["", footer])
     return "\n".join(lines)
 
 

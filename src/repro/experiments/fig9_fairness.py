@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import paper_config
-from repro.sim.engine import saturation_throughput
+from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
 
-from .runner import format_table, run_lengths
+from .runner import format_table, perf_footer, run_lengths
 
 ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix")
 LABELS = {
@@ -33,21 +33,33 @@ class Fig9Result:
 
     fairness: dict[str, float]
     throughput: dict[str, float]
+    perf: ExecutionStats | None = None
 
 
-def run(*, seed: int = 1, fast: bool | None = None) -> Fig9Result:
+def run(
+    *, seed: int = 1, fast: bool | None = None, jobs: int | str | None = None
+) -> Fig9Result:
     """Measure max/min per-source delivered throughput at saturation."""
     lengths = run_lengths(fast)
+    sim_jobs = [
+        SimJob(
+            paper_config(alloc),
+            injection_rate=1.0,
+            seed=seed,
+            warmup=lengths.warmup,
+            measure=lengths.measure,
+            drain_limit=0,
+        )
+        for alloc in ALLOCATORS
+    ]
+    stats = ExecutionStats()
+    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
     fairness: dict[str, float] = {}
     throughput: dict[str, float] = {}
-    for alloc in ALLOCATORS:
-        cfg = paper_config(alloc)
-        res = saturation_throughput(
-            cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
-        )
+    for alloc, res in zip(ALLOCATORS, results):
         fairness[alloc] = res.fairness
         throughput[alloc] = res.throughput_flits_per_node
-    return Fig9Result(fairness=fairness, throughput=throughput)
+    return Fig9Result(fairness=fairness, throughput=throughput, perf=stats)
 
 
 def report(result: Fig9Result | None = None) -> str:
@@ -61,9 +73,13 @@ def report(result: Fig9Result | None = None) -> str:
         )
         for a in ALLOCATORS
     ]
-    return "Figure 9: fairness at saturation, 8x8 mesh (max/min node throughput)\n" + format_table(
+    text = "Figure 9: fairness at saturation, 8x8 mesh (max/min node throughput)\n" + format_table(
         ["Allocator", "Max/Min", "Throughput (flits/cyc/node)"], rows
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

@@ -14,6 +14,8 @@ import os
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.parallel import ExecutionStats
+
 
 @dataclass(frozen=True)
 class RunLengths:
@@ -72,6 +74,21 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def perf_footer(stats: ExecutionStats | None) -> str:
+    """Execution-counter footer appended under experiment tables.
+
+    Empty when ``stats`` is ``None`` or nothing was executed (e.g. a table
+    assembled entirely from pre-computed values), so legacy callers that
+    never pass stats print unchanged output.
+    """
+    if stats is None:
+        return ""
+    counters = stats.as_dict()
+    if not any(counters.values()):
+        return ""
+    return f"[perf_counters] {stats.summary()}"
 
 
 def improvement(new: float, base: float) -> float:

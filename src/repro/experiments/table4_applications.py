@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 from repro.manycore import ManycoreSystem, get_mix
 from repro.manycore.workloads import MIXES, PAPER_MIX_MPKI, PAPER_MIX_SPEEDUP
 from repro.network.config import paper_config
+from repro.parallel import ExecutionStats, ParallelRunner
 
-from .runner import format_table, run_lengths
+from .runner import format_table, perf_footer, run_lengths
 
 
 @dataclass
@@ -25,6 +26,7 @@ class Table4Result:
     ipc: dict[tuple[str, str], float] = field(default_factory=dict)
     avg_mpki: dict[str, float] = field(default_factory=dict)
     net_latency: dict[tuple[str, str], float] = field(default_factory=dict)
+    perf: ExecutionStats | None = None
 
     def speedup(self, mix: str, scheme: str = "vix", base: str = "input_first") -> float:
         return self.ipc[(mix, scheme)] / self.ipc[(mix, base)]
@@ -34,12 +36,21 @@ class Table4Result:
         return sum(self.speedup(m, scheme) for m in mixes) / len(mixes)
 
 
+def _simulate_mix(spec: tuple) -> tuple[float, float]:
+    """Worker: one (mix, scheme) manycore run (must be picklable)."""
+    mix_name, scheme, seed, warmup, measure = spec
+    system = ManycoreSystem(paper_config(scheme), get_mix(mix_name), seed=seed)
+    res = system.run(warmup=warmup, measure=measure)
+    return res.aggregate_ipc, res.avg_network_latency
+
+
 def run(
     *,
     mixes: tuple[str, ...] | None = None,
     schemes: tuple[str, ...] = ("input_first", "vix"),
     seed: int = 1,
     fast: bool | None = None,
+    jobs: int | str | None = None,
 ) -> Table4Result:
     """Run every mix under every scheme."""
     lengths = run_lengths(fast)
@@ -47,15 +58,20 @@ def run(
         mixes = tuple(sorted(MIXES))
     result = Table4Result()
     for mix_name in mixes:
-        mix = get_mix(mix_name)
-        result.avg_mpki[mix_name] = mix.average_mpki()
-        for scheme in schemes:
-            system = ManycoreSystem(paper_config(scheme), mix, seed=seed)
-            res = system.run(
-                warmup=lengths.manycore_warmup, measure=lengths.manycore_measure
-            )
-            result.ipc[(mix_name, scheme)] = res.aggregate_ipc
-            result.net_latency[(mix_name, scheme)] = res.avg_network_latency
+        result.avg_mpki[mix_name] = get_mix(mix_name).average_mpki()
+    keys = [(mix_name, scheme) for mix_name in mixes for scheme in schemes]
+    runner = ParallelRunner(jobs)
+    values = runner.map(
+        _simulate_mix,
+        [
+            (mix_name, scheme, seed, lengths.manycore_warmup, lengths.manycore_measure)
+            for mix_name, scheme in keys
+        ],
+    )
+    for key, (ipc, latency) in zip(keys, values):
+        result.ipc[key] = ipc
+        result.net_latency[key] = latency
+    result.perf = runner.stats
     return result
 
 
@@ -79,11 +95,15 @@ def report(result: Table4Result | None = None) -> str:
     headers = ["Mix", "avg MPKI", "paper MPKI", "VIX speedup", "paper speedup"]
     if "augmenting_path" in schemes:
         headers.append("VIX vs AP")
-    return (
+    text = (
         "Table 4: application-level speedup of VIX over baseline (IF)\n"
         + format_table(headers, rows)
         + f"\naverage speedup: {result.average_speedup():.3f} (paper: ~1.05)"
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

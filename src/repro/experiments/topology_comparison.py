@@ -23,11 +23,11 @@ from dataclasses import dataclass, field
 
 from repro.analysis import saturation_bound
 from repro.network.config import paper_config
-from repro.sim.engine import saturation_throughput
+from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
 from repro.topology import make_topology
 from repro.traffic.patterns import UniformRandom
 
-from .runner import format_table, run_lengths
+from .runner import format_table, perf_footer, run_lengths
 
 TOPOLOGIES = ("mesh", "torus", "cmesh", "fbfly")
 SCHEMES = ("input_first", "vix")
@@ -42,6 +42,7 @@ class TopologyComparisonResult:
     throughput: dict[tuple[str, str], float] = field(default_factory=dict)
     #: topology -> analytic wiring bound (flits/cycle/node).
     bounds: dict[str, float] = field(default_factory=dict)
+    perf: ExecutionStats | None = None
 
     def efficiency(self, topology: str, scheme: str) -> float:
         """Measured throughput as a fraction of the wiring bound."""
@@ -60,6 +61,7 @@ def run(
     topologies: tuple[str, ...] = TOPOLOGIES,
     seed: int = 1,
     fast: bool | None = None,
+    jobs: int | str | None = None,
 ) -> TopologyComparisonResult:
     """Measure every (topology, scheme) pair and compute the bounds."""
     lengths = run_lengths(fast)
@@ -67,12 +69,22 @@ def run(
     for topo_name in topologies:
         topo = make_topology(topo_name, 64)
         result.bounds[topo_name] = saturation_bound(topo, UniformRandom(64))
-        for scheme in SCHEMES:
-            cfg = paper_config(scheme, topology=topo_name)
-            res = saturation_throughput(
-                cfg, seed=seed, warmup=lengths.warmup, measure=lengths.measure
-            )
-            result.throughput[(topo_name, scheme)] = res.throughput_flits_per_node
+    keys = [(topo_name, scheme) for topo_name in topologies for scheme in SCHEMES]
+    sim_jobs = [
+        SimJob(
+            paper_config(scheme, topology=topo_name),
+            injection_rate=1.0,
+            seed=seed,
+            warmup=lengths.warmup,
+            measure=lengths.measure,
+            drain_limit=0,
+        )
+        for topo_name, scheme in keys
+    ]
+    stats = ExecutionStats()
+    for key, res in zip(keys, run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)):
+        result.throughput[key] = res.throughput_flits_per_node
+    result.perf = stats
     return result
 
 
@@ -93,10 +105,14 @@ def report(result: TopologyComparisonResult | None = None) -> str:
         ["Topology", "Bound", "IF", "IF eff", "VIX", "VIX eff", "VIX gain"],
         rows,
     )
-    return (
+    text = (
         "Topology comparison: uniform-random saturation vs wiring bound "
         "(flits/cycle/node)\n" + table
     )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

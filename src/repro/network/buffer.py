@@ -42,6 +42,7 @@ class InputVC:
         "out_vc",
         "src",
         "dst",
+        "in_sa",
     )
 
     def __init__(self, port: int, index: int, depth: int) -> None:
@@ -54,6 +55,10 @@ class InputVC:
         self.out_vc = -1
         self.src = -1
         self.dst = -1
+        #: Membership flag for the owning router's active-VC list (kept by
+        #: the router; prevents duplicate entries when a VC is released and
+        #: re-activated between two switch-allocation compactions).
+        self.in_sa = False
 
     @property
     def occupancy(self) -> int:

@@ -66,6 +66,8 @@ class Router:
         "_va_arbiters",
         "_matrix",
         "_va_pending",
+        "_sa_active",
+        "_eff_virtual_inputs",
     )
 
     def __init__(self, rid: int, config: RouterConfig, topology: Topology) -> None:
@@ -91,10 +93,17 @@ class Router:
             virtual_inputs=config.virtual_inputs,
         )
         self.vc_policy = make_vc_policy(config.vc_policy)
+        # Resolved once: config.effective_virtual_inputs canonicalises the
+        # allocator name on every access, too slow for the VA loop.
+        self._eff_virtual_inputs = config.effective_virtual_inputs
         self._va_arbiters = [RoundRobinArbiter(self.radix * v) for _ in range(self.radix)]
         self._matrix = RequestMatrix(self.radix, self.radix, v)
         # VCs waiting for VC allocation, in arrival order.
         self._va_pending: list[InputVC] = []
+        # ACTIVE VCs: the only ones switch allocation needs to look at.
+        # Entries are appended on the transition to ACTIVE and compacted out
+        # after release, so idle ports cost nothing in the per-cycle scan.
+        self._sa_active: list[InputVC] = []
 
     # --- flit arrival ------------------------------------------------------
 
@@ -120,6 +129,9 @@ class Router:
                 # Ejection needs no VC allocation: the NI always accepts.
                 ivc.out_vc = 0
                 ivc.state = VCState.ACTIVE
+                if not ivc.in_sa:
+                    ivc.in_sa = True
+                    self._sa_active.append(ivc)
             else:
                 ivc.state = VCState.VA_WAIT
                 self._va_pending.append(ivc)
@@ -135,7 +147,7 @@ class Router:
             by_output.setdefault(ivc.out_port, []).append(ivc)
 
         v = self.config.num_vcs
-        k = self.config.effective_virtual_inputs
+        k = self._eff_virtual_inputs
         granted = 0
         for out_port, requesters in by_output.items():
             out = self.outputs[out_port]
@@ -147,8 +159,12 @@ class Router:
             arbiter = self._va_arbiters[out_port]
             index_of = {r.port * v + r.index: r for r in requesters}
             while index_of and free:
-                win = arbiter.arbitrate(index_of.keys())
-                assert win is not None
+                if len(index_of) == 1:
+                    # Lone requester: wins regardless of the pointer.
+                    win = next(iter(index_of))
+                else:
+                    win = arbiter.arbitrate(index_of.keys())
+                    assert win is not None
                 arbiter.update(win)
                 ivc = index_of.pop(win)
                 allowed = self.topology.allowed_vcs(
@@ -176,35 +192,61 @@ class Router:
                 out.out_vcs[choice].allocated = True
                 ivc.out_vc = choice
                 ivc.state = VCState.ACTIVE
-                self._va_pending.remove(ivc)
+                if not ivc.in_sa:
+                    ivc.in_sa = True
+                    self._sa_active.append(ivc)
                 granted += 1
+        if granted:
+            # One O(n) rebuild instead of O(n) list.remove per grant; the
+            # granted VCs left VA_WAIT above, and filtering keeps arrival
+            # order for the rest.
+            self._va_pending = [
+                ivc for ivc in self._va_pending if ivc.state is VCState.VA_WAIT
+            ]
         return granted
 
     # --- switch allocation ---------------------------------------------------
 
     def switch_allocate(self) -> list[Grant]:
-        """Build this cycle's request matrix and run the switch allocator."""
+        """Build this cycle's request matrix and run the switch allocator.
+
+        Only the router's ACTIVE VCs are visited (``_sa_active``), so the
+        per-cycle cost scales with live traffic rather than ``radix x v``.
+        Released VCs are compacted out of the list in the same pass.
+        """
+        active_list = self._sa_active
+        if not active_list:
+            return []
         matrix = self._matrix
         matrix.clear()
         requests = matrix.requests
         tails = matrix.tails
+        dirty = matrix.dirty
         outputs = self.outputs
         active = VCState.ACTIVE
         any_request = False
-        for port_vcs in self.inputs:
-            for ivc in port_vcs:
-                if ivc.state is not active or not ivc.queue:
-                    continue
-                out_port = ivc.out_port
-                out = outputs[out_port]
-                if not out.is_ejection and out.out_vcs[ivc.out_vc].credits <= 0:
-                    continue
-                flit = ivc.queue[0]
-                # Direct writes: the router's own state guarantees validity,
-                # so skip RequestMatrix.add's range checks in the hot loop.
-                requests[ivc.port][ivc.index] = out_port
-                tails[ivc.port][ivc.index] = flit.is_tail
-                any_request = True
+        write = 0
+        for ivc in active_list:
+            if ivc.state is not active:
+                # Tail departed since the last pass: drop the entry.
+                ivc.in_sa = False
+                continue
+            active_list[write] = ivc
+            write += 1
+            if not ivc.queue:
+                continue
+            out_port = ivc.out_port
+            out = outputs[out_port]
+            if not out.is_ejection and out.out_vcs[ivc.out_vc].credits <= 0:
+                continue
+            flit = ivc.queue[0]
+            # Direct writes: the router's own state guarantees validity,
+            # so skip RequestMatrix.add's range checks in the hot loop.
+            requests[ivc.port][ivc.index] = out_port
+            tails[ivc.port][ivc.index] = flit.is_tail
+            dirty.append((ivc.port, ivc.index))
+            any_request = True
+        del active_list[write:]
         if not any_request:
             return []
         return self.allocator.allocate(matrix)

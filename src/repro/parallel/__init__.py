@@ -1,0 +1,36 @@
+"""Process-based experiment execution: job specs, fan-out, result caching.
+
+Every paper artifact is a bag of fully independent cycle-accurate
+simulations — one per (allocator, rate, pattern, seed) point.  This package
+turns that observation into wall-clock speed:
+
+* :class:`SimJob` — a hashable, picklable description of one simulation
+  (config + pattern + rate + seed + windows) with a stable content hash;
+* :class:`ParallelRunner` — fans jobs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with chunking, per-job
+  timeouts, worker-crash retry and an ordered-results API, so output is
+  identical to a serial run;
+* :class:`ResultCache` — a content-addressed on-disk JSON cache
+  (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) keyed by job hash + package
+  version, making repeated sweeps and redundant saturation probes free;
+* :class:`ExecutionStats` — jobs run / cache hits / worker retries / wall
+  seconds, surfaced in experiment table footers.
+
+Serial semantics are the degenerate case: ``jobs=1`` (the default when
+``$REPRO_JOBS`` is unset) executes inline, in order, in-process.
+"""
+
+from .cache import ResultCache, result_from_jsonable, result_to_jsonable
+from .jobs import SimJob
+from .runner import ExecutionStats, ParallelRunner, resolve_jobs, run_sim_jobs
+
+__all__ = [
+    "ExecutionStats",
+    "ParallelRunner",
+    "ResultCache",
+    "SimJob",
+    "resolve_jobs",
+    "result_from_jsonable",
+    "result_to_jsonable",
+    "run_sim_jobs",
+]

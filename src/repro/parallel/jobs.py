@@ -1,0 +1,105 @@
+"""The unit of parallel work: one fully specified simulation run.
+
+A :class:`SimJob` captures everything :func:`repro.sim.engine.run_simulation`
+needs, in a frozen (hashable) dataclass whose fields are all picklable, so
+jobs can cross a process boundary and serve as dictionary keys.  Its
+:meth:`SimJob.key` is a stable content hash over the *semantic* spec (config
+fields, pattern identity, windows, seed) plus the package version — the
+address of the job's result in the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.network.config import NetworkConfig
+from repro.traffic.patterns import TrafficPattern
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.sim imports us back
+    from repro.sim.engine import SimulationResult
+
+
+def _pattern_spec(pattern: TrafficPattern | str) -> dict:
+    """A JSON-able identity for a traffic pattern.
+
+    String specs name a :func:`repro.traffic.patterns.make_pattern` pattern;
+    pattern instances contribute their class, size, and public constructor
+    state (every public attribute is a scalar or tuple by construction).
+    """
+    if isinstance(pattern, str):
+        return {"kind": "name", "name": pattern.strip().lower()}
+    attrs = {
+        name: list(value) if isinstance(value, tuple) else value
+        for name, value in sorted(vars(pattern).items())
+        if not name.startswith("_")
+        and isinstance(value, (int, float, str, bool, tuple))
+    }
+    return {"kind": "instance", "class": type(pattern).__name__, "attrs": attrs}
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation point, ready to run in any process.
+
+    Field defaults mirror :func:`repro.sim.engine.run_simulation` so a job
+    is a faithful stand-in for a direct call.
+    """
+
+    config: NetworkConfig
+    pattern: TrafficPattern | str = "uniform"
+    injection_rate: float = 0.1
+    packet_length: int | None = None
+    seed: int = 1
+    warmup: int = 1000
+    measure: int = 3000
+    drain_limit: int | None = None
+    burst_length: float = 1.0
+
+    def run(self) -> "SimulationResult":
+        """Execute the simulation this job describes."""
+        from repro.sim.engine import run_simulation
+
+        return run_simulation(
+            self.config,
+            pattern=self.pattern,
+            injection_rate=self.injection_rate,
+            packet_length=self.packet_length,
+            seed=self.seed,
+            warmup=self.warmup,
+            measure=self.measure,
+            drain_limit=self.drain_limit,
+            burst_length=self.burst_length,
+        )
+
+    def spec(self) -> dict:
+        """The job's semantic content as plain JSON-able data."""
+        return {
+            "config": dataclasses.asdict(self.config),
+            "pattern": _pattern_spec(self.pattern),
+            "injection_rate": self.injection_rate,
+            "packet_length": self.packet_length,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "drain_limit": self.drain_limit,
+            "burst_length": self.burst_length,
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the spec + package version (cache address).
+
+        The package version is folded in so simulator behaviour changes
+        invalidate old cache entries wholesale.
+        """
+        from repro import __version__
+
+        payload = json.dumps(
+            {"spec": self.spec(), "version": __version__},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,260 @@
+"""Fan simulation jobs out over worker processes, in order, with a cache.
+
+The runner's contract is *serial equivalence*: ``ParallelRunner.run(jobs)``
+returns results in job order with field-for-field the same values a serial
+loop would produce — simulations are deterministic from their spec, so the
+only thing parallelism changes is the wall clock.  Failure handling keeps
+that contract under duress: a failed or crashed worker batch is retried
+once in a fresh pool, and whatever still fails is executed inline in the
+parent process (with a warning), so a broken multiprocessing stack degrades
+to the serial behaviour instead of a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from .cache import ResultCache
+from .jobs import SimJob
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.sim imports us back
+    from repro.sim.engine import SimulationResult
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a worker-count spec to a positive integer.
+
+    ``None`` defers to ``$REPRO_JOBS`` (default 1 — serial); ``"auto"`` or
+    any value < 1 means one worker per CPU core.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "1")
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text in ("", "auto"):
+            return os.cpu_count() or 1
+        jobs = int(text)
+    if jobs < 1:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing how a batch of jobs was actually executed."""
+
+    jobs_run: int = 0
+    cache_hits: int = 0
+    worker_retries: int = 0
+    inline_fallbacks: int = 0
+    wall_seconds: float = 0.0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another stats block into this one."""
+        self.jobs_run += other.jobs_run
+        self.cache_hits += other.cache_hits
+        self.worker_retries += other.worker_retries
+        self.inline_fallbacks += other.inline_fallbacks
+        self.wall_seconds += other.wall_seconds
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (stable keys; used by JSON export and footers)."""
+        return {
+            "jobs_run": self.jobs_run,
+            "cache_hits": self.cache_hits,
+            "worker_retries": self.worker_retries,
+            "inline_fallbacks": self.inline_fallbacks,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable form for table footers."""
+        return (
+            f"jobs run: {self.jobs_run} | cache hits: {self.cache_hits} | "
+            f"worker retries: {self.worker_retries} | "
+            f"wall: {self.wall_seconds:.2f}s"
+        )
+
+
+def _run_sim_job(job: SimJob) -> SimulationResult:
+    """Module-level worker entry point (must be picklable)."""
+    return job.run()
+
+
+def _run_batch(fn: Callable, batch: list) -> list:
+    """Execute one chunk of items in a worker process."""
+    return [fn(item) for item in batch]
+
+
+class ParallelRunner:
+    """Ordered fan-out of independent jobs over worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count (see :func:`resolve_jobs`).  1 executes inline.
+    cache:
+        ``"default"`` for the environment-configured :class:`ResultCache`,
+        ``None`` to disable, or an explicit cache instance.  Only
+        :meth:`run` (SimJob execution) consults the cache; :meth:`map` is
+        for arbitrary callables and always executes.
+    timeout:
+        Optional per-job seconds budget.  A chunk that exceeds
+        ``timeout * len(chunk)`` counts as failed and follows the
+        retry-then-inline path.
+    chunksize:
+        Jobs per worker submission.  1 (the default) gives the best
+        load balance for second-scale simulations; raise it for very
+        short jobs to amortise pickling overhead.
+    """
+
+    def __init__(
+        self,
+        jobs: int | str | None = None,
+        *,
+        cache: ResultCache | str | None = "default",
+        timeout: float | None = None,
+        chunksize: int = 1,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = ResultCache.default() if cache == "default" else cache
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.timeout = timeout
+        self.chunksize = chunksize
+        self.stats = ExecutionStats()
+
+    # --- SimJob execution (cached) ----------------------------------------
+
+    def run(self, sim_jobs: Sequence[SimJob]) -> list[SimulationResult]:
+        """Execute every job, returning results in job order.
+
+        Cache hits are served without running; misses are executed (in
+        parallel when ``jobs > 1``) and written back.
+        """
+        start = time.perf_counter()
+        results: list[SimulationResult | None] = [None] * len(sim_jobs)
+        miss_indices: list[int] = []
+        keys: dict[int, str] = {}
+        if self.cache is not None:
+            for i, job in enumerate(sim_jobs):
+                keys[i] = key = job.key()
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    self.stats.cache_hits += 1
+                else:
+                    miss_indices.append(i)
+        else:
+            miss_indices = list(range(len(sim_jobs)))
+
+        if miss_indices:
+            fresh = self._execute(
+                _run_sim_job, [sim_jobs[i] for i in miss_indices]
+            )
+            self.stats.jobs_run += len(miss_indices)
+            for i, result in zip(miss_indices, fresh):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(keys[i], result)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return results  # type: ignore[return-value] — every slot is filled
+
+    # --- generic execution (uncached) --------------------------------------
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply a picklable callable to every item, preserving order."""
+        start = time.perf_counter()
+        outputs = self._execute(fn, list(items))
+        self.stats.jobs_run += len(items)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return outputs
+
+    # --- machinery ----------------------------------------------------------
+
+    def _execute(self, fn: Callable, items: list) -> list:
+        workers = min(self.jobs, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        size = self.chunksize
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        outputs: list[list | None] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        for attempt in (0, 1):
+            if not pending:
+                break
+            if attempt:
+                self.stats.worker_retries += len(pending)
+            pending = self._try_pool(fn, chunks, outputs, pending, workers)
+        if pending:
+            # Two pool generations failed (crashing workers, broken
+            # multiprocessing, timeouts): degrade to serial execution so
+            # the experiment still completes.
+            self.stats.inline_fallbacks += len(pending)
+            warnings.warn(
+                f"parallel execution failed for {len(pending)} job batch(es); "
+                "falling back to inline execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for ci in pending:
+                outputs[ci] = _run_batch(fn, chunks[ci])
+        return [value for batch in outputs for value in batch]  # type: ignore[union-attr]
+
+    def _try_pool(
+        self,
+        fn: Callable,
+        chunks: list[list],
+        outputs: list,
+        pending: list[int],
+        workers: int,
+    ) -> list[int]:
+        """Run the pending chunks in one pool; returns the still-failed ones."""
+        failed: list[int] = []
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                submitted = [
+                    (ci, pool.submit(_run_batch, fn, chunks[ci])) for ci in pending
+                ]
+                for ci, future in submitted:
+                    budget = (
+                        None if self.timeout is None
+                        else self.timeout * len(chunks[ci])
+                    )
+                    try:
+                        outputs[ci] = future.result(timeout=budget)
+                    except Exception:
+                        # Worker crash (BrokenProcessPool), job exception,
+                        # or timeout: mark for retry/inline.
+                        failed.append(ci)
+        except Exception:
+            # Pool construction/teardown itself failed.
+            return [ci for ci in pending if outputs[ci] is None]
+        return failed
+
+
+def run_sim_jobs(
+    sim_jobs: Sequence[SimJob],
+    *,
+    jobs: int | str | None = None,
+    cache: ResultCache | str | None = "default",
+    timeout: float | None = None,
+    stats: ExecutionStats | None = None,
+) -> list[SimulationResult]:
+    """One-call fan-out: execute ``sim_jobs`` and return ordered results.
+
+    When ``stats`` is given, the runner's counters are merged into it so
+    callers can aggregate across batches.
+    """
+    runner = ParallelRunner(jobs, cache=cache, timeout=timeout)
+    results = runner.run(sim_jobs)
+    if stats is not None:
+        stats.merge(runner.stats)
+    return results

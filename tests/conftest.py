@@ -1,0 +1,18 @@
+"""Shared test configuration.
+
+Simulations executed through :mod:`repro.parallel` cache their results on
+disk.  Point the cache at a per-session temporary directory so test runs
+are hermetic — they exercise the cache code without touching (or being
+influenced by) the user's real ``~/.cache/repro``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("repro-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(cache_root))
+    yield
+    mp.undo()

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.timing",
     "repro.energy",
     "repro.manycore",
+    "repro.parallel",
     "repro.analysis",
     "repro.report",
     "repro.experiments",
