@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-full examples all clean
+.PHONY: install test bench bench-fast bench-full bench-baseline examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,11 +21,18 @@ bench-fast:
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+# Perf-trajectory point: dense vs activity-gated stepping on the 8x8 mesh.
+# The result (BENCH_PR2.json) is committed; CI smoke-checks against it.
+bench-baseline:
+	$(PYTHON) scripts/bench_pr2.py --out BENCH_PR2.json
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done
 
 all: test bench
 
+# Removes scratch outputs only.  Committed BENCH_*.json trajectory
+# baselines (e.g. BENCH_PR2.json) must survive a clean.
 clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
 	rm -f BENCH_sweep.json

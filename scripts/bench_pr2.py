@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""PR 2 perf-trajectory benchmark: activity gating vs the dense loop.
+
+Measures the 8x8-mesh uniform-traffic sweep points (fractions of the mesh
+saturation rate, ~0.105 packets/node/cycle) in a single process with no
+result caching, under two stepping modes:
+
+* ``dense``  — ``activity_gating=False, fast_injection=False``: the
+  pre-gating reference loop (every router, NI, and injector visited every
+  cycle).
+* ``fast``   — ``activity_gating=True, fast_injection=True``: the gated
+  loop with geometric-gap injection, as used by sweeps and benchmarks.
+
+Both modes share every state-changing helper, so the comparison isolates
+the scheduling strategy.  Results are written to ``BENCH_PR2.json`` (the
+first committed point of the perf trajectory; see ``make bench-baseline``).
+
+``--check BASELINE.json`` runs only the low-load smoke point and fails
+(exit 1) if the gated/dense speedup regressed by more than ``--threshold``
+(default 25%) against the committed baseline.  The check compares
+*speedups*, not wall-clock seconds, so it is stable across machines of
+different absolute speed (CI runners vs the machine that wrote the
+baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.network.config import paper_config  # noqa: E402
+from repro.sim.engine import run_simulation  # noqa: E402
+
+#: Uniform-traffic saturation of the paper's 8x8 mesh baseline (packets per
+#: node per cycle); sweep loads are expressed as fractions of it.
+SATURATION_RATE = 0.105
+
+LOADS = (0.05, 0.2, 1.0)
+ALLOCATORS = ("input_first", "vix")
+
+MODES = {
+    "dense": dict(activity_gating=False, fast_injection=False),
+    "fast": dict(activity_gating=True, fast_injection=True),
+}
+
+
+def _run_once(allocator: str, load: float, mode: str, measure: int) -> float:
+    cfg = paper_config(allocator)
+    rate = round(load * SATURATION_RATE, 6)
+    t0 = time.perf_counter()
+    run_simulation(
+        cfg,
+        injection_rate=rate,
+        seed=1,
+        warmup=1000,
+        measure=measure,
+        **MODES[mode],
+    )
+    return time.perf_counter() - t0
+
+
+def _best_of(n: int, *args) -> float:
+    return min(_run_once(*args) for _ in range(n))
+
+
+def _run_ref(src_root: Path, allocator: str, load: float, measure: int) -> float:
+    """Time one run against a different source tree (e.g. the pre-PR
+    checkout) in a subprocess, same protocol as :func:`_run_once`."""
+    rate = round(load * SATURATION_RATE, 6)
+    code = (
+        "import sys, time\n"
+        f"sys.path.insert(0, {str(src_root)!r})\n"
+        "from repro.network.config import paper_config\n"
+        "from repro.sim.engine import run_simulation\n"
+        "t0 = time.perf_counter()\n"
+        f"run_simulation(paper_config({allocator!r}), injection_rate={rate}, "
+        f"seed=1, warmup=1000, measure={measure})\n"
+        "print(time.perf_counter() - t0)\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], check=True, capture_output=True, text=True
+    )
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def write_baseline(path: Path, repeats: int, measure: int,
+                   ref_src: Path | None) -> None:
+    results: dict[str, dict] = {}
+    for allocator in ALLOCATORS:
+        results[allocator] = {}
+        for load in LOADS:
+            dense = _best_of(repeats, allocator, load, "dense", measure)
+            fast = _best_of(repeats, allocator, load, "fast", measure)
+            entry = {
+                "dense_s": round(dense, 4),
+                "fast_s": round(fast, 4),
+                "speedup": round(dense / fast, 3),
+            }
+            if ref_src is not None:
+                ref = min(_run_ref(ref_src, allocator, load, measure)
+                          for _ in range(repeats))
+                entry["pre_pr_dense_s"] = round(ref, 4)
+                entry["speedup_vs_pre_pr"] = round(ref / fast, 3)
+            results[allocator][str(load)] = entry
+            print(f"{allocator:12s} load={load}: " + " ".join(
+                f"{k}={v}" for k, v in entry.items()))
+    payload = {
+        "benchmark": "8x8 mesh, uniform traffic, seed 1, warmup 1000, "
+                     f"measure {measure}, single process, no cache",
+        "saturation_rate": SATURATION_RATE,
+        "loads_are_fractions_of_saturation": True,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def check_against(baseline_path: Path, threshold: float, measure: int) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline["results"]["input_first"]["0.05"]
+    base_speedup = entry["speedup"]
+    dense = _best_of(3, "input_first", 0.05, "dense", measure)
+    fast = _best_of(3, "input_first", 0.05, "fast", measure)
+    speedup = dense / fast
+    floor = base_speedup * (1.0 - threshold)
+    print(f"low-load smoke: dense={dense:.3f}s fast={fast:.3f}s "
+          f"speedup={speedup:.3f}x (baseline {base_speedup}x, floor {floor:.3f}x)")
+    if speedup < floor:
+        print(f"FAIL: gated speedup regressed more than "
+              f"{threshold:.0%} vs {baseline_path}")
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_PR2.json", type=Path,
+                    help="output path for the baseline JSON")
+    ap.add_argument("--check", metavar="BASELINE", type=Path,
+                    help="smoke-check the low-load point against a baseline")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative speedup regression (default 0.25)")
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="best-of-N repeats per point (default 2)")
+    ap.add_argument("--measure", type=int, default=3000,
+                    help="measurement window in cycles (default 3000)")
+    ap.add_argument("--ref-src", type=Path, default=None,
+                    help="src/ root of a pre-PR checkout; when given, each "
+                         "point also records pre_pr_dense_s / "
+                         "speedup_vs_pre_pr measured against that tree")
+    args = ap.parse_args()
+    if args.check is not None:
+        return check_against(args.check, args.threshold, args.measure)
+    write_baseline(args.out, args.repeats, args.measure, args.ref_src)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

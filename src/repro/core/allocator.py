@@ -52,5 +52,15 @@ class SwitchAllocator(ABC):
     def allocate(self, matrix: RequestMatrix) -> list[Grant]:
         """Compute this cycle's grants for ``matrix``."""
 
+    #: Optional forced-move entry point, set by schemes that can recognise a
+    #: conflict-free request set without building a :class:`RequestMatrix`.
+    #: Signature: ``allocate_fast(reqs: list[tuple[in_port, vc, out_port]])
+    #: -> list[Grant] | None`` — a non-``None`` return must be exactly what
+    #: :meth:`allocate` would have produced (grants *and* internal priority
+    #: state); ``None`` means "contended, use the matrix path".  ``None``
+    #: here (the attribute, not the return) means the scheme has no fast
+    #: entry point at all.
+    allocate_fast = None
+
     def reset(self) -> None:
         """Restore power-on arbitration state (default: stateless)."""

@@ -36,6 +36,28 @@ class AugmentingPathAllocator(SwitchAllocator):
         super().__init__(num_inputs, num_outputs, num_vcs)
         self._vc_arbiters = [RoundRobinArbiter(num_vcs) for _ in range(num_inputs)]
 
+    def allocate_fast(self, reqs: list[tuple[int, int, int]]) -> list[Grant] | None:
+        """Forced-move allocation for a conflict-free request set.
+
+        With one request per input port and distinct outputs, the
+        port-level graph is itself a matching, so the maximum matching
+        grants every pair and only the per-port VC arbiters rotate (the
+        matching itself is stateless).  Returns ``None`` on any port or
+        output collision.
+        """
+        busy_ports: set[int] = set()
+        busy_outputs: set[int] = set()
+        for p, _vc, out in reqs:
+            if p in busy_ports or out in busy_outputs:
+                return None
+            busy_ports.add(p)
+            busy_outputs.add(out)
+        vc_arbiters = self._vc_arbiters
+        v = self.num_vcs
+        for p, vc, _out in reqs:
+            vc_arbiters[p]._pointer = (vc + 1) % v
+        return reqs
+
     def allocate(self, matrix: RequestMatrix) -> list[Grant]:
         port_requests = matrix.port_request_sets()
         adj = [sorted(reqs) for reqs in port_requests]

@@ -45,6 +45,11 @@ class PacketChainingAllocator(SeparableInputFirstAllocator):
 
     name = "PC"
 
+    #: Opt out of the separable forced-move fast path: even a conflict-free
+    #: request set must run :meth:`allocate` here, because held/chainable
+    #: connections reserve ports and every grant mutates connection state.
+    allocate_fast = None
+
     def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
         super().__init__(num_inputs, num_outputs, num_vcs, virtual_inputs=1)
         self._connections: dict[int, _Connection] = {}

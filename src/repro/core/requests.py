@@ -8,15 +8,19 @@ list of :class:`Grant` records subject to scheme-specific invariants (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
 NO_REQUEST = -1
 
 
-@dataclass(frozen=True, slots=True)
-class Grant:
-    """One switch-allocation grant: input VC ``(in_port, vc)`` -> ``out_port``."""
+class Grant(NamedTuple):
+    """One switch-allocation grant: input VC ``(in_port, vc)`` -> ``out_port``.
+
+    A named tuple rather than a dataclass: grants are created in the
+    simulator's innermost loop, and tuple construction/unpacking is the
+    cheapest structured record CPython offers.
+    """
 
     in_port: int
     vc: int

@@ -130,18 +130,66 @@ class SeparableInputFirstAllocator(SwitchAllocator):
             return vc % self._group_size
         return vc // self._k
 
+    def allocate_fast(self, reqs: list[Grant]) -> list[Grant] | None:
+        """Forced-move allocation straight from ``(in_port, vc, out_port)``
+        requests, bypassing the :class:`RequestMatrix` entirely.
+
+        When every request sits in its own (port, sub-group) and wants its
+        own output, both separable phases are forced for every request:
+        each input arbiter sees exactly one candidate and each output
+        arbiter exactly one winner.  Grants and pointer rotations are then
+        exactly what :meth:`allocate` would produce (under either pointer
+        policy — a forced selection always survives phase 2, so "plain" and
+        "on_grant" rotate the same arbiters).  Returns ``None`` on any
+        virtual-input or output collision; the caller falls back to the
+        matrix path.  This is the dominant shape at low load.
+        """
+        k = self._k
+        gs = self._group_size
+        contiguous = self.partition == "contiguous"
+        busy: set[int] = set()
+        busy_outputs: set[int] = set()
+        for p, vc, out in reqs:
+            g = vc // gs if contiguous else vc % k
+            pg = p * k + g
+            if pg in busy or out in busy_outputs:
+                return None
+            busy.add(pg)
+            busy_outputs.add(out)
+        input_arbiters = self._input_arbiters
+        output_arbiters = self._output_arbiters
+        n_out = self.num_inputs * k
+        for p, vc, out in reqs:
+            # Inlined RoundRobinArbiter.update for both phases (the range
+            # checks are vacuous here: indices come from our own geometry).
+            if contiguous:
+                g = vc // gs
+                input_arbiters[p][g]._pointer = (vc % gs + 1) % gs
+            else:
+                g = vc % k
+                input_arbiters[p][g]._pointer = (vc // k + 1) % gs
+            output_arbiters[out]._pointer = (p * k + g + 1) % n_out
+        # Every request is granted unchanged, so the request list (built as
+        # Grant tuples by the caller) *is* the grant list.
+        return reqs
+
     def allocate(self, matrix: RequestMatrix) -> list[Grant]:
         plain = self.pointer_policy == "plain"
         contiguous = self.partition == "contiguous"
         gs = self._group_size
+        k = self._k
+        requests = matrix.requests
 
         # Single-request fast path: with one live request both phases are
         # forced moves, so skip all the candidate bookkeeping and perform
         # just the two pointer rotations a full run would have made.
+        # (Conflict-free *multi*-request sets take :meth:`allocate_fast`
+        # before a matrix is even built; by the time a matrix reaches us,
+        # router-originated request sets are contended.)
         dirty = matrix.dirty
         if len(dirty) == 1:
             p, vc = dirty[0]
-            out = matrix.requests[p][vc]
+            out = requests[p][vc]
             if out != NO_REQUEST:
                 g = self.vc_group(vc)
                 if plain:
@@ -151,42 +199,40 @@ class SeparableInputFirstAllocator(SwitchAllocator):
                     self._input_arbiters[p][g].update(self._local_of(vc))
                 return [Grant(p, vc, out)]
 
-        # Idle-port fast path: only cells recorded in ``matrix.dirty`` can
-        # hold a request (see RequestMatrix), so phase 1 visits just the
-        # ports with live traffic instead of scanning ``radix x v`` cells.
-        # Sorted ascending to keep winner ordering identical to a full scan.
-        ports = sorted({p for p, _ in dirty})
+        # Phase 1 candidates per crossbar input, derived from the dirty
+        # list: only cells recorded there can hold a request (see
+        # RequestMatrix), so this replaces a ``radix x v`` row scan with a
+        # walk over the live cells.  The guard against duplicate dirty
+        # entries keeps semantics identical for callers that ``add`` the
+        # same cell twice.
+        groups: dict[tuple[int, int], list[int]] = {}
+        for p, vc in dirty:
+            if requests[p][vc] == NO_REQUEST:
+                continue
+            key = (p, vc // gs if contiguous else vc % k)
+            vcs = groups.get(key)
+            if vcs is None:
+                groups[key] = [vc]
+            elif vc not in vcs:
+                vcs.append(vc)
 
         # Phase 1: each crossbar input picks one requesting VC.
         # winners[(port, group)] = (vc, out_port)
+        # Keys sorted ascending so winner ordering matches a full row scan.
         winners: dict[tuple[int, int], tuple[int, int]] = {}
-        for p in ports:
-            row = matrix.requests[p]
-            arbiters = self._input_arbiters[p]
-            for g in range(self._k):
-                if contiguous:
-                    base = g * gs
-                    local = [
-                        i
-                        for i, out in enumerate(row[base : base + gs])
-                        if out != NO_REQUEST
-                    ]
-                else:
-                    local = [
-                        i
-                        for i in range(gs)
-                        if row[self._vc_of(g, i)] != NO_REQUEST
-                    ]
-                if not local:
-                    continue
-                arb = arbiters[g]
-                if len(local) == 1:
-                    # A lone candidate wins regardless of the pointer; only
-                    # the pointer rotation (plain policy) must still happen.
-                    choice = local[0]
-                    if plain:
-                        arb.update(choice)
-                elif plain:
+        for key in sorted(groups):
+            p, g = key
+            vcs = groups[key]
+            arb = self._input_arbiters[p][g]
+            if len(vcs) == 1:
+                # A lone candidate wins regardless of the pointer; only
+                # the pointer rotation (plain policy) must still happen.
+                vc = vcs[0]
+                if plain:
+                    arb.update(self._local_of(vc))
+            else:
+                local = [self._local_of(w) for w in vcs]
+                if plain:
                     # Conventional separable arbitration: the pointer
                     # rotates on the phase-1 choice whether or not phase 2
                     # grants it — exactly the uncoordinated behaviour the
@@ -196,7 +242,7 @@ class SeparableInputFirstAllocator(SwitchAllocator):
                     choice = arb.arbitrate(local)
                 assert choice is not None
                 vc = self._vc_of(g, choice)
-                winners[(p, g)] = (vc, row[vc])
+            winners[key] = (vc, requests[p][vc])
 
         # Phase 2: each output picks one crossbar input among the winners.
         grants: list[Grant] = []

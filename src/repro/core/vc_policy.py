@@ -65,8 +65,17 @@ class MaxCreditPolicy(VCSelectionPolicy):
     ) -> int:
         if not candidates:
             raise ValueError("no candidate VCs")
-        # Ties break to the lowest VC id (deterministic).
-        return max(candidates, key=lambda vc: (credits[vc], -vc))
+        # Ties break to the lowest VC id (deterministic).  Manual scan
+        # instead of max(key=...): this runs once per multi-candidate VC
+        # allocation and the lambda dominated its cost.
+        best = candidates[0]
+        best_credits = credits[best]
+        for vc in candidates:
+            c = credits[vc]
+            if c > best_credits or (c == best_credits and vc < best):
+                best = vc
+                best_credits = c
+        return best
 
 
 class VixDimensionPolicy(VCSelectionPolicy):

@@ -43,6 +43,31 @@ class WavefrontAllocator(SwitchAllocator):
         """Anti-diagonal that holds top priority this cycle."""
         return self._diag
 
+    def allocate_fast(self, reqs: list[tuple[int, int, int]]) -> list[Grant] | None:
+        """Forced-move allocation for a conflict-free request set.
+
+        WF matches at the *port* level, so the forced condition is one
+        request per input port and distinct outputs — every pair is then
+        conflict-free and some wave grants it regardless of the priority
+        diagonal.  The diagonal still rotates by one (it advances every
+        cycle unconditionally) and each port's VC arbiter rotates past its
+        lone winner, exactly as :meth:`allocate` would.  Returns ``None``
+        on any port or output collision.
+        """
+        busy_ports: set[int] = set()
+        busy_outputs: set[int] = set()
+        for p, _vc, out in reqs:
+            if p in busy_ports or out in busy_outputs:
+                return None
+            busy_ports.add(p)
+            busy_outputs.add(out)
+        self._diag = (self._diag + 1) % self._n
+        vc_arbiters = self._vc_arbiters
+        v = self.num_vcs
+        for p, vc, _out in reqs:
+            vc_arbiters[p]._pointer = (vc + 1) % v
+        return reqs
+
     def allocate(self, matrix: RequestMatrix) -> list[Grant]:
         n = self._n
         port_requests = matrix.port_request_sets()

@@ -28,8 +28,13 @@ class ActivityCounters:
     flits_ejected: int = 0
     #: Packets delivered (tail flits ejected).
     packets_ejected: int = 0
-    #: Simulated cycles.
+    #: Simulated cycles (fast-forwarded cycles included).
     cycles: int = 0
+    #: Sleeping routers moved to the active set (idle-to-busy transitions).
+    router_wakeups: int = 0
+    #: Cycles the engine fast-forwarded instead of stepping (subset of
+    #: ``cycles``; they contribute static energy but no activity).
+    cycles_skipped: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -40,6 +45,8 @@ class ActivityCounters:
         self.flits_ejected = 0
         self.packets_ejected = 0
         self.cycles = 0
+        self.router_wakeups = 0
+        self.cycles_skipped = 0
 
     def snapshot(self) -> dict[str, int]:
         """Counter values as a plain dict (for reports and tests)."""
@@ -51,4 +58,6 @@ class ActivityCounters:
             "flits_ejected": self.flits_ejected,
             "packets_ejected": self.packets_ejected,
             "cycles": self.cycles,
+            "router_wakeups": self.router_wakeups,
+            "cycles_skipped": self.cycles_skipped,
         }

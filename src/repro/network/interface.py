@@ -22,6 +22,11 @@ from .flit import Flit, Packet
 class NetworkInterface:
     """Per-terminal injection/ejection endpoint."""
 
+    #: Credit-sink owner id for the network's wake bookkeeping.  NIs poll
+    #: while they have work queued, so a returning credit never needs to
+    #: wake anything (-1 = no wake target).
+    owner = -1
+
     __slots__ = (
         "terminal",
         "router_id",
@@ -35,6 +40,7 @@ class NetworkInterface:
         "_policy",
         "_num_vcs",
         "_virtual_inputs",
+        "_direction_cache",
         "packets_dropped",
     )
 
@@ -60,6 +66,9 @@ class NetworkInterface:
         self._policy = policy
         self._num_vcs = config.num_vcs
         self._virtual_inputs = config.effective_virtual_inputs
+        # First-hop direction class per destination, memoized: routing is a
+        # pure function of (router, dst) so each entry is computed once.
+        self._direction_cache: dict[int, int | None] = {}
         self.packets_dropped = 0
 
     @property
@@ -94,18 +103,29 @@ class NetworkInterface:
             ]
             if candidates:
                 packet = self.queue[0]
-                # The "downstream" router of the injection channel is the
-                # local router itself; classify the packet's first hop.
-                first_port = self._topology.route(self.router_id, packet.dst)
-                direction = self._topology.port_direction_class(first_port)
-                credits = [ovc.credits for ovc in self.out_vcs]
-                vc = self._policy.select(
-                    candidates,
-                    credits,
-                    num_vcs=self._num_vcs,
-                    virtual_inputs=self._virtual_inputs,
-                    downstream_direction=direction,
-                )
+                if len(candidates) == 1:
+                    # Every policy returns the lone candidate, so skip the
+                    # first-hop classification and the policy call.
+                    vc = candidates[0]
+                else:
+                    # The "downstream" router of the injection channel is the
+                    # local router itself; classify the packet's first hop.
+                    dst = packet.dst
+                    cache = self._direction_cache
+                    if dst in cache:
+                        direction = cache[dst]
+                    else:
+                        first_port = self._topology.route(self.router_id, dst)
+                        direction = self._topology.port_direction_class(first_port)
+                        cache[dst] = direction
+                    credits = [ovc.credits for ovc in self.out_vcs]
+                    vc = self._policy.select(
+                        candidates,
+                        credits,
+                        num_vcs=self._num_vcs,
+                        virtual_inputs=self._virtual_inputs,
+                        downstream_direction=direction,
+                    )
                 self.out_vcs[vc].allocated = True
                 self._current_vc = vc
                 self._current_flits.extend(packet.make_flits())
@@ -117,6 +137,15 @@ class NetworkInterface:
             return None
         ovc.credits -= 1
         return self._current_vc, self._current_flits.popleft()
+
+    def has_work(self) -> bool:
+        """True while a packet is queued or a flit stream is in progress.
+
+        This is the NI's activity condition: while it holds, the network
+        polls :meth:`next_flit` every cycle (it may be credit-blocked); once
+        it clears, the NI sleeps until the next :meth:`enqueue`.
+        """
+        return bool(self.queue or self._current_flits)
 
     def pending_flits(self) -> int:
         """Flits not yet handed to the network (queued packets included)."""

@@ -12,9 +12,22 @@ The network owns the global event wheel.  A cycle proceeds as:
 
 All latencies are derived from :class:`~repro.network.config.RouterConfig`;
 the defaults give the paper's 3-cycle-per-hop pipeline.
+
+Per-cycle cost is proportional to *activity*, not network size: the network
+keeps a set of routers with pending VA/SA work and a set of NIs with queued
+packets, and :meth:`Network.step` visits only those.  Routers are woken by
+flit arrivals, returning credits, and new injections, and go back to sleep
+when both their VA-pending and active-VC lists empty; since every sleeping
+component is state-identical to an idle component the dense loop would have
+scanned, gated stepping is byte-identical to :meth:`Network.step_dense`.
+The event wheel is a dict-of-lists keyed by cycle plus a min-heap of the
+distinct pending times, so :meth:`next_event_time` is O(1) and the engine
+can fast-forward quiescent stretches with :meth:`skip_to`.
 """
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
 
 from repro.energy.activity import ActivityCounters
 from repro.topology import Topology, make_topology
@@ -59,12 +72,31 @@ class Network:
         for ni in self.interfaces:
             self.routers[ni.router_id].upstream[ni.local_port] = ni
         self.counters = ActivityCounters()
-        #: Flits carried per directed link, keyed by (router, output port).
-        self.link_flits: dict[tuple[int, int], int] = {
-            (spec.src_router, spec.src_port): 0 for spec in self.topology.links()
-        }
+        # Flits carried per directed link, held as per-router arrays indexed
+        # by output port (a plain list increment in the grant loop instead
+        # of a tuple-keyed dict op); exposed as a dict via ``link_flits``.
+        self._link_keys = [
+            (spec.src_router, spec.src_port) for spec in self.topology.links()
+        ]
+        self._link_counts = [
+            [0] * self.topology.radix for _ in range(self.topology.num_routers)
+        ]
         self.cycle = 0
+        # Per-hop latencies resolved once (attribute chains cost in the
+        # per-cycle loop).
+        self._pipe = rc.pipeline_stages
+        self._credit_delay = rc.credit_delay
         self._events: dict[int, list[tuple]] = {}
+        # Min-heap of the distinct cycle numbers present in _events.
+        self._event_times: list[int] = []
+        #: Routers with pending VA/SA work; only these are stepped.
+        self._active_routers: set[int] = set()
+        #: NIs with queued packets or an in-progress flit stream.
+        self._active_nis: set[int] = set()
+        #: Activity gating on/off.  Off restores the pre-gating dense scan
+        #: (every router and NI visited every cycle) — results are
+        #: byte-identical either way; only the wall clock differs.
+        self.gating = True
         self._in_flight_flits = 0
         #: Optional observer with on_flit_ejected / on_packet_ejected hooks
         #: (set by the simulation engine).
@@ -83,6 +115,8 @@ class Network:
                         dest_port=-1,
                         num_vcs=rc.num_vcs,
                         buffer_depth=rc.buffer_depth,
+                        owner=router.rid,
+                        terminal=topo.terminal_of(router.rid, port),
                     )
                     continue
                 nb = topo.neighbor(router.rid, port)
@@ -95,6 +129,7 @@ class Network:
                     dest_port=nb[1],
                     num_vcs=rc.num_vcs,
                     buffer_depth=rc.buffer_depth,
+                    owner=router.rid,
                 )
         for spec in topo.links():
             src = self.routers[spec.src_router]
@@ -102,50 +137,159 @@ class Network:
                 spec.src_port
             ]
 
+    @property
+    def link_flits(self) -> dict[tuple[int, int], int]:
+        """Flits carried per directed link, keyed by (router, output port)."""
+        counts = self._link_counts
+        return {(r, p): counts[r][p] for r, p in self._link_keys}
+
     # --- event plumbing ---------------------------------------------------
 
     def _schedule(self, when: int, event: tuple) -> None:
-        self._events.setdefault(when, []).append(event)
+        q = self._events.get(when)
+        if q is None:
+            self._events[when] = [event]
+            heappush(self._event_times, when)
+        else:
+            q.append(event)
+
+    def _wake_router(self, rid: int) -> None:
+        """Add a router to the active set (idempotent; counts transitions)."""
+        active = self._active_routers
+        if rid not in active:
+            active.add(rid)
+            self.counters.router_wakeups += 1
 
     def _deliver(self, now: int) -> None:
         events = self._events.pop(now, None)
         if not events:
             return
+        times = self._event_times
+        if times and times[0] == now:
+            heappop(times)
+        routers = self.routers
+        counters = self.counters
+        active = self._active_routers
+        stats = self.stats
+        writes = wakeups = ejected_flits = ejected_packets = 0
         for ev in events:
             kind = ev[0]
             if kind == _ARRIVAL:
                 _, rid, port, vc, flit = ev
-                self.routers[rid].accept_flit(port, vc, flit)
-                self.counters.buffer_writes += 1
+                if flit.is_head:
+                    routers[rid].accept_flit(port, vc, flit)
+                else:
+                    # Body/tail flits join an already-allocated VC; credit
+                    # flow control guarantees buffer space, so the push
+                    # reduces to an append (accept_flit would do the same
+                    # after re-checking depth and head-ness).
+                    routers[rid].inputs[port][vc].queue.append(flit)
+                writes += 1
+                if rid not in active:
+                    active.add(rid)
+                    wakeups += 1
             elif kind == _CREDIT:
                 _, sink, vc, release = ev
                 ovc = sink.out_vcs[vc]
                 ovc.credits += 1
                 if release:
                     ovc.allocated = False
+                # The credit may unblock a credit-starved ACTIVE VC of the
+                # router that owns the sink (NIs poll while they have work,
+                # so only router-owned sinks need a wakeup).
+                owner = sink.owner
+                if owner >= 0 and owner not in active:
+                    active.add(owner)
+                    wakeups += 1
             else:  # _EJECT
                 _, flit, terminal = ev
-                self._in_flight_flits -= 1
-                self.counters.flits_ejected += 1
-                if self.stats is not None:
-                    self.stats.on_flit_ejected(terminal, now)
+                ejected_flits += 1
+                if stats is not None:
+                    stats.on_flit_ejected(terminal, now)
                 if flit.is_tail:
                     packet = flit.packet
                     packet.ejected_cycle = now
-                    self.counters.packets_ejected += 1
-                    if self.stats is not None:
-                        self.stats.on_packet_ejected(packet, now)
+                    ejected_packets += 1
+                    if stats is not None:
+                        stats.on_packet_ejected(packet, now)
+        counters.buffer_writes += writes
+        counters.router_wakeups += wakeups
+        counters.flits_ejected += ejected_flits
+        counters.packets_ejected += ejected_packets
+        self._in_flight_flits -= ejected_flits
+
+    def next_event_time(self) -> int | None:
+        """Earliest cycle with a scheduled event, or ``None`` when empty."""
+        times = self._event_times
+        events = self._events
+        while times and times[0] not in events:
+            heappop(times)  # drop stale times defensively
+        return times[0] if times else None
 
     # --- public API ---------------------------------------------------------
 
     def inject(self, packet: Packet) -> bool:
         """Queue a packet at its source NI; False when the queue is full."""
-        return self.interfaces[packet.src].enqueue(packet)
+        if self.interfaces[packet.src].enqueue(packet):
+            self._active_nis.add(packet.src)
+            return True
+        return False
 
     def step(self) -> None:
-        """Advance the network by one cycle."""
+        """Advance the network by one cycle (activity-gated).
+
+        Only active NIs and routers are visited; see the module docstring
+        for the wake conditions and the sleep invariant.
+        """
+        if not self.gating:
+            self.step_dense()
+            return
         now = self.cycle
-        pipe = self.config.router.pipeline_stages
+        self._deliver(now)
+
+        active_nis = self._active_nis
+        if active_nis:
+            interfaces = self.interfaces
+            for t in sorted(active_nis):
+                ni = interfaces[t]
+                sent = ni.next_flit()
+                if sent is not None:
+                    vc, flit = sent
+                    self._schedule(
+                        now + 1, (_ARRIVAL, ni.router_id, ni.local_port, vc, flit)
+                    )
+                    self._in_flight_flits += 1
+                if not (ni.queue or ni._current_flits):  # inlined has_work()
+                    active_nis.discard(t)
+
+        active_routers = self._active_routers
+        if active_routers:
+            routers = self.routers
+            order = sorted(active_routers)
+            for rid in order:
+                router = routers[rid]
+                if router._va_pending:
+                    router.vc_allocate()
+            for rid in order:
+                router = routers[rid]
+                grants = router.switch_allocate()
+                if grants:
+                    self._apply_grants(router, grants, now)
+                if not router._sa_active and not router._va_pending:
+                    active_routers.discard(rid)
+
+        self.counters.cycles += 1
+        self.cycle = now + 1
+
+    def step_dense(self) -> None:
+        """Advance one cycle visiting every router and NI (reference loop).
+
+        This is the pre-gating implementation, kept as the equivalence
+        baseline for tests and benchmarks.  It shares every state-changing
+        helper with :meth:`step`, so the two only differ in which (no-op)
+        components they visit.
+        """
+        now = self.cycle
         self._deliver(now)
 
         for ni in self.interfaces:
@@ -160,44 +304,92 @@ class Network:
                 router.vc_allocate()
         for router in self.routers:
             grants = router.switch_allocate()
-            for g in grants:
-                self._apply_grant(router, g, now, pipe)
+            if grants:
+                self._apply_grants(router, grants, now)
 
         self.counters.cycles += 1
         self.cycle = now + 1
 
-    def _apply_grant(self, router: Router, grant, now: int, pipe: int) -> None:
-        ivc = router.inputs[grant.in_port][grant.vc]
-        flit = ivc.pop()
-        self.counters.buffer_reads += 1
-        self.counters.xbar_traversals += 1
-        out = router.outputs[grant.out_port]
-        assert out is not None
-        if out.is_ejection:
-            terminal = self.topology.terminal_of(router.rid, grant.out_port)
-            # ST + LT of the final hop happen before the NI receives it.
-            self._schedule(now + pipe, (_EJECT, flit, terminal))
-        else:
-            ovc = out.out_vcs[ivc.out_vc]
-            if ovc.credits <= 0:
-                raise RuntimeError(
-                    f"router {router.rid}: grant without downstream credit"
+    def has_active_work(self) -> bool:
+        """True when any router or NI would do work next cycle."""
+        return bool(self._active_routers or self._active_nis)
+
+    def skip_to(self, cycle: int) -> None:
+        """Fast-forward the clock to ``cycle`` without simulating.
+
+        Only valid when the caller has established quiescence: no active
+        router or NI, and no event scheduled before ``cycle`` (the engine
+        checks :meth:`has_active_work` and :meth:`next_event_time`).  The
+        skipped cycles still count toward ``counters.cycles`` — and are
+        tallied separately in ``counters.cycles_skipped`` — so results are
+        identical to having stepped through them.
+        """
+        skipped = cycle - self.cycle
+        if skipped <= 0:
+            return
+        self.counters.cycles += skipped
+        self.counters.cycles_skipped += skipped
+        self.cycle = cycle
+
+    def _apply_grants(self, router: Router, grants, now: int) -> None:
+        """Move every granted flit out of ``router``'s buffers.
+
+        One call per router per cycle: event scheduling is inlined and the
+        per-grant activity counters are accumulated locally and flushed
+        once, which matters at ~1 grant per active router per cycle.
+        """
+        events = self._events
+        times = self._event_times
+        inputs = router.inputs
+        outputs = router.outputs
+        upstream = router.upstream
+        link_counts = self._link_counts[router.rid]
+        rid = router.rid
+        # Every grant schedules its flit move at ``now + pipe`` and (links
+        # and injection channels are always wired) a credit at ``now +
+        # credit_delay``; resolve both queues once for the whole batch.
+        move_when = now + self._pipe
+        moveq = events.get(move_when)
+        if moveq is None:
+            moveq = events[move_when] = []
+            heappush(times, move_when)
+        credit_when = now + self._credit_delay
+        creditq = events.get(credit_when)
+        if creditq is None:
+            creditq = events[credit_when] = []
+            heappush(times, credit_when)
+        links = 0
+        for in_port, vc, out_port in grants:
+            ivc = inputs[in_port][vc]
+            flit = ivc.queue.popleft()
+            out = outputs[out_port]
+            if out.is_ejection:
+                # ST + LT of the final hop happen before the NI receives it.
+                moveq.append((_EJECT, flit, out.terminal))
+            else:
+                ovc = out.out_vcs[ivc.out_vc]
+                credits = ovc.credits
+                if credits <= 0:
+                    raise RuntimeError(
+                        f"router {rid}: grant without downstream credit"
+                    )
+                ovc.credits = credits - 1
+                links += 1
+                link_counts[out_port] += 1
+                moveq.append(
+                    (_ARRIVAL, out.dest_router, out.dest_port, ivc.out_vc, flit)
                 )
-            ovc.credits -= 1
-            self.counters.link_traversals += 1
-            self.link_flits[(router.rid, grant.out_port)] += 1
-            self._schedule(
-                now + pipe,
-                (_ARRIVAL, out.dest_router, out.dest_port, ivc.out_vc, flit),
-            )
-        upstream = router.upstream[grant.in_port]
-        if upstream is not None:
-            self._schedule(
-                now + self.config.router.credit_delay,
-                (_CREDIT, upstream, grant.vc, flit.is_tail),
-            )
-        if flit.is_tail:
-            ivc.release()
+            tail = flit.is_tail
+            up = upstream[in_port]
+            if up is not None:
+                creditq.append((_CREDIT, up, vc, tail))
+            if tail:
+                ivc.release()
+        n = len(grants)
+        counters = self.counters
+        counters.buffer_reads += n
+        counters.xbar_traversals += n
+        counters.link_traversals += links
 
     def run(self, cycles: int) -> None:
         """Step the network ``cycles`` times."""

@@ -23,11 +23,22 @@ from repro.topology.base import Topology
 from .buffer import InputVC, OutVC, VCState
 from .config import RouterConfig
 
+#: Cache-miss sentinel distinct from a legitimate ``None`` direction.
+_MISS = object()
+
 
 class OutputPort:
     """One router output port and its downstream credit state."""
 
-    __slots__ = ("index", "is_ejection", "dest_router", "dest_port", "out_vcs")
+    __slots__ = (
+        "index",
+        "is_ejection",
+        "dest_router",
+        "dest_port",
+        "out_vcs",
+        "owner",
+        "terminal",
+    )
 
     def __init__(
         self,
@@ -38,11 +49,18 @@ class OutputPort:
         dest_port: int,
         num_vcs: int,
         buffer_depth: int,
+        owner: int = -1,
+        terminal: int = -1,
     ) -> None:
         self.index = index
         self.is_ejection = is_ejection
         self.dest_router = dest_router
         self.dest_port = dest_port
+        #: Router that owns this port (wakes on credit return), -1 if unwired.
+        self.owner = owner
+        #: Ejecting terminal for ejection ports (resolved once at wiring
+        #: time so the hot loop never calls ``terminal_of``), else -1.
+        self.terminal = terminal
         # Ejection ports sink flits directly (the NI always accepts), so they
         # carry no credit state.
         self.out_vcs: list[OutVC] = (
@@ -68,6 +86,9 @@ class Router:
         "_va_pending",
         "_sa_active",
         "_eff_virtual_inputs",
+        "_route_table",
+        "_lookahead_cache",
+        "_alloc_fast",
     )
 
     def __init__(self, rid: int, config: RouterConfig, topology: Topology) -> None:
@@ -93,11 +114,22 @@ class Router:
             virtual_inputs=config.virtual_inputs,
         )
         self.vc_policy = make_vc_policy(config.vc_policy)
+        # Bound method (or None) resolved once: the allocator's forced-move
+        # entry point, consulted before building a request matrix.
+        self._alloc_fast = self.allocator.allocate_fast
         # Resolved once: config.effective_virtual_inputs canonicalises the
         # allocator name on every access, too slow for the VA loop.
         self._eff_virtual_inputs = config.effective_virtual_inputs
         self._va_arbiters = [RoundRobinArbiter(self.radix * v) for _ in range(self.radix)]
         self._matrix = RequestMatrix(self.radix, self.radix, v)
+        # Routing is a pure function of (router, destination); resolving it
+        # through a flat table turns the per-head route call into a list
+        # index.  Lookahead directions are memoized the same way on first
+        # use (keyed by output port and destination).
+        self._route_table = [
+            topology.route(rid, t) for t in range(topology.num_terminals)
+        ]
+        self._lookahead_cache: dict[tuple[int, int], int | None] = {}
         # VCs waiting for VC allocation, in arrival order.
         self._va_pending: list[InputVC] = []
         # ACTIVE VCs: the only ones switch allocation needs to look at.
@@ -118,7 +150,7 @@ class Router:
                 )
             ivc.src = flit.packet.src
             ivc.dst = flit.packet.dst
-            out_port = self.topology.route(self.rid, ivc.dst)
+            out_port = self._route_table[flit.packet.dst]
             ivc.out_port = out_port
             out = self.outputs[out_port]
             if out is None:
@@ -138,15 +170,66 @@ class Router:
 
     # --- VC allocation ------------------------------------------------------
 
+    def _lookahead(self, out_port: int, dst: int) -> int | None:
+        """Memoized :meth:`Topology.lookahead_direction`."""
+        key = (out_port, dst)
+        cache = self._lookahead_cache
+        direction = cache.get(key, _MISS)
+        if direction is _MISS:
+            direction = self.topology.lookahead_direction(self.rid, out_port, dst)
+            cache[key] = direction
+        return direction
+
     def vc_allocate(self) -> int:
         """Run one cycle of VC allocation; returns the number of grants."""
         if not self._va_pending:
             return 0
+        v = self.config.num_vcs
+        if len(self._va_pending) == 1:
+            # Lone requester: it wins its output's arbitration regardless of
+            # the pointer, so skip the grouping/candidate bookkeeping.  The
+            # pointer still rotates past the winner, and the dateline class
+            # filter still applies, exactly as in the general path below.
+            ivc = self._va_pending[0]
+            out_port = ivc.out_port
+            out = self.outputs[out_port]
+            out_vcs = out.out_vcs
+            free = [w for w, ovc in enumerate(out_vcs) if not ovc.allocated]
+            if not free:
+                return 0
+            self._va_arbiters[out_port].update(ivc.port * v + ivc.index)
+            allowed = self.topology.allowed_vcs(
+                self.rid, out_port, ivc.src, ivc.dst, v
+            )
+            if allowed is not None:
+                free = [w for w in free if w in allowed]
+                if not free:
+                    return 0
+            if len(free) == 1:
+                # Every policy returns the lone candidate (max-credit takes
+                # the max of one; the dimension policy picks from the only
+                # group), so skip the policy call and its credit snapshot.
+                choice = free[0]
+            else:
+                choice = self.vc_policy.select(
+                    free,
+                    [ovc.credits for ovc in out_vcs],
+                    num_vcs=v,
+                    virtual_inputs=self._eff_virtual_inputs,
+                    downstream_direction=self._lookahead(out_port, ivc.dst),
+                )
+            out_vcs[choice].allocated = True
+            ivc.out_vc = choice
+            ivc.state = VCState.ACTIVE
+            if not ivc.in_sa:
+                ivc.in_sa = True
+                self._sa_active.append(ivc)
+            self._va_pending.clear()
+            return 1
         by_output: dict[int, list[InputVC]] = {}
         for ivc in self._va_pending:
             by_output.setdefault(ivc.out_port, []).append(ivc)
 
-        v = self.config.num_vcs
         k = self._eff_virtual_inputs
         granted = 0
         for out_port, requesters in by_output.items():
@@ -178,16 +261,16 @@ class Router:
                         # No free VC in the packet's (dateline) class this
                         # cycle; it stays in VA_WAIT and retries.
                         continue
-                direction = self.topology.lookahead_direction(
-                    self.rid, out_port, ivc.dst
-                )
-                choice = self.vc_policy.select(
-                    candidates,
-                    credits,
-                    num_vcs=v,
-                    virtual_inputs=k,
-                    downstream_direction=direction,
-                )
+                if len(candidates) == 1:
+                    choice = candidates[0]  # forced; see the lone-requester path
+                else:
+                    choice = self.vc_policy.select(
+                        candidates,
+                        credits,
+                        num_vcs=v,
+                        virtual_inputs=k,
+                        downstream_direction=self._lookahead(out_port, ivc.dst),
+                    )
                 free.remove(choice)
                 out.out_vcs[choice].allocated = True
                 ivc.out_vc = choice
@@ -217,14 +300,10 @@ class Router:
         active_list = self._sa_active
         if not active_list:
             return []
-        matrix = self._matrix
-        matrix.clear()
-        requests = matrix.requests
-        tails = matrix.tails
-        dirty = matrix.dirty
         outputs = self.outputs
         active = VCState.ACTIVE
-        any_request = False
+        grant = Grant
+        reqs: list[Grant] = []
         write = 0
         for ivc in active_list:
             if ivc.state is not active:
@@ -239,16 +318,28 @@ class Router:
             out = outputs[out_port]
             if not out.is_ejection and out.out_vcs[ivc.out_vc].credits <= 0:
                 continue
-            flit = ivc.queue[0]
+            reqs.append(grant(ivc.port, ivc.index, out_port))
+        del active_list[write:]
+        if not reqs:
+            return []
+        fast = self._alloc_fast
+        if fast is not None:
+            grants = fast(reqs)
+            if grants is not None:
+                return grants
+        # Contended (or the scheme has no fast path): build the matrix.
+        matrix = self._matrix
+        matrix.clear()
+        requests = matrix.requests
+        tails = matrix.tails
+        dirty = matrix.dirty
+        inputs = self.inputs
+        for p, vc, out_port in reqs:
             # Direct writes: the router's own state guarantees validity,
             # so skip RequestMatrix.add's range checks in the hot loop.
-            requests[ivc.port][ivc.index] = out_port
-            tails[ivc.port][ivc.index] = flit.is_tail
-            dirty.append((ivc.port, ivc.index))
-            any_request = True
-        del active_list[write:]
-        if not any_request:
-            return []
+            requests[p][vc] = out_port
+            tails[p][vc] = inputs[p][vc].queue[0].is_tail
+            dirty.append((p, vc))
         return self.allocator.allocate(matrix)
 
     # --- introspection ---------------------------------------------------------

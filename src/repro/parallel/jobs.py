@@ -58,6 +58,7 @@ class SimJob:
     measure: int = 3000
     drain_limit: int | None = None
     burst_length: float = 1.0
+    fast_injection: bool = False
 
     def run(self) -> "SimulationResult":
         """Execute the simulation this job describes."""
@@ -73,6 +74,7 @@ class SimJob:
             measure=self.measure,
             drain_limit=self.drain_limit,
             burst_length=self.burst_length,
+            fast_injection=self.fast_injection,
         )
 
     def spec(self) -> dict:
@@ -87,6 +89,7 @@ class SimJob:
             "measure": self.measure,
             "drain_limit": self.drain_limit,
             "burst_length": self.burst_length,
+            "fast_injection": self.fast_injection,
         }
 
     def key(self) -> str:

@@ -53,6 +53,11 @@ class ExecutionStats:
     worker_retries: int = 0
     inline_fallbacks: int = 0
     wall_seconds: float = 0.0
+    #: Router idle-to-busy transitions across the freshly executed runs
+    #: (activity-gated stepping; cached results contribute nothing).
+    router_wakeups: int = 0
+    #: Cycles fast-forwarded instead of simulated across the fresh runs.
+    cycles_skipped: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats block into this one."""
@@ -61,6 +66,13 @@ class ExecutionStats:
         self.worker_retries += other.worker_retries
         self.inline_fallbacks += other.inline_fallbacks
         self.wall_seconds += other.wall_seconds
+        self.router_wakeups += other.router_wakeups
+        self.cycles_skipped += other.cycles_skipped
+
+    def absorb_counters(self, counters: dict) -> None:
+        """Fold one simulation's activity counters into the batch view."""
+        self.router_wakeups += counters.get("router_wakeups", 0)
+        self.cycles_skipped += counters.get("cycles_skipped", 0)
 
     def as_dict(self) -> dict:
         """Plain-dict view (stable keys; used by JSON export and footers)."""
@@ -70,6 +82,8 @@ class ExecutionStats:
             "worker_retries": self.worker_retries,
             "inline_fallbacks": self.inline_fallbacks,
             "wall_seconds": round(self.wall_seconds, 3),
+            "router_wakeups": self.router_wakeups,
+            "cycles_skipped": self.cycles_skipped,
         }
 
     def summary(self) -> str:
@@ -77,7 +91,9 @@ class ExecutionStats:
         return (
             f"jobs run: {self.jobs_run} | cache hits: {self.cache_hits} | "
             f"worker retries: {self.worker_retries} | "
-            f"wall: {self.wall_seconds:.2f}s"
+            f"wall: {self.wall_seconds:.2f}s | "
+            f"router wakeups: {self.router_wakeups} | "
+            f"cycles skipped: {self.cycles_skipped}"
         )
 
 
@@ -162,6 +178,7 @@ class ParallelRunner:
             self.stats.jobs_run += len(miss_indices)
             for i, result in zip(miss_indices, fresh):
                 results[i] = result
+                self.stats.absorb_counters(result.counters)
                 if self.cache is not None:
                     self.cache.put(keys[i], result)
         self.stats.wall_seconds += time.perf_counter() - start

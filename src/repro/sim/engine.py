@@ -10,6 +10,16 @@ collector together and runs the standard three-phase methodology:
    every measured packet is delivered or a drain budget expires.  Past
    saturation some measured packets never finish inside any budget; the
    result marks this and latency is reported over the delivered subset.
+
+Every phase advances through :meth:`Simulation._advance`, which
+fast-forwards quiescent stretches: when the network has no active router or
+NI and the injector reports no upcoming injection, the clock jumps straight
+to the next scheduled event (or the end of the phase) instead of spinning
+empty cycles.  With per-cycle Bernoulli injection at ``rate > 0`` the
+injector is active every cycle, so no cycle is ever skipped and the run is
+byte-identical to the plain loop; with ``rate == 0`` or
+``fast_injection=True`` the idle gaps are skipped and tallied in the
+``cycles_skipped`` counter.
 """
 
 from __future__ import annotations
@@ -62,9 +72,12 @@ class Simulation:
         packet_length: int | None = None,
         seed: int = 1,
         burst_length: float = 1.0,
+        fast_injection: bool = False,
+        activity_gating: bool = True,
     ) -> None:
         self.config = config
         self.network = Network(config)
+        self.network.gating = activity_gating
         if isinstance(pattern, str):
             pattern = make_pattern(pattern, config.num_terminals)
         self.pattern = pattern
@@ -75,6 +88,7 @@ class Simulation:
             packet_length=packet_length,
             seed=seed,
             burst_length=burst_length,
+            fast_injection=fast_injection,
         )
         self.stats = StatsCollector(config.num_terminals)
         self.network.stats = self.stats
@@ -83,6 +97,40 @@ class Simulation:
     def _step(self) -> None:
         self.injector.tick(self.network.cycle)
         self.network.step()
+
+    def _maybe_skip(self, budget: int) -> int:
+        """Fast-forward up to ``budget`` quiescent cycles; returns how many.
+
+        Safe exactly when nothing can happen before the jump target: the
+        network has no active router or NI (so no allocation, injection
+        channel, or ejection work), and the injector's next possible
+        injection and the event wheel's next delivery both lie at or beyond
+        it.  Skipped cycles still count toward ``counters.cycles``.
+        """
+        network = self.network
+        if not network.gating or network.has_active_work():
+            return 0
+        now = network.cycle
+        wake = self.injector.next_active_cycle(now)
+        if wake is not None and wake <= now:
+            return 0
+        nxt = network.next_event_time()
+        if nxt is not None and (wake is None or nxt < wake):
+            wake = nxt
+        # Nothing scheduled at all: the remaining budget is all idle.
+        target = now + budget if wake is None else min(wake, now + budget)
+        network.skip_to(target)
+        return target - now
+
+    def _advance(self, cycles: int) -> None:
+        """Advance exactly ``cycles`` cycles, fast-forwarding idle spans."""
+        network = self.network
+        end = network.cycle + cycles
+        while network.cycle < end:
+            if self._maybe_skip(end - network.cycle):
+                continue
+            self.injector.tick(network.cycle)
+            network.step()
 
     def run(
         self,
@@ -95,14 +143,16 @@ class Simulation:
             raise ValueError("warmup must be >= 0 and measure > 0")
         if drain_limit is None:
             drain_limit = max(2000, 2 * measure)
-        for _ in range(warmup):
-            self._step()
+        self._advance(warmup)
         start = self.network.cycle
         self.stats.open_window(start, start + measure)
-        for _ in range(measure):
-            self._step()
+        self._advance(measure)
         drained_cycles = 0
         while self.stats.outstanding and drained_cycles < drain_limit:
+            skipped = self._maybe_skip(drain_limit - drained_cycles)
+            if skipped:
+                drained_cycles += skipped
+                continue
             self._step()
             drained_cycles += 1
         stats = self.stats
@@ -135,8 +185,16 @@ def run_simulation(
     measure: int = 3000,
     drain_limit: int | None = None,
     burst_length: float = 1.0,
+    fast_injection: bool = False,
+    activity_gating: bool = True,
 ) -> SimulationResult:
-    """One-call convenience wrapper around :class:`Simulation`."""
+    """One-call convenience wrapper around :class:`Simulation`.
+
+    ``fast_injection`` swaps per-cycle Bernoulli draws for geometric-gap
+    sampling (statistically equivalent, bit-different RNG stream);
+    ``activity_gating=False`` restores the dense every-component scan —
+    useful only as the equivalence/benchmark baseline.
+    """
     sim = Simulation(
         config,
         pattern=pattern,
@@ -144,6 +202,8 @@ def run_simulation(
         packet_length=packet_length,
         seed=seed,
         burst_length=burst_length,
+        fast_injection=fast_injection,
+        activity_gating=activity_gating,
     )
     return sim.run(warmup=warmup, measure=measure, drain_limit=drain_limit)
 

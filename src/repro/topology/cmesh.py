@@ -30,8 +30,8 @@ class CMeshTopology(Topology):
     name = "cmesh"
 
     def __init__(self, width: int = 4, height: int = 4, concentration: int = 4) -> None:
-        if width < 2 or height < 2:
-            raise ValueError(f"cmesh needs width, height >= 2; got {width}x{height}")
+        if width < 1 or height < 1:
+            raise ValueError(f"cmesh needs width, height >= 1; got {width}x{height}")
         if concentration < 1:
             raise ValueError(f"concentration must be >= 1, got {concentration}")
         self.width = width

@@ -1,0 +1,140 @@
+"""Differential tests for the forced-move ``allocate_fast`` entry point.
+
+``allocate_fast(reqs)`` may bypass the :class:`RequestMatrix` only when its
+result — the grants AND every piece of internal priority state — is exactly
+what :meth:`SwitchAllocator.allocate` would have produced.  These tests
+drive a fast-path allocator and a reference allocator with identical random
+request streams (mirroring how the router uses the API: try the fast path,
+fall back to the matrix) and demand identical grants and identical pointer
+state after every single cycle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import make_allocator
+from repro.core.augmenting import AugmentingPathAllocator
+from repro.core.requests import Grant, RequestMatrix
+from repro.core.separable import SeparableInputFirstAllocator
+from repro.core.wavefront import WavefrontAllocator
+
+RADIX = 5
+NUM_VCS = 4
+
+FAMILIES = [
+    pytest.param(
+        lambda: make_allocator("input_first", RADIX, RADIX, NUM_VCS),
+        id="input_first",
+    ),
+    pytest.param(
+        lambda: SeparableInputFirstAllocator(
+            RADIX, RADIX, NUM_VCS, 1, pointer_policy="on_grant"
+        ),
+        id="islip",
+    ),
+    pytest.param(
+        lambda: SeparableInputFirstAllocator(
+            RADIX, RADIX, NUM_VCS, 2, partition="interleaved"
+        ),
+        id="vix_interleaved",
+    ),
+    pytest.param(
+        lambda: make_allocator("vix", RADIX, RADIX, NUM_VCS, virtual_inputs=2),
+        id="vix",
+    ),
+    pytest.param(
+        lambda: make_allocator("ideal_vix", RADIX, RADIX, NUM_VCS),
+        id="ideal_vix",
+    ),
+    pytest.param(
+        lambda: make_allocator("wavefront", RADIX, RADIX, NUM_VCS),
+        id="wavefront",
+    ),
+    pytest.param(
+        lambda: make_allocator("augmenting_path", RADIX, RADIX, NUM_VCS),
+        id="augmenting_path",
+    ),
+]
+
+
+def _state(alloc):
+    """Every piece of priority state the allocator carries across cycles."""
+    if isinstance(alloc, SeparableInputFirstAllocator):
+        return (
+            [[a._pointer for a in row] for row in alloc._input_arbiters],
+            [a._pointer for a in alloc._output_arbiters],
+        )
+    if isinstance(alloc, WavefrontAllocator):
+        return (alloc._diag, [a._pointer for a in alloc._vc_arbiters])
+    if isinstance(alloc, AugmentingPathAllocator):
+        return [a._pointer for a in alloc._vc_arbiters]
+    raise AssertionError(f"no state extractor for {type(alloc).__name__}")
+
+
+def _random_reqs(rng: random.Random) -> list[Grant]:
+    """A random request set shaped like the router's: one request per
+    (port, vc) cell, arbitrary outputs — sometimes conflict-free (the fast
+    path's domain), sometimes contended (must fall back)."""
+    cells = [(p, v) for p in range(RADIX) for v in range(NUM_VCS)]
+    chosen = rng.sample(cells, rng.randint(1, 6))
+    chosen.sort()  # the router scans _sa_active in a stable order
+    return [Grant(p, v, rng.randrange(RADIX)) for p, v in chosen]
+
+
+def _matrix_from(reqs: list[Grant]) -> RequestMatrix:
+    matrix = RequestMatrix(RADIX, RADIX, NUM_VCS)
+    for p, vc, out in reqs:
+        matrix.add(p, vc, out, tail=False)
+    return matrix
+
+
+@pytest.mark.parametrize("build", FAMILIES)
+def test_fast_path_matches_reference_allocator(build):
+    fast_alloc = build()
+    ref_alloc = build()
+    if fast_alloc.allocate_fast is None:
+        pytest.skip("no fast path")
+    rng = random.Random(1234)
+    fast_hits = 0
+    for _ in range(300):
+        reqs = _random_reqs(rng)
+        grants = fast_alloc.allocate_fast(reqs)
+        if grants is None:
+            grants = fast_alloc.allocate(_matrix_from(reqs))
+        else:
+            fast_hits += 1
+        ref_grants = ref_alloc.allocate(_matrix_from(reqs))
+        assert sorted(grants) == sorted(ref_grants)
+        assert _state(fast_alloc) == _state(ref_alloc)
+    # The generator must actually exercise both paths.
+    assert 0 < fast_hits < 300
+
+
+@pytest.mark.parametrize("build", FAMILIES)
+def test_fast_path_refuses_contended_sets(build):
+    alloc = build()
+    if alloc.allocate_fast is None:
+        pytest.skip("no fast path")
+    # Two VCs of port 0 fighting for output 0: contended for every scheme.
+    contended = [Grant(0, 0, 0), Grant(0, 1, 0)]
+    assert alloc.allocate_fast(contended) is None
+    # Distinct ports fighting for one output: still contended.
+    assert alloc.allocate_fast([Grant(0, 0, 2), Grant(1, 0, 2)]) is None
+
+
+@pytest.mark.parametrize("build", FAMILIES)
+def test_fast_path_grants_conflict_free_sets_verbatim(build):
+    alloc = build()
+    if alloc.allocate_fast is None:
+        pytest.skip("no fast path")
+    # One request per port, all outputs distinct: forced for every scheme.
+    reqs = [Grant(p, 0, (p + 1) % RADIX) for p in range(RADIX)]
+    assert alloc.allocate_fast(reqs) == reqs
+
+
+def test_schemes_without_fast_path_expose_none():
+    for name in ("packet_chaining", "sparoflo", "output_first"):
+        assert make_allocator(name, RADIX, RADIX, NUM_VCS).allocate_fast is None
