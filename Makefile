@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-full bench-baseline examples all clean
+.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,12 @@ bench-full:
 # The result (BENCH_PR2.json) is committed; CI smoke-checks against it.
 bench-baseline:
 	$(PYTHON) scripts/bench_pr2.py --out BENCH_PR2.json
+
+# Perf-trajectory point: observability overhead (disabled / metrics /
+# trace-at-1%).  The result (BENCH_PR3.json) is committed; CI
+# smoke-checks against it.
+bench-obs:
+	$(PYTHON) scripts/bench_pr3.py --out BENCH_PR3.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

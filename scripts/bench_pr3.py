@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""PR 3 perf-trajectory benchmark: observability overhead.
+
+Measures 8x8-mesh uniform-traffic points (fractions of the mesh saturation
+rate) in a single process with no result caching, under three collection
+modes:
+
+* ``off``    — observability disabled (the default config): must cost
+  nothing.  With ``--ref-src`` pointing at a pre-PR checkout, the same
+  point is also timed against that tree and the ratio is recorded — the
+  acceptance bar is < 5% regression.
+* ``metrics`` — metrics registry + allocator matching probes enabled
+  (no files written).  This is the expensive mode by design: probes
+  disable the forced-move fast path and run Kuhn's maximum matching per
+  contended round, so its ratio is reported, not bounded.
+* ``trace1pct`` — metrics plus flit tracing at 1% packet sampling, the
+  recommended production-tracing configuration.
+
+Results are written to ``BENCH_PR3.json``.  ``--check BASELINE.json``
+runs only the low-load smoke point and fails (exit 1) when
+
+* the disabled-mode run regressed more than ``--threshold`` (default 5%)
+  against ``--ref-src`` (skipped when no reference tree is given), or
+* the trace-at-1% overhead *ratio* grew more than ``--slack`` (default
+  50%, it is a small number) over the committed baseline ratio.
+
+Ratios, not absolute seconds, are compared, so the check is stable across
+machines of different absolute speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.network.config import paper_config  # noqa: E402
+from repro.obs import ObservabilityConfig  # noqa: E402
+from repro.sim.engine import run_simulation  # noqa: E402
+
+#: Uniform-traffic saturation of the paper's 8x8 mesh baseline (packets per
+#: node per cycle); sweep loads are expressed as fractions of it.
+SATURATION_RATE = 0.105
+
+LOADS = (0.05, 0.5)
+ALLOCATORS = ("input_first", "vix")
+
+MODES = {
+    "off": None,
+    "metrics": ObservabilityConfig(metrics=True),
+    "trace1pct": ObservabilityConfig(metrics=True, trace=True, trace_sample=0.01),
+}
+
+
+def _run_once(allocator: str, load: float, mode: str, measure: int) -> float:
+    cfg = paper_config(allocator)
+    rate = round(load * SATURATION_RATE, 6)
+    t0 = time.perf_counter()
+    run_simulation(
+        cfg,
+        injection_rate=rate,
+        seed=1,
+        warmup=1000,
+        measure=measure,
+        obs=MODES[mode],
+    )
+    return time.perf_counter() - t0
+
+
+def _best_of(n: int, *args) -> float:
+    return min(_run_once(*args) for _ in range(n))
+
+
+def _run_ref(src_root: Path, allocator: str, load: float, measure: int) -> float:
+    """Time one observability-free run against an arbitrary source tree in
+    a subprocess, same protocol as :func:`_run_once` mode ``off``."""
+    rate = round(load * SATURATION_RATE, 6)
+    code = (
+        "import sys, time\n"
+        f"sys.path.insert(0, {str(src_root)!r})\n"
+        "from repro.network.config import paper_config\n"
+        "from repro.sim.engine import run_simulation\n"
+        "t0 = time.perf_counter()\n"
+        f"run_simulation(paper_config({allocator!r}), injection_rate={rate}, "
+        f"seed=1, warmup=1000, measure={measure})\n"
+        "print(time.perf_counter() - t0)\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], check=True, capture_output=True, text=True
+    )
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+#: This tree's src/ root — the "new" side of the A/B comparison.
+THIS_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _ab_overhead(ref_src: Path, allocator: str, load: float, measure: int,
+                 repeats: int) -> tuple[float, float]:
+    """Best-of-N (new_s, pre_pr_s) with the two trees strictly interleaved.
+
+    Back-to-back blocks of same-tree runs read clock drift (CPU frequency,
+    container neighbours) as overhead; alternating new/ref runs exposes
+    both trees to the same drift, and best-of-N then compares like with
+    like.  Both sides use the identical subprocess protocol.
+    """
+    new = ref = float("inf")
+    for _ in range(repeats):
+        new = min(new, _run_ref(THIS_SRC, allocator, load, measure))
+        ref = min(ref, _run_ref(ref_src, allocator, load, measure))
+    return new, ref
+
+
+def write_baseline(path: Path, repeats: int, measure: int,
+                   ref_src: Path | None) -> None:
+    results: dict[str, dict] = {}
+    for allocator in ALLOCATORS:
+        results[allocator] = {}
+        for load in LOADS:
+            off = _best_of(repeats, allocator, load, "off", measure)
+            metrics = _best_of(repeats, allocator, load, "metrics", measure)
+            trace = _best_of(repeats, allocator, load, "trace1pct", measure)
+            entry = {
+                "off_s": round(off, 4),
+                "metrics_s": round(metrics, 4),
+                "trace1pct_s": round(trace, 4),
+                "metrics_overhead": round(metrics / off - 1.0, 3),
+                "trace1pct_overhead": round(trace / off - 1.0, 3),
+            }
+            if ref_src is not None:
+                new, ref = _ab_overhead(ref_src, allocator, load, measure,
+                                        repeats)
+                entry["pre_pr_off_s"] = round(ref, 4)
+                entry["off_overhead_vs_pre_pr"] = round(new / ref - 1.0, 3)
+            results[allocator][str(load)] = entry
+            print(f"{allocator:12s} load={load}: " + " ".join(
+                f"{k}={v}" for k, v in entry.items()))
+    payload = {
+        "benchmark": "8x8 mesh, uniform traffic, seed 1, warmup 1000, "
+                     f"measure {measure}, single process, no cache",
+        "saturation_rate": SATURATION_RATE,
+        "loads_are_fractions_of_saturation": True,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def check_against(baseline_path: Path, threshold: float, slack: float,
+                  measure: int, ref_src: Path | None) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline["results"]["input_first"]["0.05"]
+    failed = False
+
+    off = _best_of(3, "input_first", 0.05, "off", measure)
+    if ref_src is not None:
+        # The mid-load point: its runs are ~10x longer than low-load, so
+        # best-of-5 interleaved timing resolves well below the 5% ceiling
+        # (the 0.25s low-load runs carry +-5% scheduler noise on their own).
+        new, ref = _ab_overhead(ref_src, "input_first", 0.5, measure, 5)
+        overhead = new / ref - 1.0
+        print(f"disabled-mode smoke (load 0.5): off={new:.3f}s "
+              f"pre_pr={ref:.3f}s overhead={overhead:+.1%} "
+              f"(ceiling {threshold:+.0%})")
+        if overhead > threshold:
+            print(f"FAIL: disabled observability costs more than "
+                  f"{threshold:.0%} over the pre-PR tree")
+            failed = True
+    else:
+        print(f"disabled-mode smoke: off={off:.3f}s (no --ref-src: "
+              "pre-PR comparison skipped)")
+
+    trace = _best_of(3, "input_first", 0.05, "trace1pct", measure)
+    ratio = trace / off
+    base_ratio = 1.0 + entry["trace1pct_overhead"]
+    ceiling = base_ratio * (1.0 + slack)
+    print(f"trace-at-1% smoke: trace={trace:.3f}s ratio={ratio:.3f}x "
+          f"(baseline {base_ratio:.3f}x, ceiling {ceiling:.3f}x)")
+    if ratio > ceiling:
+        print(f"FAIL: enabled-tracing overhead grew more than {slack:.0%} "
+              f"over {baseline_path}")
+        failed = True
+
+    print("FAIL" if failed else "OK")
+    return 1 if failed else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_PR3.json", type=Path,
+                    help="output path for the baseline JSON")
+    ap.add_argument("--check", metavar="BASELINE", type=Path,
+                    help="smoke-check the low-load point against a baseline")
+    ap.add_argument("--threshold", type=float, default=0.05,
+                    help="allowed disabled-mode overhead vs --ref-src "
+                         "(default 0.05)")
+    ap.add_argument("--slack", type=float, default=0.5,
+                    help="allowed relative growth of the trace-at-1% "
+                         "overhead ratio vs the baseline (default 0.5)")
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="best-of-N repeats per point (default 2)")
+    ap.add_argument("--measure", type=int, default=3000,
+                    help="measurement window in cycles (default 3000)")
+    ap.add_argument("--ref-src", type=Path, default=None,
+                    help="src/ root of a pre-PR checkout; when given, "
+                         "disabled-mode runs are also timed against that "
+                         "tree and the overhead ratio recorded/enforced")
+    args = ap.parse_args()
+    if args.check is not None:
+        return check_against(args.check, args.threshold, args.slack,
+                             args.measure, args.ref_src)
+    write_baseline(args.out, args.repeats, args.measure, args.ref_src)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

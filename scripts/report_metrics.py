@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Summarise observability output files (metrics and trace JSONL).
+
+Usage::
+
+    python scripts/report_metrics.py --metrics metrics.jsonl
+    python scripts/report_metrics.py --trace trace.jsonl
+    python scripts/report_metrics.py --metrics m.jsonl --trace t.jsonl
+
+``--metrics`` aggregates the per-run snapshots written by
+``--metrics-out`` (one JSON object per line, counters under ``metrics``)
+into a per-allocator matching-efficiency table: requests exposed, phase-1
+winners, input-port-constraint blocks, phase-2 kills, achieved and maximal
+matching size, and the derived efficiency/kill-rate ratios — the paper's
+Section 2 story straight from measured counters.
+
+``--trace`` reads a flit-event trace written by ``--trace`` (one event per
+line: cycle, pid, flit, router, stage, vc, vin) and reports per-stage event
+counts plus the distribution of per-packet inject-to-eject latency over
+fully traced packets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.probes import FIELDS  # noqa: E402
+from repro.obs.trace import STAGES  # noqa: E402
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON ({exc})")
+    return records
+
+
+def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
+    cells = [headers] + rows
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def summarize_metrics(path: Path) -> str:
+    """Aggregate metrics snapshots per allocator and render the table."""
+    records = _read_jsonl(path)
+    if not records:
+        return f"{path}: no metrics records"
+    by_alloc: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    runs: dict[str, int] = defaultdict(int)
+    for rec in records:
+        metrics = rec.get("metrics", {})
+        label = str(rec.get("allocator", "?"))
+        k = rec.get("virtual_inputs")
+        if k and int(k) > 1:
+            label += f" (k={k})"
+        runs[label] += 1
+        for field in FIELDS:
+            by_alloc[label][field] += int(metrics.get(field, 0))
+
+    headers = [
+        "allocator", "runs", "requests", "phase1", "blocks", "kills",
+        "grants", "max match", "efficiency", "kill rate",
+    ]
+    rows = []
+    for label in sorted(by_alloc):
+        m = by_alloc[label]
+        eff = m["sa_grants"] / m["sa_max_matching"] if m["sa_max_matching"] else 1.0
+        kr = (
+            m["sa_phase2_kills"] / m["sa_phase1_winners"]
+            if m["sa_phase1_winners"]
+            else 0.0
+        )
+        rows.append(
+            [
+                label,
+                str(runs[label]),
+                str(m["sa_requests"]),
+                str(m["sa_phase1_winners"]),
+                str(m["sa_input_port_blocks"]),
+                str(m["sa_phase2_kills"]),
+                str(m["sa_grants"]),
+                str(m["sa_max_matching"]),
+                f"{eff:.4f}",
+                f"{kr:.4f}",
+            ]
+        )
+    return (
+        f"Allocator matching telemetry ({len(records)} run(s) in {path}):\n"
+        + _fmt_table(headers, rows)
+    )
+
+
+def summarize_trace(path: Path) -> str:
+    """Per-stage event counts and end-to-end latency over traced packets."""
+    events = _read_jsonl(path)
+    if not events:
+        return f"{path}: no trace events"
+    stage_counts: dict[str, int] = defaultdict(int)
+    inject_cycle: dict[int, int] = {}
+    eject_cycle: dict[int, int] = {}
+    for ev in events:
+        stage = ev.get("stage", "?")
+        stage_counts[stage] += 1
+        pid = ev.get("pid")
+        if stage == "inject":
+            c = inject_cycle.get(pid)
+            if c is None or ev["cycle"] < c:
+                inject_cycle[pid] = ev["cycle"]
+        elif stage == "eject":
+            c = eject_cycle.get(pid)
+            if c is None or ev["cycle"] > c:
+                eject_cycle[pid] = ev["cycle"]
+
+    lines = [f"Flit trace summary ({len(events)} events in {path}):"]
+    for stage in STAGES:
+        if stage in stage_counts:
+            lines.append(f"  {stage:>7s}: {stage_counts[stage]}")
+    for stage in sorted(set(stage_counts) - set(STAGES)):
+        lines.append(f"  {stage:>7s}: {stage_counts[stage]}")
+
+    latencies = sorted(
+        eject_cycle[pid] - inject_cycle[pid]
+        for pid in inject_cycle
+        if pid in eject_cycle
+    )
+    if latencies:
+        def pct(q: float) -> int:
+            idx = min(len(latencies) - 1, round(q / 100 * (len(latencies) - 1)))
+            return latencies[idx]
+
+        lines.append(
+            f"  packets fully traced: {len(latencies)} | "
+            f"inject->eject latency p50/p95/p99: "
+            f"{pct(50)}/{pct(95)}/{pct(99)} cycles"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--metrics", metavar="PATH", help="metrics JSONL file")
+    parser.add_argument("--trace", metavar="PATH", help="flit-trace JSONL file")
+    args = parser.parse_args(argv)
+    if not args.metrics and not args.trace:
+        parser.error("give --metrics and/or --trace")
+    sections = []
+    if args.metrics:
+        sections.append(summarize_metrics(Path(args.metrics)))
+    if args.trace:
+        sections.append(summarize_trace(Path(args.trace)))
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

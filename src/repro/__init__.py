@@ -35,7 +35,7 @@ from repro.analysis import channel_loads, saturation_bound
 from repro.topology import make_topology
 from repro.traffic import TrafficInjector, make_pattern
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AugmentingPathAllocator",

@@ -72,7 +72,55 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each result as DIR/<experiment>.json",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        nargs="?",
+        const="trace.jsonl",
+        help="record a flit-level pipeline event trace to PATH "
+        "(JSONL; default trace.jsonl)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        metavar="RATE",
+        type=float,
+        default=None,
+        help="fraction of packets traced, in (0, 1] (default 1.0); "
+        "sampling is deterministic per packet id",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="append per-run metrics snapshots (allocator matching "
+        "telemetry, activity counters) to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="record per-phase wall-time spans in the [perf_counters] "
+        "footer; with DIR, also dump one cProfile .pstats file per "
+        "simulation job into DIR",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_sample is not None and not 0.0 < args.trace_sample <= 1.0:
+        parser.error(f"--trace-sample must be in (0, 1], got {args.trace_sample}")
+    # Environment, not argument plumbing: every Simulation (local or in a
+    # worker process) resolves ObservabilityConfig.from_env(), so setting
+    # the variables here observes every simulation an experiment fans out.
+    if args.trace is not None:
+        os.environ["REPRO_TRACE"] = args.trace
+    if args.trace_sample is not None:
+        os.environ["REPRO_TRACE_SAMPLE"] = repr(args.trace_sample)
+    if args.metrics_out:
+        os.environ["REPRO_METRICS_OUT"] = args.metrics_out
+    if args.profile is not None:
+        os.environ["REPRO_PROFILE"] = "1"
+        if args.profile:
+            os.environ["REPRO_PROFILE_DIR"] = args.profile
 
     if args.jobs is not None:
         from repro.parallel import resolve_jobs

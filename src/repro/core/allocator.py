@@ -29,6 +29,14 @@ class SwitchAllocator(ABC):
     #: Short scheme name used in experiment tables ("IF", "WF", ...).
     name: str = "base"
 
+    #: Optional :class:`repro.obs.probes.AllocatorProbe`.  ``None`` (the
+    #: default) keeps the allocation hot path untouched; when attached, the
+    #: instrumented schemes (IF/VIX, WF, AP) record per-round matching
+    #: telemetry and the router routes every request through the full
+    #: matrix path so the probe sees contended and uncontended rounds
+    #: alike (grants are unchanged — the fast paths are grant-equivalent).
+    probe = None
+
     def __init__(self, num_inputs: int, num_outputs: int, num_vcs: int) -> None:
         if min(num_inputs, num_outputs, num_vcs) < 1:
             raise ValueError("allocator dimensions must be >= 1")

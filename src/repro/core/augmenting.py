@@ -71,6 +71,19 @@ class AugmentingPathAllocator(SwitchAllocator):
             vc = self._vc_arbiters[i].grant(vcs)
             assert vc is not None
             grants.append(Grant(i, vc, o))
+        probe = self.probe
+        if probe is not None:
+            requesting_ports = sum(1 for reqs in port_requests if reqs)
+            if requesting_ports:
+                # AP *is* the maximum matching, so kills = ports the
+                # optimum could not cover and achieved == maximal — the
+                # probe's efficiency reads 1.0 by construction.
+                probe.record(
+                    matrix.total_requests(),
+                    requesting_ports,
+                    len(grants),
+                    len(grants),
+                )
         return grants
 
     def reset(self) -> None:

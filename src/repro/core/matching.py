@@ -105,3 +105,14 @@ def hopcroft_karp(
 def matching_size(match_left: Sequence[int]) -> int:
     """Number of matched pairs in a ``match_left`` array."""
     return sum(1 for v in match_left if v != -1)
+
+
+def maximum_matching_size(adj: Sequence, num_right: int) -> int:
+    """Size of the maximum matching for (possibly duplicated) ``adj`` rows.
+
+    Convenience for the observability probes: rows may be any iterables of
+    right vertices (sets, dict views), duplicates are tolerated, and only
+    the matching *size* is returned.
+    """
+    rows = [sorted(set(row)) for row in adj]
+    return matching_size(kuhn_matching(len(rows), num_right, rows))

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from .allocator import SwitchAllocator
 from .arbiter import RoundRobinArbiter
+from .matching import maximum_matching_size
 from .requests import NO_REQUEST, Grant, RequestMatrix
 
 POINTER_POLICIES = ("plain", "on_grant")
@@ -197,6 +198,9 @@ class SeparableInputFirstAllocator(SwitchAllocator):
                 self._output_arbiters[out].update(p * self._k + g)
                 if not plain:
                     self._input_arbiters[p][g].update(self._local_of(vc))
+                if self.probe is not None:
+                    # A lone request is a forced perfect round.
+                    self.probe.record(1, 1, 1, 1)
                 return [Grant(p, vc, out)]
 
         # Phase 1 candidates per crossbar input, derived from the dirty
@@ -266,6 +270,22 @@ class SeparableInputFirstAllocator(SwitchAllocator):
                 # iSLIP-style update: only granted inputs rotate, which
                 # desynchronises the input arbiters over time.
                 self._input_arbiters[p][g].update(self._local_of(vc))
+        probe = self.probe
+        if probe is not None and groups:
+            # One crossbar input (virtual input) per group puts exactly one
+            # winner forward, so requests hidden behind the input-port /
+            # virtual-input constraint are the groups' non-winning VCs, and
+            # the ideal reference is the maximum matching between crossbar
+            # inputs and the outputs their VCs request.
+            adj = [
+                {requests[p][vc] for vc in vcs} for (p, _g), vcs in groups.items()
+            ]
+            probe.record(
+                sum(len(vcs) for vcs in groups.values()),
+                len(winners),
+                len(grants),
+                maximum_matching_size(adj, self.num_outputs),
+            )
         return grants
 
     def reset(self) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from .allocator import SwitchAllocator
 from .arbiter import RoundRobinArbiter
+from .matching import maximum_matching_size
 from .requests import Grant, RequestMatrix
 
 
@@ -101,6 +102,18 @@ class WavefrontAllocator(SwitchAllocator):
             vc = self._vc_arbiters[i].grant(vcs)
             assert vc is not None
             grants.append(Grant(i, vc, o))
+        probe = self.probe
+        if probe is not None and want:
+            # WF matches whole ports: every requesting port is a phase-1
+            # "winner" (its request set reaches the wave sweep directly),
+            # so kills are ports the sweep left unmatched and blocks are
+            # the VCs folded behind their port's single crossbar input.
+            probe.record(
+                matrix.total_requests(),
+                want,
+                len(grants),
+                maximum_matching_size(port_requests, self.num_outputs),
+            )
         return grants
 
     def reset(self) -> None:

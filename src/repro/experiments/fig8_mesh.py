@@ -162,6 +162,18 @@ def report(result: Fig8Result | None = None) -> str:
                 )
             )
             lines.append("")
+    if result.curves:
+        lines.append("Latency percentiles p50/p95/p99 at the highest drained rate:")
+        for alloc in result.curves:
+            drained = [r for r in result.curves[alloc] if r.drained]
+            if not drained:
+                continue
+            r = drained[-1]
+            lines.append(
+                f"  {LABELS[alloc]:>4s}: {r.latency_p50:.0f}/{r.latency_p95:.0f}/"
+                f"{r.latency_p99:.0f} cycles @ {r.injection_rate:.3f} pkt/cyc/node"
+            )
+        lines.append("")
     lines.append("Figure 8(b): saturation throughput (flits/cycle/node)")
     for alloc in result.saturation:
         thr = result.saturation_flits_per_node(alloc)

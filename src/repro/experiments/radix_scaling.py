@@ -11,11 +11,13 @@ router's critical path (the scaling limit).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from repro.parallel import ExecutionStats
 from repro.timing import router_delays
 
-from .runner import format_table
+from .runner import format_table, perf_footer
 
 RADICES = tuple(range(4, 21))
 
@@ -44,6 +46,8 @@ class RadixPoint:
 @dataclass
 class RadixScalingResult:
     points: list[RadixPoint]
+    #: Execution counters for the model evaluations behind this result.
+    perf: ExecutionStats | None = None
 
     def scaling_limit(self) -> int | None:
         """First radix whose VIX crossbar would set the cycle time."""
@@ -55,6 +59,7 @@ class RadixScalingResult:
 
 def run(*, num_vcs: int = 6, radices: tuple[int, ...] = RADICES) -> RadixScalingResult:
     """Evaluate the analytic delay models across radices."""
+    start = time.perf_counter()
     points = []
     for radix in radices:
         base = router_delays(radix, num_vcs, 1, calibrated=False)
@@ -68,7 +73,12 @@ def run(*, num_vcs: int = 6, radices: tuple[int, ...] = RADICES) -> RadixScaling
                 xbar_vix_ps=vix.xbar_ps,
             )
         )
-    return RadixScalingResult(points=points)
+    return RadixScalingResult(
+        points=points,
+        perf=ExecutionStats(
+            jobs_run=2 * len(points), wall_seconds=time.perf_counter() - start
+        ),
+    )
 
 
 def report(result: RadixScalingResult | None = None) -> str:
@@ -96,7 +106,15 @@ def report(result: RadixScalingResult | None = None) -> str:
         if limit is not None
         else "\nVIX fits at every radix evaluated."
     )
-    return "Radix scaling of the 1:2 VIX crossbar (analytic 45 nm models)\n" + table + tail
+    text = (
+        "Radix scaling of the 1:2 VIX crossbar (analytic 45 nm models)\n"
+        + table
+        + tail
+    )
+    footer = perf_footer(result.perf)
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

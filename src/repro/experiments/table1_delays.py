@@ -9,9 +9,12 @@ lowering the frequency.
 
 from __future__ import annotations
 
+import time
+
+from repro.parallel import ExecutionStats
 from repro.timing import RouterDelays, router_delays
 
-from .runner import format_table
+from .runner import format_table, perf_footer
 
 #: (design label, radix, virtual inputs) for the six Table 1 rows.
 CONFIGS: tuple[tuple[str, int, int], ...] = (
@@ -34,12 +37,23 @@ PAPER_VALUES: dict[str, tuple[float, float, float]] = {
 }
 
 
+class Table1Rows(list):
+    """Table 1 rows (a plain list) plus the execution counters behind them."""
+
+    perf: ExecutionStats | None = None
+
+
 def run(num_vcs: int = 6, calibrated: bool = True) -> list[RouterDelays]:
     """Compute the Table 1 rows."""
-    return [
+    start = time.perf_counter()
+    rows = Table1Rows(
         router_delays(radix, num_vcs, k, design=name, calibrated=calibrated)
         for name, radix, k in CONFIGS
-    ]
+    )
+    rows.perf = ExecutionStats(
+        jobs_run=len(rows), wall_seconds=time.perf_counter() - start
+    )
+    return rows
 
 
 def report(rows: list[RouterDelays] | None = None) -> str:
@@ -65,7 +79,11 @@ def report(rows: list[RouterDelays] | None = None) -> str:
             f"{r.xbar_slack_fraction:.0%} of cycle time"
         )
         notes.append(f"  {r.design}: crossbar {status}")
-    return table + "\n\nCrossbar slack:\n" + "\n".join(notes)
+    text = table + "\n\nCrossbar slack:\n" + "\n".join(notes)
+    footer = perf_footer(getattr(rows, "perf", None))
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

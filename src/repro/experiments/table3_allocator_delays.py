@@ -7,10 +7,12 @@ path (infeasible within a router cycle).
 from __future__ import annotations
 
 import math
+import time
 
+from repro.parallel import ExecutionStats
 from repro.timing import allocator_delay
 
-from .runner import format_table
+from .runner import format_table, perf_footer
 
 SCHEMES = ("input_first", "wavefront", "augmenting_path")
 
@@ -22,9 +24,22 @@ PAPER_VALUES: dict[str, float | None] = {
 }
 
 
+class Table3Delays(dict):
+    """Scheme -> delay mapping plus the execution counters behind it."""
+
+    perf: ExecutionStats | None = None
+
+
 def run(radix: int = 5, num_vcs: int = 6) -> dict[str, float]:
     """Delay (ps) per scheme; ``inf`` marks infeasible schemes."""
-    return {s: allocator_delay(s, radix, num_vcs) for s in SCHEMES}
+    start = time.perf_counter()
+    values = Table3Delays(
+        (s, allocator_delay(s, radix, num_vcs)) for s in SCHEMES
+    )
+    values.perf = ExecutionStats(
+        jobs_run=len(values), wall_seconds=time.perf_counter() - start
+    )
+    return values
 
 
 def report(values: dict[str, float] | None = None) -> str:
@@ -39,10 +54,14 @@ def report(values: dict[str, float] | None = None) -> str:
     def fmt(d: float) -> str:
         return "Infeasible" if math.isinf(d) else f"{d:.0f} ps"
 
-    return format_table(
+    text = format_table(
         ["Scheme", "Delay"],
         [(labels[s], fmt(values[s])) for s in SCHEMES],
     )
+    footer = perf_footer(getattr(values, "perf", None))
+    if footer:
+        text += "\n\n" + footer
+    return text
 
 
 def main() -> None:

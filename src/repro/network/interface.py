@@ -42,6 +42,7 @@ class NetworkInterface:
         "_virtual_inputs",
         "_direction_cache",
         "packets_dropped",
+        "tracer",
     )
 
     def __init__(
@@ -70,6 +71,9 @@ class NetworkInterface:
         # pure function of (router, dst) so each entry is computed once.
         self._direction_cache: dict[int, int | None] = {}
         self.packets_dropped = 0
+        #: Optional FlitTracer (set via ``Observability.attach``); records
+        #: injection-channel departures.
+        self.tracer = None
 
     @property
     def queue_length(self) -> int:
@@ -136,7 +140,19 @@ class NetworkInterface:
         if ovc.credits <= 0:
             return None
         ovc.credits -= 1
-        return self._current_vc, self._current_flits.popleft()
+        flit = self._current_flits.popleft()
+        tracer = self.tracer
+        if tracer is not None:
+            # The "router" field carries the terminal id for inject events.
+            tracer.record(
+                tracer.cycle,
+                flit.packet.pid,
+                flit.seq,
+                self.terminal,
+                "inject",
+                self._current_vc,
+            )
+        return self._current_vc, flit
 
     def has_work(self) -> bool:
         """True while a packet is queued or a flit stream is in progress.

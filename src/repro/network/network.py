@@ -101,6 +101,10 @@ class Network:
         #: Optional observer with on_flit_ejected / on_packet_ejected hooks
         #: (set by the simulation engine).
         self.stats = None
+        #: Optional :class:`repro.obs.trace.FlitTracer` (set via
+        #: ``Observability.attach``); ``None`` keeps every hook a dead
+        #: ``is not None`` branch.
+        self.tracer = None
 
     def _wire(self) -> None:
         topo = self.topology
@@ -171,6 +175,7 @@ class Network:
         counters = self.counters
         active = self._active_routers
         stats = self.stats
+        tracer = self.tracer
         writes = wakeups = ejected_flits = ejected_packets = 0
         for ev in events:
             kind = ev[0]
@@ -184,6 +189,8 @@ class Network:
                     # reduces to an append (accept_flit would do the same
                     # after re-checking depth and head-ness).
                     routers[rid].inputs[port][vc].queue.append(flit)
+                if tracer is not None:
+                    tracer.record(now, flit.packet.pid, flit.seq, rid, "arrive", vc)
                 writes += 1
                 if rid not in active:
                     active.add(rid)
@@ -204,6 +211,12 @@ class Network:
             else:  # _EJECT
                 _, flit, terminal = ev
                 ejected_flits += 1
+                if tracer is not None:
+                    # For inject/eject the "router" field carries the
+                    # terminal id (the flit is at an NI, not a router).
+                    tracer.record(
+                        now, flit.packet.pid, flit.seq, terminal, "eject", 0
+                    )
                 if stats is not None:
                     stats.on_flit_ejected(terminal, now)
                 if flit.is_tail:
@@ -245,6 +258,10 @@ class Network:
             self.step_dense()
             return
         now = self.cycle
+        tracer = self.tracer
+        if tracer is not None:
+            # Routers and NIs have no clock; the tracer carries it for them.
+            tracer.cycle = now
         self._deliver(now)
 
         active_nis = self._active_nis
@@ -290,6 +307,9 @@ class Network:
         components they visit.
         """
         now = self.cycle
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.cycle = now
         self._deliver(now)
 
         for ni in self.interfaces:
@@ -358,10 +378,26 @@ class Network:
         if creditq is None:
             creditq = events[credit_when] = []
             heappush(times, credit_when)
+        tracer = self.tracer
+        vc_group = None
+        if tracer is not None:
+            # Only IF/VIX-family allocators have virtual-input groups; other
+            # schemes report vin 0 (one crossbar input per port).
+            vc_group = getattr(router.allocator, "vc_group", None)
         links = 0
         for in_port, vc, out_port in grants:
             ivc = inputs[in_port][vc]
             flit = ivc.queue.popleft()
+            if tracer is not None:
+                tracer.record(
+                    now,
+                    flit.packet.pid,
+                    flit.seq,
+                    rid,
+                    "sa",
+                    vc,
+                    vc_group(vc) if vc_group is not None else 0,
+                )
             out = outputs[out_port]
             if out.is_ejection:
                 # ST + LT of the final hop happen before the NI receives it.

@@ -89,6 +89,7 @@ class Router:
         "_route_table",
         "_lookahead_cache",
         "_alloc_fast",
+        "tracer",
     )
 
     def __init__(self, rid: int, config: RouterConfig, topology: Topology) -> None:
@@ -130,6 +131,9 @@ class Router:
             topology.route(rid, t) for t in range(topology.num_terminals)
         ]
         self._lookahead_cache: dict[tuple[int, int], int | None] = {}
+        #: Optional FlitTracer (set via ``Observability.attach``); records
+        #: VA grants.  ``None`` keeps the hooks dead branches.
+        self.tracer = None
         # VCs waiting for VC allocation, in arrival order.
         self._va_pending: list[InputVC] = []
         # ACTIVE VCs: the only ones switch allocation needs to look at.
@@ -224,6 +228,12 @@ class Router:
             if not ivc.in_sa:
                 ivc.in_sa = True
                 self._sa_active.append(ivc)
+            tracer = self.tracer
+            if tracer is not None:
+                head = ivc.queue[0]
+                tracer.record(
+                    tracer.cycle, head.packet.pid, head.seq, self.rid, "va", ivc.index
+                )
             self._va_pending.clear()
             return 1
         by_output: dict[int, list[InputVC]] = {}
@@ -278,6 +288,17 @@ class Router:
                 if not ivc.in_sa:
                     ivc.in_sa = True
                     self._sa_active.append(ivc)
+                tracer = self.tracer
+                if tracer is not None:
+                    head = ivc.queue[0]
+                    tracer.record(
+                        tracer.cycle,
+                        head.packet.pid,
+                        head.seq,
+                        self.rid,
+                        "va",
+                        ivc.index,
+                    )
                 granted += 1
         if granted:
             # One O(n) rebuild instead of O(n) list.remove per grant; the

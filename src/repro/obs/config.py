@@ -1,0 +1,142 @@
+"""Observability configuration: what to collect, at what cost, and where.
+
+The configuration is a frozen dataclass so it can ride inside frozen
+:class:`~repro.parallel.jobs.SimJob` specs and cross process boundaries.
+The **environment** is the canonical transport to worker processes: the
+CLI's ``--trace`` / ``--metrics-out`` / ``--profile`` flags set the
+``REPRO_*`` variables below, every :class:`~repro.sim.engine.Simulation`
+constructed without an explicit config resolves
+:meth:`ObservabilityConfig.from_env`, and ``ProcessPoolExecutor`` children
+inherit the parent's environment — so a flag given once observes every
+simulation an experiment fans out, in every worker.
+
+Everything defaults to *off*: the default config is falsy and simulations
+run the exact pre-observability code paths (byte-identical results).
+
+Environment variables
+---------------------
+
+``REPRO_TRACE``
+    Path of the flit-trace JSONL file; setting it enables tracing.
+``REPRO_TRACE_SAMPLE``
+    Packet sampling rate in (0, 1] (default 1.0 = every packet).
+``REPRO_TRACE_BUFFER``
+    Ring-buffer capacity in events (default 100000).
+``REPRO_METRICS_OUT``
+    Path of the metrics JSONL file; setting it enables the metrics
+    registry and the allocator matching-efficiency probes.
+``REPRO_PROFILE``
+    Any non-empty value enables per-phase wall-time spans in the
+    simulation counters (surfaced through the ``[perf_counters]`` footer).
+``REPRO_PROFILE_DIR``
+    Directory for per-job ``cProfile`` dumps written by the parallel
+    runner's worker entry point; setting it implies ``REPRO_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+_TRUTHY_OFF = ("", "0", "false")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What the observability layer should collect for one simulation."""
+
+    #: Enable the metrics registry + allocator probes.
+    metrics: bool = False
+    #: JSONL file that each run appends its metrics snapshot to (optional
+    #: even when ``metrics`` is on: results also carry the snapshot).
+    metrics_path: str | None = None
+    #: Enable the flit/packet event tracer.
+    trace: bool = False
+    #: JSONL file the trace is written to after the run.
+    trace_path: str | None = None
+    #: Fraction of packets traced, chosen deterministically by pid.
+    trace_sample: float = 1.0
+    #: Ring-buffer capacity (events); oldest events drop beyond it.
+    trace_buffer: int = 100_000
+    #: Record per-phase (warmup/measure/drain) wall-time spans.
+    profile: bool = False
+    #: Directory for per-job cProfile dumps (parallel runner).
+    profile_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in (0, 1], got {self.trace_sample}"
+            )
+        if self.trace_buffer < 1:
+            raise ValueError(
+                f"trace_buffer must be >= 1, got {self.trace_buffer}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any collection is requested."""
+        return self.metrics or self.trace or self.profile
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    @classmethod
+    def from_env(cls) -> "ObservabilityConfig":
+        """Resolve the environment-configured observability settings."""
+        env = os.environ
+        trace_path = env.get("REPRO_TRACE", "").strip() or None
+        metrics_path = env.get("REPRO_METRICS_OUT", "").strip() or None
+        profile_dir = env.get("REPRO_PROFILE_DIR", "").strip() or None
+        profile = (
+            env.get("REPRO_PROFILE", "").strip().lower() not in _TRUTHY_OFF
+            or profile_dir is not None
+        )
+        sample = float(env.get("REPRO_TRACE_SAMPLE", "") or 1.0)
+        buffer = int(env.get("REPRO_TRACE_BUFFER", "") or 100_000)
+        return cls(
+            metrics=metrics_path is not None,
+            metrics_path=metrics_path,
+            trace=trace_path is not None,
+            trace_path=trace_path,
+            trace_sample=sample,
+            trace_buffer=buffer,
+            profile=profile,
+            profile_dir=profile_dir,
+        )
+
+    def to_env(self) -> dict[str, str]:
+        """The environment-variable form of this config (for the CLI)."""
+        env: dict[str, str] = {}
+        if self.trace and self.trace_path:
+            env["REPRO_TRACE"] = self.trace_path
+        if self.trace_sample != 1.0:
+            env["REPRO_TRACE_SAMPLE"] = repr(self.trace_sample)
+        if self.trace_buffer != 100_000:
+            env["REPRO_TRACE_BUFFER"] = str(self.trace_buffer)
+        if self.metrics and self.metrics_path:
+            env["REPRO_METRICS_OUT"] = self.metrics_path
+        if self.profile:
+            env["REPRO_PROFILE"] = "1"
+        if self.profile_dir:
+            env["REPRO_PROFILE_DIR"] = self.profile_dir
+        return env
+
+
+def env_observability_enabled() -> bool:
+    """Cheap check used by the cache layer: is any env observability on?
+
+    Observability-enabled runs must bypass the result cache (a cached
+    result was produced without probes and carries no metrics), so the
+    parallel layer consults this before constructing its default cache.
+    """
+    env = os.environ
+    if env.get("REPRO_TRACE", "").strip():
+        return True
+    if env.get("REPRO_METRICS_OUT", "").strip():
+        return True
+    if env.get("REPRO_PROFILE", "").strip().lower() not in _TRUTHY_OFF:
+        return True
+    if env.get("REPRO_PROFILE_DIR", "").strip():
+        return True
+    return False

@@ -1,0 +1,91 @@
+"""Profiling hooks: per-phase wall-time spans and per-job cProfile capture.
+
+Two granularities:
+
+* :class:`PhaseTimer` — microsecond-resolution wall-time accumulators for
+  the simulation engine's warmup/measure/drain phases.  Span totals are
+  folded into the run's counter snapshot as ``span_<phase>_us`` integers,
+  which the parallel layer's :class:`~repro.parallel.runner.ExecutionStats`
+  picks up and the ``[perf_counters]`` experiment footer displays.
+* :func:`profiled_call` — wraps a callable in ``cProfile`` and dumps the
+  stats file into a directory; the parallel runner uses it to capture one
+  profile per simulation job when ``REPRO_PROFILE_DIR`` is set
+  (``python -m pstats <file>`` or snakeviz reads the dumps).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+from pathlib import Path
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Prefix used when span totals are folded into counter snapshots.
+SPAN_PREFIX = "span_"
+SPAN_SUFFIX = "_us"
+
+
+class PhaseTimer:
+    """Named wall-time span accumulator (not thread-safe; one per run)."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall time into ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+
+    def time(self, phase: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` and charge its wall time to ``phase``."""
+        start = time.perf_counter()
+        try:
+            return fn()
+        finally:
+            self.add(phase, time.perf_counter() - start)
+
+    def counter_items(self) -> dict[str, int]:
+        """Spans as ``span_<phase>_us`` integer counters (snapshot form)."""
+        return {
+            f"{SPAN_PREFIX}{phase}{SPAN_SUFFIX}": int(seconds * 1e6)
+            for phase, seconds in self.seconds.items()
+        }
+
+
+def spans_from_counters(counters: dict) -> dict[str, float]:
+    """Recover ``{phase: seconds}`` from a counter snapshot's span keys."""
+    spans: dict[str, float] = {}
+    for key, value in counters.items():
+        if key.startswith(SPAN_PREFIX) and key.endswith(SPAN_SUFFIX):
+            phase = key[len(SPAN_PREFIX) : -len(SPAN_SUFFIX)]
+            spans[phase] = value / 1e6
+    return spans
+
+
+def profiled_call(fn: Callable[[], T], dump_dir: str | Path, tag: str) -> T:
+    """Run ``fn`` under cProfile, dumping stats to ``dump_dir/<tag>.pstats``.
+
+    Profiling failures (unwritable directory, profiler reentrancy) never
+    fail the wrapped call: the work is the product, the profile is a
+    diagnostic.
+    """
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+    except Exception:
+        # Another profiler is already active: run unprofiled.
+        return fn()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    try:
+        dump_dir = Path(dump_dir)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(dump_dir / f"{tag}.pstats"))
+    except Exception:
+        pass
+    return result

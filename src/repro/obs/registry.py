@@ -1,0 +1,266 @@
+"""Lightweight metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the sink every observability producer (allocator probes,
+the flit tracer, phase timers) publishes into.  Design constraints, in
+order of priority:
+
+1. **Near-zero cost when disabled.**  A disabled registry hands out a
+   shared null metric whose mutators are no-ops; simulator hot paths
+   additionally guard every producer behind an ``is not None`` check so a
+   run without observability executes the exact pre-observability code.
+2. **Process-pool safe.**  A registry flattens to a plain dict
+   (:meth:`MetricsRegistry.as_dict`) that survives pickling/JSON, and
+   :meth:`MetricsRegistry.merge` folds such dicts back together, so
+   metrics collected in worker processes can be aggregated in the parent.
+3. **Exportable.**  :meth:`export_jsonl` appends one self-describing JSON
+   line per call (valid JSONL across runs and processes);
+   :meth:`export_csv` writes a two-column name/value table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``bounds`` are inclusive upper edges.
+
+    A sample lands in the first bucket whose bound is >= the value; samples
+    above the last bound land in the implicit overflow bucket.  Bucket
+    layout is fixed at construction so two histograms with the same bounds
+    merge by element-wise addition.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "total", "sum")
+
+    def __init__(self, name: str, bounds: Iterable[float]) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        self.total += count
+        self.sum += value * count
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += count
+                return
+        self.overflow += count
+
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+class _NullMetric:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    counts: list[int] = []
+    overflow = 0
+    total = 0
+    sum = 0.0
+    bounds: tuple[float, ...] = ()
+
+    def inc(self, delta: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float, count: int = 1) -> None:
+        pass
+
+    def mean(self) -> float:
+        return 0.0
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Named metric store with dict flattening, merge, and file export."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # --- metric construction ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        if not self.enabled:
+            return NULL_METRIC  # type: ignore[return-value]
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        if not self.enabled:
+            return NULL_METRIC  # type: ignore[return-value]
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, bounds: Iterable[float]) -> Histogram:
+        """The histogram called ``name``; bounds must match on reuse."""
+        if not self.enabled:
+            return NULL_METRIC  # type: ignore[return-value]
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._histograms[name] = Histogram(name, bounds)
+        elif metric.bounds != tuple(sorted(bounds)):
+            raise ValueError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return metric
+
+    def _check_fresh(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(f"metric name {name!r} already used by another kind")
+
+    # --- bulk mutation -------------------------------------------------------
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        """Increment counter ``name`` (creating it on first use)."""
+        self.counter(name).inc(delta)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # --- flattening / merge --------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Flatten every metric into plain JSON-able data (stable keys)."""
+        out: dict = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out[name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            out[name] = {
+                "kind": "histogram",
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "overflow": h.overflow,
+                "total": h.total,
+                "sum": h.sum,
+            }
+        return out
+
+    def merge(self, other: "MetricsRegistry | Mapping") -> None:
+        """Fold another registry (or its :meth:`as_dict` form) into this one.
+
+        Counters and histogram buckets add; gauges keep the incoming value
+        (last writer wins, matching their instantaneous semantics).
+        """
+        if isinstance(other, MetricsRegistry):
+            data = other.as_dict()
+            gauge_names = set(other._gauges)
+        else:
+            data = dict(other)
+            gauge_names = set()
+        for name, value in data.items():
+            if isinstance(value, Mapping) and value.get("kind") == "histogram":
+                h = self.histogram(name, value["bounds"])
+                if h is NULL_METRIC:
+                    continue
+                counts = value["counts"]
+                if len(counts) != len(h.counts):
+                    raise ValueError(
+                        f"histogram {name!r} merge with mismatched buckets"
+                    )
+                for i, c in enumerate(counts):
+                    h.counts[i] += c
+                h.overflow += value["overflow"]
+                h.total += value["total"]
+                h.sum += value["sum"]
+            elif name in gauge_names:
+                self.gauge(name).set(value)
+            elif isinstance(value, float) and name in self._gauges:
+                self.gauge(name).set(value)
+            else:
+                self.counter(name).inc(int(value))
+
+    # --- export --------------------------------------------------------------
+
+    def export_jsonl(self, path: str | Path, **context: object) -> Path:
+        """Append one JSON line (``context`` fields + flattened metrics).
+
+        One call = one line, so files written by concurrent worker
+        processes stay line-valid JSONL (each append is a single short
+        ``write``).
+        """
+        path = Path(path)
+        line = json.dumps({**context, "metrics": self.as_dict()}, sort_keys=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+        return path
+
+    def export_csv(self, path: str | Path) -> Path:
+        """Write a ``name,value`` table (histograms expand per bucket)."""
+        path = Path(path)
+        rows: list[tuple[str, object]] = []
+        for name, value in self.as_dict().items():
+            if isinstance(value, dict) and value.get("kind") == "histogram":
+                for bound, count in zip(value["bounds"], value["counts"]):
+                    rows.append((f"{name}_le_{bound:g}", count))
+                rows.append((f"{name}_overflow", value["overflow"]))
+                rows.append((f"{name}_total", value["total"]))
+                rows.append((f"{name}_sum", value["sum"]))
+            else:
+                rows.append((name, value))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("name,value\n")
+            for name, value in rows:
+                handle.write(f"{name},{value}\n")
+        return path

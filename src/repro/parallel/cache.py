@@ -11,6 +11,7 @@ experiment — the cache is an accelerator, never a dependency.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 from pathlib import Path
@@ -39,6 +40,10 @@ def result_to_jsonable(result: SimulationResult) -> dict:
         "cycles": result.cycles,
         "per_source_ejected": list(result.per_source_ejected),
         "counters": dict(result.counters),
+        "latency_p50": result.latency_p50,
+        "latency_p95": result.latency_p95,
+        "latency_p99": result.latency_p99,
+        "metrics": result.metrics,
     }
 
 
@@ -63,6 +68,10 @@ def result_from_jsonable(data: dict) -> SimulationResult:
         cycles=data["cycles"],
         per_source_ejected=list(data["per_source_ejected"]),
         counters={str(k): int(v) for k, v in data["counters"].items()},
+        latency_p50=data.get("latency_p50", math.nan),
+        latency_p95=data.get("latency_p95", math.nan),
+        latency_p99=data.get("latency_p99", math.nan),
+        metrics=data.get("metrics"),
     )
 
 

@@ -16,8 +16,10 @@ import os
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.obs import env_observability_enabled, profiled_call, spans_from_counters
 
 from .cache import ResultCache
 from .jobs import SimJob
@@ -58,6 +60,11 @@ class ExecutionStats:
     router_wakeups: int = 0
     #: Cycles fast-forwarded instead of simulated across the fresh runs.
     cycles_skipped: int = 0
+    #: Wall time of the slowest single job (cache hits excluded).
+    max_job_seconds: float = 0.0
+    #: Per-phase (warmup/measure/drain) wall time summed over the fresh
+    #: runs; only populated when profiling is on (``REPRO_PROFILE``).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats block into this one."""
@@ -68,15 +75,26 @@ class ExecutionStats:
         self.wall_seconds += other.wall_seconds
         self.router_wakeups += other.router_wakeups
         self.cycles_skipped += other.cycles_skipped
+        if other.max_job_seconds > self.max_job_seconds:
+            self.max_job_seconds = other.max_job_seconds
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
     def absorb_counters(self, counters: dict) -> None:
         """Fold one simulation's activity counters into the batch view."""
         self.router_wakeups += counters.get("router_wakeups", 0)
         self.cycles_skipped += counters.get("cycles_skipped", 0)
+        for phase, seconds in spans_from_counters(counters).items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def observe_job(self, seconds: float) -> None:
+        """Track one freshly executed job's wall time (max across jobs)."""
+        if seconds > self.max_job_seconds:
+            self.max_job_seconds = seconds
 
     def as_dict(self) -> dict:
         """Plain-dict view (stable keys; used by JSON export and footers)."""
-        return {
+        data = {
             "jobs_run": self.jobs_run,
             "cache_hits": self.cache_hits,
             "worker_retries": self.worker_retries,
@@ -84,27 +102,59 @@ class ExecutionStats:
             "wall_seconds": round(self.wall_seconds, 3),
             "router_wakeups": self.router_wakeups,
             "cycles_skipped": self.cycles_skipped,
+            "max_job_seconds": round(self.max_job_seconds, 3),
         }
+        if self.phase_seconds:
+            data["phase_seconds"] = {
+                phase: round(seconds, 3)
+                for phase, seconds in sorted(self.phase_seconds.items())
+            }
+        return data
 
     def summary(self) -> str:
         """One-line human-readable form for table footers."""
-        return (
+        line = (
             f"jobs run: {self.jobs_run} | cache hits: {self.cache_hits} | "
             f"worker retries: {self.worker_retries} | "
             f"wall: {self.wall_seconds:.2f}s | "
+            f"max job: {self.max_job_seconds:.2f}s | "
             f"router wakeups: {self.router_wakeups} | "
             f"cycles skipped: {self.cycles_skipped}"
         )
+        if self.phase_seconds:
+            spans = " ".join(
+                f"{phase}={seconds:.2f}s"
+                for phase, seconds in sorted(self.phase_seconds.items())
+            )
+            line += f" | phases: {spans}"
+        return line
 
 
 def _run_sim_job(job: SimJob) -> SimulationResult:
-    """Module-level worker entry point (must be picklable)."""
+    """Module-level worker entry point (must be picklable).
+
+    With ``REPRO_PROFILE_DIR`` set the job runs under ``cProfile`` and
+    dumps ``job-<key-prefix>.pstats`` into that directory — one profile
+    per simulation, valid in workers and inline alike.
+    """
+    profile_dir = os.environ.get("REPRO_PROFILE_DIR", "").strip()
+    if profile_dir:
+        return profiled_call(job.run, profile_dir, f"job-{job.key()[:16]}")
     return job.run()
 
 
 def _run_batch(fn: Callable, batch: list) -> list:
-    """Execute one chunk of items in a worker process."""
-    return [fn(item) for item in batch]
+    """Execute one chunk of items in a worker process.
+
+    Returns ``(value, wall_seconds)`` pairs so the parent can track the
+    slowest individual job without a second round trip.
+    """
+    out = []
+    for item in batch:
+        start = time.perf_counter()
+        value = fn(item)
+        out.append((value, time.perf_counter() - start))
+    return out
 
 
 class ParallelRunner:
@@ -138,7 +188,11 @@ class ParallelRunner:
         chunksize: int = 1,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
-        self.cache = ResultCache.default() if cache == "default" else cache
+        if cache == "default":
+            # Observability-enabled runs must execute: a cached result was
+            # produced without probes/tracing and carries no metrics.
+            cache = None if env_observability_enabled() else ResultCache.default()
+        self.cache = cache
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         if chunksize < 1:
@@ -199,7 +253,7 @@ class ParallelRunner:
     def _execute(self, fn: Callable, items: list) -> list:
         workers = min(self.jobs, len(items))
         if workers <= 1:
-            return [fn(item) for item in items]
+            return self._collect([_run_batch(fn, items)])
         size = self.chunksize
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
         outputs: list[list | None] = [None] * len(chunks)
@@ -223,7 +277,17 @@ class ParallelRunner:
             )
             for ci in pending:
                 outputs[ci] = _run_batch(fn, chunks[ci])
-        return [value for batch in outputs for value in batch]  # type: ignore[union-attr]
+        return self._collect(outputs)  # type: ignore[arg-type]
+
+    def _collect(self, batches: list[list]) -> list:
+        """Flatten ``(value, seconds)`` batch outputs, tracking the max."""
+        stats = self.stats
+        values = []
+        for batch in batches:
+            for value, seconds in batch:
+                stats.observe_job(seconds)
+                values.append(value)
+        return values
 
     def _try_pool(
         self,

@@ -25,10 +25,12 @@ byte-identical to the plain loop; with ``rate == 0`` or
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.network.config import NetworkConfig
 from repro.network.network import Network
+from repro.obs import Observability, ObservabilityConfig
 from repro.sim.stats import StatsCollector
 from repro.traffic.injector import TrafficInjector
 from repro.traffic.patterns import TrafficPattern, make_pattern
@@ -52,6 +54,13 @@ class SimulationResult:
     cycles: int
     per_source_ejected: list[int] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
+    #: Latency percentiles over measured packets (nan when none delivered).
+    latency_p50: float = math.nan
+    latency_p95: float = math.nan
+    latency_p99: float = math.nan
+    #: Metrics snapshot (flattened registry dict) when observability was
+    #: enabled for the run; ``None`` otherwise.
+    metrics: dict | None = None
 
     @property
     def throughput_flits_per_node(self) -> float:
@@ -74,10 +83,19 @@ class Simulation:
         burst_length: float = 1.0,
         fast_injection: bool = False,
         activity_gating: bool = True,
+        obs: ObservabilityConfig | None = None,
     ) -> None:
         self.config = config
         self.network = Network(config)
         self.network.gating = activity_gating
+        # Observability resolves from the environment unless given
+        # explicitly; the disabled default attaches nothing at all.
+        self.obs_config = obs if obs is not None else ObservabilityConfig.from_env()
+        self._obs: Observability | None = None
+        if self.obs_config.enabled:
+            self._obs = Observability(self.obs_config)
+            self._obs.attach(self.network)
+        self._seed = seed
         if isinstance(pattern, str):
             pattern = make_pattern(pattern, config.num_terminals)
         self.pattern = pattern
@@ -143,10 +161,20 @@ class Simulation:
             raise ValueError("warmup must be >= 0 and measure > 0")
         if drain_limit is None:
             drain_limit = max(2000, 2 * measure)
+        timer = self._obs.timer if self._obs is not None else None
+        t0 = time.perf_counter() if timer is not None else 0.0
         self._advance(warmup)
+        if timer is not None:
+            t1 = time.perf_counter()
+            timer.add("warmup", t1 - t0)
+            t0 = t1
         start = self.network.cycle
         self.stats.open_window(start, start + measure)
         self._advance(measure)
+        if timer is not None:
+            t1 = time.perf_counter()
+            timer.add("measure", t1 - t0)
+            t0 = t1
         drained_cycles = 0
         while self.stats.outstanding and drained_cycles < drain_limit:
             skipped = self._maybe_skip(drain_limit - drained_cycles)
@@ -155,7 +183,24 @@ class Simulation:
                 continue
             self._step()
             drained_cycles += 1
+        if timer is not None:
+            timer.add("drain", time.perf_counter() - t0)
         stats = self.stats
+        counters = self.network.counters.snapshot()
+        if timer is not None:
+            # Spans only appear when profiling is on, so the default
+            # counters dict stays byte-identical to pre-observability runs.
+            counters.update(timer.counter_items())
+        metrics = None
+        if self._obs is not None:
+            metrics = self._obs.finalize(
+                self.network,
+                allocator=self.config.router.allocator,
+                virtual_inputs=self.config.router.effective_virtual_inputs,
+                topology=self.config.topology,
+                injection_rate=self.injector.rate,
+                seed=self._seed,
+            )
         return SimulationResult(
             allocator=self.config.router.allocator,
             topology=self.config.topology,
@@ -170,7 +215,11 @@ class Simulation:
             drained=stats.outstanding == 0,
             cycles=self.network.cycle,
             per_source_ejected=list(stats.per_source_ejected),
-            counters=self.network.counters.snapshot(),
+            counters=counters,
+            latency_p50=stats.latency_percentile(50),
+            latency_p95=stats.latency_percentile(95),
+            latency_p99=stats.latency_percentile(99),
+            metrics=metrics,
         )
 
 
@@ -187,13 +236,15 @@ def run_simulation(
     burst_length: float = 1.0,
     fast_injection: bool = False,
     activity_gating: bool = True,
+    obs: ObservabilityConfig | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulation`.
 
     ``fast_injection`` swaps per-cycle Bernoulli draws for geometric-gap
     sampling (statistically equivalent, bit-different RNG stream);
     ``activity_gating=False`` restores the dense every-component scan —
-    useful only as the equivalence/benchmark baseline.
+    useful only as the equivalence/benchmark baseline.  ``obs`` defaults
+    to the environment-resolved observability config (off by default).
     """
     sim = Simulation(
         config,
@@ -204,6 +255,7 @@ def run_simulation(
         burst_length=burst_length,
         fast_injection=fast_injection,
         activity_gating=activity_gating,
+        obs=obs,
     )
     return sim.run(warmup=warmup, measure=measure, drain_limit=drain_limit)
 

@@ -106,8 +106,14 @@ class StatsCollector:
     def fairness_max_min_ratio(self) -> float:
         """Figure 9 metric: max over min per-source delivered packets.
 
-        ``inf`` when some source delivered nothing during the window (the
-        degenerate unfairness case).
+        Two degenerate cases are distinguished:
+
+        * ``nan`` when **no** source delivered anything — there is no
+          traffic to be unfair about (e.g. a zero-rate or warmup-only
+          window), so the metric is undefined;
+        * ``inf`` when **some but not all** sources delivered nothing —
+          the degenerate unfairness case (starved sources while others
+          made progress).
         """
         if not any(self.per_source_ejected):
             return math.nan

@@ -33,6 +33,8 @@ class SweepPoint:
     avg_latency: float
     accepted_packets_per_node: float
     drained: bool
+    #: 95th-percentile packet latency (nan when nothing was delivered).
+    latency_p95: float = float("nan")
 
 
 def latency_sweep(
@@ -86,6 +88,7 @@ def _to_point(res: SimulationResult) -> SweepPoint:
         avg_latency=res.avg_latency,
         accepted_packets_per_node=res.throughput_packets_per_node,
         drained=res.drained,
+        latency_p95=res.latency_p95,
     )
 
 

@@ -1,0 +1,130 @@
+"""AllocatorProbe arithmetic and the allocator recording sites."""
+
+import pytest
+
+from repro.core.matching import maximum_matching_size
+from repro.core.requests import RequestMatrix
+from repro.core.separable import SeparableInputFirstAllocator
+from repro.core.wavefront import WavefrontAllocator
+from repro.core.augmenting import AugmentingPathAllocator
+from repro.obs import AllocatorProbe, MetricsRegistry
+
+
+class TestProbeArithmetic:
+    def test_record_derives_blocks_and_kills(self):
+        p = AllocatorProbe()
+        p.record(requests=6, phase1_winners=4, grants=3, max_matching=4)
+        assert p.sa_rounds == 1
+        assert p.sa_input_port_blocks == 2  # 6 requests - 4 winners
+        assert p.sa_phase2_kills == 1  # 4 winners - 3 grants
+        assert p.matching_efficiency() == pytest.approx(3 / 4)
+        assert p.kill_rate() == pytest.approx(1 / 4)
+
+    def test_empty_probe_ratios_are_neutral(self):
+        p = AllocatorProbe()
+        assert p.matching_efficiency() == 1.0
+        assert p.kill_rate() == 0.0
+
+    def test_merge_adds_counters(self):
+        a = AllocatorProbe()
+        a.record(4, 3, 2, 3)
+        b = AllocatorProbe()
+        b.record(2, 2, 2, 2)
+        a.merge(b)
+        assert a.sa_rounds == 2
+        assert a.sa_requests == 6
+        assert a.sa_grants == 4
+        # Snapshot form (the cross-process transport) merges identically.
+        c = AllocatorProbe()
+        c.merge(a.snapshot())
+        assert c.snapshot() == a.snapshot()
+
+    def test_publish_writes_counters_and_efficiency_gauge(self):
+        p = AllocatorProbe()
+        p.record(4, 3, 3, 3)
+        reg = MetricsRegistry()
+        p.publish(reg)
+        data = reg.as_dict()
+        assert data["sa_requests"] == 4
+        assert data["sa_matching_efficiency"] == 1.0
+
+
+class TestMaximumMatchingSize:
+    def test_perfect_matching(self):
+        assert maximum_matching_size([{0}, {1}, {2}], 3) == 3
+
+    def test_contended_output_limits_matching(self):
+        # All rows want output 0: only one can have it.
+        assert maximum_matching_size([{0}, {0}, {0}], 3) == 1
+
+    def test_augmenting_path_found(self):
+        # Greedy would grant row0->0 then block row1; the maximum is 2.
+        assert maximum_matching_size([{0, 1}, {0}], 2) == 2
+
+
+def _matrix(num_ports, num_vcs, entries):
+    m = RequestMatrix(num_ports, num_ports, num_vcs)
+    for port, vc, out in entries:
+        m.add(port, vc, out)
+    return m
+
+
+class TestAllocatorRecordingSites:
+    def test_separable_contended_round(self):
+        alloc = SeparableInputFirstAllocator(2, 2, 2, virtual_inputs=1)
+        probe = AllocatorProbe()
+        alloc.probe = probe
+        # Port 0 VCs both want output 0 (input-port conflict); port 1 wants
+        # output 0 too (output conflict).
+        alloc.allocate(_matrix(2, 2, [(0, 0, 0), (0, 1, 0), (1, 0, 0)]))
+        assert probe.sa_requests == 3
+        assert probe.sa_phase1_winners == 2  # one per requesting port
+        assert probe.sa_input_port_blocks == 1
+        assert probe.sa_grants == 1  # single output can grant once
+        assert probe.sa_phase2_kills == 1
+        assert probe.sa_max_matching == 1
+
+    def test_separable_lone_request_fast_path_records(self):
+        alloc = SeparableInputFirstAllocator(2, 2, 2)
+        probe = AllocatorProbe()
+        alloc.probe = probe
+        grants = alloc.allocate(_matrix(2, 2, [(0, 0, 1)]))
+        assert len(grants) == 1
+        assert probe.sa_rounds == 1
+        assert probe.snapshot()["sa_requests"] == 1
+        assert probe.sa_phase2_kills == 0
+
+    def test_vix_virtual_inputs_expose_sibling_vcs(self):
+        # k=2: the two VCs of port 0 sit on distinct crossbar inputs, so
+        # both survive phase 1 — no input-port block, distinct outputs grant.
+        alloc = SeparableInputFirstAllocator(2, 2, 2, virtual_inputs=2)
+        probe = AllocatorProbe()
+        alloc.probe = probe
+        grants = alloc.allocate(_matrix(2, 2, [(0, 0, 0), (0, 1, 1)]))
+        assert len(grants) == 2
+        assert probe.sa_input_port_blocks == 0
+        assert probe.sa_phase2_kills == 0
+        assert probe.matching_efficiency() == 1.0
+
+    def test_wavefront_records_port_level_matching(self):
+        alloc = WavefrontAllocator(2, 2, 2)
+        probe = AllocatorProbe()
+        alloc.probe = probe
+        alloc.allocate(_matrix(2, 2, [(0, 0, 0), (0, 1, 1), (1, 0, 1)]))
+        assert probe.sa_requests == 3
+        assert probe.sa_phase1_winners == 2  # two requesting ports
+        assert probe.sa_grants == 2
+        assert probe.sa_max_matching == 2
+
+    def test_augmenting_path_achieves_its_own_maximum(self):
+        alloc = AugmentingPathAllocator(2, 2, 2)
+        probe = AllocatorProbe()
+        alloc.probe = probe
+        alloc.allocate(_matrix(2, 2, [(0, 0, 0), (1, 0, 0), (1, 1, 1)]))
+        assert probe.sa_grants == probe.sa_max_matching == 2
+        assert probe.matching_efficiency() == 1.0
+
+    def test_no_probe_by_default(self):
+        assert SeparableInputFirstAllocator(2, 2, 2).probe is None
+        assert WavefrontAllocator(2, 2, 2).probe is None
+        assert AugmentingPathAllocator(2, 2, 2).probe is None

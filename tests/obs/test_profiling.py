@@ -1,0 +1,54 @@
+"""PhaseTimer spans and per-job cProfile capture."""
+
+import pstats
+
+from repro.obs import PhaseTimer, profiled_call, spans_from_counters
+
+
+class TestPhaseTimer:
+    def test_add_accumulates(self):
+        t = PhaseTimer()
+        t.add("measure", 0.5)
+        t.add("measure", 0.25)
+        assert t.seconds == {"measure": 0.75}
+
+    def test_time_charges_wall_clock_and_returns_value(self):
+        t = PhaseTimer()
+        assert t.time("warmup", lambda: 42) == 42
+        assert t.seconds["warmup"] >= 0.0
+
+    def test_counter_round_trip(self):
+        t = PhaseTimer()
+        t.add("warmup", 0.123456)
+        t.add("drain", 2.0)
+        counters = t.counter_items()
+        assert counters["span_warmup_us"] == 123456
+        assert counters["span_drain_us"] == 2_000_000
+        spans = spans_from_counters({**counters, "router_wakeups": 7})
+        assert spans == {"warmup": 0.123456, "drain": 2.0}
+
+
+class TestProfiledCall:
+    def test_dumps_readable_pstats(self, tmp_path):
+        result = profiled_call(lambda: sum(range(1000)), tmp_path, "job-x")
+        assert result == sum(range(1000))
+        dump = tmp_path / "job-x.pstats"
+        assert dump.exists()
+        # The dump must be loadable by the stdlib consumer.
+        pstats.Stats(str(dump))
+
+    def test_unwritable_dir_never_fails_the_call(self):
+        assert profiled_call(lambda: 7, "/proc/definitely/nope", "t") == 7
+
+    def test_exception_propagates_after_profiler_stops(self, tmp_path):
+        def boom():
+            raise RuntimeError("boom")
+
+        try:
+            profiled_call(boom, tmp_path, "t")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception swallowed")
+        # The profiler was disabled on the way out: a second call works.
+        assert profiled_call(lambda: 1, tmp_path, "t2") == 1

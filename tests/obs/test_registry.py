@@ -1,0 +1,127 @@
+"""MetricsRegistry: counters/gauges/histograms, merge semantics, export."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import NULL_METRIC, Histogram
+
+
+class TestMetricKinds:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(4)
+        assert reg.as_dict() == {"hits": 5}
+
+    def test_gauge_last_writer_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("eff").set(0.5)
+        reg.gauge("eff").set(0.9)
+        assert reg.as_dict() == {"eff": 0.9}
+
+    def test_histogram_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(10, 20))
+        for v in (5, 10, 11, 99):
+            h.observe(v)
+        data = reg.as_dict()["lat"]
+        assert data["kind"] == "histogram"
+        assert data["counts"] == [2, 1]
+        assert data["overflow"] == 1
+        assert data["total"] == 4
+        assert h.mean() == pytest.approx((5 + 10 + 11 + 99) / 4)
+
+    def test_histogram_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("empty", ())
+
+    def test_histogram_bounds_must_match_on_reuse(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("lat", bounds=(1, 3))
+
+    def test_name_cannot_change_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_disabled_registry_hands_out_null_metric(self):
+        reg = MetricsRegistry(enabled=False)
+        metric = reg.counter("hits")
+        assert metric is NULL_METRIC
+        metric.inc(100)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h", (1,)).observe(5)
+        assert reg.as_dict() == {}
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(3)
+        a.gauge("eff").set(0.5)
+        b = MetricsRegistry()
+        b.counter("n").inc(4)
+        b.gauge("eff").set(0.8)
+        a.merge(b)
+        assert a.as_dict() == {"eff": 0.8, "n": 7}
+
+    def test_histograms_merge_elementwise(self):
+        a = MetricsRegistry()
+        a.histogram("lat", (10, 20)).observe(5)
+        b = MetricsRegistry()
+        b.histogram("lat", (10, 20)).observe(15)
+        b.histogram("lat", (10, 20)).observe(99)
+        a.merge(b)
+        data = a.as_dict()["lat"]
+        assert data["counts"] == [1, 1]
+        assert data["overflow"] == 1
+        assert data["total"] == 3
+
+    def test_merge_from_plain_dict(self):
+        # The cross-process form: a worker ships as_dict(), parent merges.
+        a = MetricsRegistry()
+        a.counter("n").inc(1)
+        a.merge({"n": 2, "lat": {
+            "kind": "histogram", "bounds": [10], "counts": [4],
+            "overflow": 0, "total": 4, "sum": 12.0,
+        }})
+        data = a.as_dict()
+        assert data["n"] == 3
+        assert data["lat"]["counts"] == [4]
+
+    def test_merge_mismatched_histogram_buckets_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat", (10,)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge({"lat": {
+                "kind": "histogram", "bounds": [10], "counts": [1, 2],
+                "overflow": 0, "total": 3, "sum": 0.0,
+            }})
+
+
+class TestExport:
+    def test_jsonl_appends_context_stamped_lines(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        for seed in (1, 2):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(seed)
+            reg.export_jsonl(path, allocator="IF", seed=seed)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["allocator"] == "IF"
+        assert [l["metrics"]["n"] for l in lines] == [1, 2]
+
+    def test_csv_expands_histograms(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.histogram("lat", (10,)).observe(3)
+        text = reg.export_csv(tmp_path / "m.csv").read_text()
+        assert "name,value" in text
+        assert "n,2" in text
+        assert "lat_le_10,1" in text
+        assert "lat_total,1" in text

@@ -79,6 +79,20 @@ class TestLatency:
         with pytest.raises(ValueError):
             s.latency_percentile(120)
 
+    def test_percentile_nan_when_nothing_measured(self):
+        s = StatsCollector(4)
+        s.open_window(0, 100)
+        assert math.isnan(s.latency_percentile(50))
+
+    def test_percentile_single_sample_is_that_sample(self):
+        s = StatsCollector(4)
+        s.open_window(0, 100)
+        p = make_packet(0, created=1)
+        s.on_packet_created(p)
+        s.on_packet_ejected(p, 42)
+        for q in (0, 50, 95, 99, 100):
+            assert s.latency_percentile(q) == 41.0
+
 
 class TestThroughputAndFairness:
     def test_throughput_metrics(self):
@@ -114,3 +128,12 @@ class TestThroughputAndFairness:
         s = StatsCollector(2)
         s.open_window(0, 100)
         assert math.isnan(s.fairness_max_min_ratio())
+
+    def test_fairness_perfectly_fair_is_one(self):
+        s = StatsCollector(2)
+        s.open_window(0, 100)
+        for i, src in enumerate([0, 1, 0, 1]):
+            p = make_packet(i, src=src, created=1)
+            s.on_packet_created(p)
+            s.on_packet_ejected(p, 10)
+        assert s.fairness_max_min_ratio() == 1.0

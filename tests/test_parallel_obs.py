@@ -1,0 +1,161 @@
+"""Parallel layer x observability: job timing, span folding, worker metrics.
+
+The parallel runner must stay observability-correct in both directions:
+execution telemetry (max job wall time, per-phase spans) has to survive
+the worker round trip, and observability-enabled runs have to bypass the
+result cache — a cached result was produced blind and carries no metrics.
+"""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.obs import MetricsRegistry
+from repro.parallel import ExecutionStats, ParallelRunner, SimJob
+
+
+def tiny_job(seed=1, allocator="input_first"):
+    return SimJob(
+        NetworkConfig(
+            topology="mesh",
+            num_terminals=16,
+            router=RouterConfig(allocator=allocator),
+            packet_length=4,
+        ),
+        injection_rate=0.1,
+        seed=seed,
+        warmup=50,
+        measure=200,
+    )
+
+
+class TestExecutionStatsFields:
+    def test_merge_takes_max_job_and_sums_phases(self):
+        a = ExecutionStats(max_job_seconds=1.5, phase_seconds={"warmup": 1.0})
+        b = ExecutionStats(
+            max_job_seconds=0.4, phase_seconds={"warmup": 2.0, "drain": 0.5}
+        )
+        a.merge(b)
+        assert a.max_job_seconds == 1.5
+        assert a.phase_seconds == {"warmup": 3.0, "drain": 0.5}
+
+    def test_absorb_counters_folds_spans(self):
+        stats = ExecutionStats()
+        stats.absorb_counters(
+            {"span_warmup_us": 500_000, "span_measure_us": 250_000,
+             "router_wakeups": 3, "cycles_skipped": 10}
+        )
+        assert stats.phase_seconds == pytest.approx(
+            {"warmup": 0.5, "measure": 0.25}
+        )
+        assert stats.router_wakeups == 3
+        assert stats.cycles_skipped == 10
+
+    def test_observe_job_tracks_slowest(self):
+        stats = ExecutionStats()
+        for seconds in (0.1, 0.8, 0.3):
+            stats.observe_job(seconds)
+        assert stats.max_job_seconds == 0.8
+
+    def test_as_dict_and_summary_surface_new_fields(self):
+        stats = ExecutionStats(jobs_run=2, max_job_seconds=1.234)
+        data = stats.as_dict()
+        assert data["max_job_seconds"] == 1.234
+        assert "phase_seconds" not in data  # omitted while empty
+        stats.phase_seconds["measure"] = 2.0
+        assert stats.as_dict()["phase_seconds"] == {"measure": 2.0}
+        summary = stats.summary()
+        assert "max job: 1.23s" in summary
+        assert "phases: measure=2.00s" in summary
+
+
+class TestRunnerJobTiming:
+    def test_max_job_seconds_populated_serially(self):
+        runner = ParallelRunner(1, cache=None)
+        runner.run([tiny_job(seed=1), tiny_job(seed=2)])
+        assert 0 < runner.stats.max_job_seconds <= runner.stats.wall_seconds
+
+    def test_max_job_seconds_populated_through_workers(self):
+        runner = ParallelRunner(2, cache=None)
+        runner.run([tiny_job(seed=1), tiny_job(seed=2)])
+        assert runner.stats.max_job_seconds > 0
+        # The slowest single job cannot be faster than half the two-job
+        # serial work, and never slower than the whole batch's wall clock
+        # as seen by any single worker — just sanity-bound it.
+        assert runner.stats.max_job_seconds < 60
+
+    def test_cache_hits_do_not_touch_max_job(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        job = tiny_job(seed=3)
+        warm = ParallelRunner(1)
+        warm.run([job])
+        assert warm.stats.jobs_run == 1
+        hit = ParallelRunner(1)
+        hit.run([job])
+        assert hit.stats.cache_hits == 1
+        assert hit.stats.jobs_run == 0
+        assert hit.stats.max_job_seconds == 0.0
+
+
+class TestWorkerMetrics:
+    def test_metrics_merge_across_workers(self, tmp_path, monkeypatch):
+        out = tmp_path / "metrics.jsonl"
+        monkeypatch.setenv("REPRO_METRICS_OUT", str(out))
+        runner = ParallelRunner(2, cache="default")
+        assert runner.cache is None  # obs env forces execution
+        results = runner.run([tiny_job(seed=1), tiny_job(seed=2)])
+        assert all(r.metrics is not None for r in results)
+        assert out.exists() and len(out.read_text().splitlines()) == 2
+
+        merged = MetricsRegistry()
+        merged.gauge("sa_matching_efficiency")  # float field, last-writer-wins
+        for r in results:
+            merged.merge(r.metrics)
+        data = merged.as_dict()
+        assert data["sa_requests"] == sum(
+            r.metrics["sa_requests"] for r in results
+        )
+        assert data["sa_grants"] == sum(r.metrics["sa_grants"] for r in results)
+        assert (
+            data["sa_matching_efficiency"]
+            == results[-1].metrics["sa_matching_efficiency"]
+        )
+
+    def test_serial_and_parallel_observed_results_agree(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_METRICS_OUT", str(tmp_path / "m.jsonl"))
+        jobs = [tiny_job(seed=1), tiny_job(seed=2)]
+        serial = ParallelRunner(1, cache=None).run(jobs)
+        parallel = ParallelRunner(2, cache=None).run(jobs)
+        for s, p in zip(serial, parallel):
+            assert s.metrics == p.metrics
+            assert s.avg_latency == p.avg_latency
+            assert s.counters == p.counters
+
+
+class TestCacheBypass:
+    @pytest.mark.parametrize(
+        "var,value",
+        [
+            ("REPRO_TRACE", "/tmp/t.jsonl"),
+            ("REPRO_METRICS_OUT", "/tmp/m.jsonl"),
+            ("REPRO_PROFILE", "1"),
+            ("REPRO_PROFILE_DIR", "/tmp/prof"),
+        ],
+    )
+    def test_default_cache_disabled_by_obs_env(self, monkeypatch, var, value):
+        monkeypatch.setenv(var, value)
+        assert ParallelRunner(1, cache="default").cache is None
+
+    def test_default_cache_active_without_obs_env(self, monkeypatch, tmp_path):
+        for var in ("REPRO_TRACE", "REPRO_METRICS_OUT", "REPRO_PROFILE",
+                    "REPRO_PROFILE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert ParallelRunner(1, cache="default").cache is not None
+
+    def test_explicit_cache_instance_is_respected(self, monkeypatch, tmp_path):
+        # Opting in explicitly overrides the bypass: the caller asked.
+        from repro.parallel.cache import ResultCache
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        cache = ResultCache(tmp_path)
+        assert ParallelRunner(1, cache=cache).cache is cache
