@@ -35,7 +35,11 @@ from repro.analysis import channel_loads, saturation_bound
 from repro.topology import make_topology
 from repro.traffic import TrafficInjector, make_pattern
 
-__version__ = "1.1.0"
+# 1.2.0: cache-key layout change — pattern-attribute canonicalization now
+# handles nested containers deterministically, and jobs are derived from
+# the declarative experiment-spec layer.  The version is folded into every
+# SimJob.key(), so all pre-1.2 cache entries are invalidated wholesale.
+__version__ = "1.2.0"
 
 __all__ = [
     "AugmentingPathAllocator",

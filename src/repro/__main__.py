@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias for the ``vix-repro`` command line."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

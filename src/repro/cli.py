@@ -2,11 +2,17 @@
 
 Usage::
 
-    vix-repro list              # show available experiments
+    vix-repro list              # show available experiments and schemes
     vix-repro t1                # Table 1 (stage delays)
     vix-repro f8 --full         # Figure 8 at paper-fidelity run lengths
     vix-repro f8 --jobs auto    # fan simulations out over all CPU cores
     vix-repro all               # everything (slow)
+
+Experiment ids and their descriptions come from the experiment registry
+(:data:`repro.registry.experiments`); allocator/topology/pattern names come
+from their registries, so ``list`` always reflects what is actually
+pluggable and an unknown name fails with the registry's error listing the
+valid choices.
 """
 
 from __future__ import annotations
@@ -16,28 +22,36 @@ import os
 import sys
 
 from repro.experiments import EXPERIMENTS, get_experiment
+from repro.registry import experiments as experiment_registry
 
-_DESCRIPTIONS = {
-    "t1": "Table 1 — router pipeline stage delays",
-    "t3": "Table 3 — switch-allocator delays",
-    "f7": "Figure 7 — single-router allocation efficiency",
-    "f8": "Figure 8 — mesh latency and throughput",
-    "f9": "Figure 9 — fairness at saturation",
-    "f10": "Figure 10 — packet chaining comparison",
-    "f11": "Figure 11 — network energy per bit",
-    "f12": "Figure 12 — virtual-input count sweep",
-    "t4": "Table 4 — application-level speedups",
-    "abl": "Ablations — VC policy, pointer policy, partition, SPAROFLO, k-sweep",
-    "radix": "Extension — VIX radix-scaling limit from the timing models",
-    "topo": "Extension — topologies vs analytic wiring bounds",
-}
+
+def _descriptions() -> dict[str, str]:
+    """Experiment id -> one-line description, from the registry."""
+    return experiment_registry.labels()
 
 
 def _list_experiments() -> str:
+    labels = _descriptions()
     lines = ["available experiments:"]
     for key in sorted(EXPERIMENTS):
-        lines.append(f"  {key:<4s} {_DESCRIPTIONS.get(key, '')}")
+        lines.append(f"  {key:<4s} {labels.get(key, '')}")
     lines.append("  all  run every experiment in order")
+    return "\n".join(lines)
+
+
+def _list_schemes() -> str:
+    """Every registered scheme, by kind, with aliases."""
+    from repro.registry import allocators, patterns, topologies, vc_policies
+
+    lines = ["registered schemes:"]
+    for registry in (allocators, vc_policies, topologies, patterns):
+        entries = []
+        for info in registry.infos():
+            entry = info.name
+            if info.aliases:
+                entry += f" ({', '.join(info.aliases)})"
+            entries.append(entry)
+        lines.append(f"  {registry.kind}: {', '.join(entries)}")
     return "\n".join(lines)
 
 
@@ -135,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     key = args.experiment.strip().lower()
     if key == "list":
         print(_list_experiments())
+        print()
+        print(_list_schemes())
         return 0
     targets = sorted(EXPERIMENTS) if key == "all" else [key]
     fast = not args.full
@@ -142,13 +158,14 @@ def main(argv: list[str] | None = None) -> int:
         # Environment, not argument passing: the cache check lives deep in
         # the parallel layer and every experiment should see the opt-out.
         os.environ["REPRO_NO_CACHE"] = "1"
+    descriptions = _descriptions()
     for target in targets:
         try:
             module = get_experiment(target)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
-        print(f"=== {target.upper()}: {_DESCRIPTIONS.get(target, '')} ===")
+        print(f"=== {target.upper()}: {descriptions.get(target, '')} ===")
         run = module.run
         kwargs = {}
         if "fast" in run.__code__.co_varnames:

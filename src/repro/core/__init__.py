@@ -13,6 +13,13 @@ and every switch-allocation scheme the paper evaluates against:
 
 from __future__ import annotations
 
+from repro.registry import (
+    ENLARGES_CROSSBAR,
+    NETWORK_COMPARISON,
+    VIRTUAL_INPUT_PER_VC,
+    allocators as allocator_registry,
+)
+
 from .allocator import SwitchAllocator
 from .arbiter import (
     Arbiter,
@@ -39,41 +46,113 @@ from .vc_policy import (
 from .vix import IdealVIXAllocator, VIXAllocator
 from .wavefront import WavefrontAllocator
 
-#: Canonical allocator names accepted by :func:`make_allocator`.
-ALLOCATOR_NAMES = (
+# --- registry entries --------------------------------------------------------
+#
+# Every allocator factory shares one signature:
+#
+#     factory(num_inputs, num_outputs, num_vcs, virtual_inputs, **options)
+#
+# ``virtual_inputs`` is the *configuration-level* crossbar width request; only
+# the VIX family honours it (the paper always uses 2, Section 4.6 sweeps it).
+# Conventional schemes drop it — a ``P x P`` crossbar regardless — so a
+# RouterConfig's default ``virtual_inputs=2`` never leaks into them.  Scheme-
+# specific constructor options (pointer_policy, partition, dynamic, and an
+# *explicit* virtual_inputs for the separable variants the ablations study)
+# pass through ``**options`` verbatim.
+
+
+def _conventional(cls):
+    # ``virtual_inputs`` is positional-only: the configuration-level request
+    # is dropped, while an *explicit* ``virtual_inputs=`` keyword (the
+    # ablations' separable-with-virtual-inputs variants) still reaches the
+    # class constructor through ``**options``.
+    def build(num_inputs, num_outputs, num_vcs, virtual_inputs=1, /, **options):
+        return cls(num_inputs, num_outputs, num_vcs, **options)
+
+    build.__name__ = f"make_{cls.__name__}"
+    return build
+
+
+def _vix_family(cls):
+    def build(num_inputs, num_outputs, num_vcs, virtual_inputs=2, /, **options):
+        return cls(num_inputs, num_outputs, num_vcs, virtual_inputs, **options)
+
+    build.__name__ = f"make_{cls.__name__}"
+    return build
+
+
+def _ideal_vix(num_inputs, num_outputs, num_vcs, virtual_inputs=0, /, **options):
+    return IdealVIXAllocator(num_inputs, num_outputs, num_vcs, **options)
+
+
+allocator_registry.register(
     "input_first",
+    _conventional(SeparableInputFirstAllocator),
+    aliases=("if", "separable"),
+    label="IF",
+    provenance="baseline; paper Section 2.1",
+    flags=(NETWORK_COMPARISON,),
+)
+allocator_registry.register(
     "output_first",
+    _conventional(SeparableOutputFirstAllocator),
+    aliases=("of",),
+    label="OF",
+    provenance="separable output-first variant; ablation A6",
+)
+allocator_registry.register(
     "wavefront",
+    _conventional(WavefrontAllocator),
+    aliases=("wf",),
+    label="WF",
+    provenance="Tamir & Chi; paper Table 3 / Figures 7-10",
+    flags=(NETWORK_COMPARISON,),
+)
+allocator_registry.register(
     "augmenting_path",
+    _conventional(AugmentingPathAllocator),
+    aliases=("ap",),
+    label="AP",
+    provenance="maximum port matching; paper Figures 7-9",
+    flags=(NETWORK_COMPARISON,),
+)
+allocator_registry.register(
     "packet_chaining",
+    _conventional(PacketChainingAllocator),
+    aliases=("pc",),
+    label="PC",
+    provenance="Michelogiannakis et al.; paper Figure 10",
+)
+allocator_registry.register(
     "sparoflo",
+    _conventional(SparofloAllocator),
+    aliases=("spf",),
+    label="SPF",
+    provenance="multi-request separable; paper Section 5 / ablation A4",
+)
+allocator_registry.register(
     "vix",
+    _vix_family(VIXAllocator),
+    label="VIX",
+    provenance="the paper's contribution (1:2 VIX, Section 2)",
+    flags=(ENLARGES_CROSSBAR, NETWORK_COMPARISON),
+)
+allocator_registry.register(
     "ideal_vix",
+    _ideal_vix,
+    aliases=("ivix", "ideal"),
+    label="Ideal",
+    provenance="one virtual input per VC; paper Figures 7 and 12",
+    flags=(ENLARGES_CROSSBAR, VIRTUAL_INPUT_PER_VC),
 )
 
-_ALIASES = {
-    "if": "input_first",
-    "of": "output_first",
-    "separable": "input_first",
-    "wf": "wavefront",
-    "ap": "augmenting_path",
-    "pc": "packet_chaining",
-    "spf": "sparoflo",
-    "ivix": "ideal_vix",
-    "ideal": "ideal_vix",
-}
+#: Canonical allocator names accepted by :func:`make_allocator`.
+ALLOCATOR_NAMES = allocator_registry.names()
 
 
 def canonical_allocator_name(name: str) -> str:
     """Resolve an allocator name or alias to its canonical form."""
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in ALLOCATOR_NAMES:
-        raise ValueError(
-            f"unknown allocator {name!r}; expected one of "
-            f"{ALLOCATOR_NAMES} (or aliases {sorted(_ALIASES)})"
-        )
-    return key
+    return allocator_registry.canonical(name)
 
 
 def make_allocator(
@@ -83,29 +162,18 @@ def make_allocator(
     num_vcs: int,
     *,
     virtual_inputs: int = 2,
+    **options: object,
 ) -> SwitchAllocator:
-    """Build a switch allocator by name.
+    """Build a switch allocator by name (registry dispatch).
 
     ``virtual_inputs`` only applies to ``"vix"`` (the paper always uses 2;
     Section 4.6 sweeps it); other schemes use a conventional ``P x P``
-    crossbar.
+    crossbar.  ``options`` forwards scheme-specific constructor keywords
+    (e.g. ``pointer_policy``, ``partition``, ``dynamic``).
     """
-    key = canonical_allocator_name(name)
-    if key == "input_first":
-        return SeparableInputFirstAllocator(num_inputs, num_outputs, num_vcs)
-    if key == "output_first":
-        return SeparableOutputFirstAllocator(num_inputs, num_outputs, num_vcs)
-    if key == "wavefront":
-        return WavefrontAllocator(num_inputs, num_outputs, num_vcs)
-    if key == "augmenting_path":
-        return AugmentingPathAllocator(num_inputs, num_outputs, num_vcs)
-    if key == "packet_chaining":
-        return PacketChainingAllocator(num_inputs, num_outputs, num_vcs)
-    if key == "sparoflo":
-        return SparofloAllocator(num_inputs, num_outputs, num_vcs)
-    if key == "vix":
-        return VIXAllocator(num_inputs, num_outputs, num_vcs, virtual_inputs)
-    return IdealVIXAllocator(num_inputs, num_outputs, num_vcs)
+    return allocator_registry.create(
+        name, num_inputs, num_outputs, num_vcs, virtual_inputs, **options
+    )
 
 
 __all__ = [

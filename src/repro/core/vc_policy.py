@@ -20,6 +20,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
+from repro.registry import vc_policies as vc_policy_registry
+
 #: Direction classes produced by ``Topology.port_direction_class``.
 DIR_X = 0
 DIR_Y = 1
@@ -131,16 +133,21 @@ class VixDimensionPolicy(VCSelectionPolicy):
         return max(group_candidates, key=lambda vc: (credits[vc], -vc))
 
 
+vc_policy_registry.register(
+    "max_credit",
+    MaxCreditPolicy,
+    label="max-credit",
+    provenance="baseline heuristic (most free flit buffers)",
+)
+vc_policy_registry.register(
+    "vix_dimension",
+    VixDimensionPolicy,
+    aliases=("dimension",),
+    label="VIX dimension-aware",
+    provenance="paper Section 2.3",
+)
+
+
 def make_vc_policy(name: str) -> VCSelectionPolicy:
-    """Factory for VC selection policies by name."""
-    policies = {
-        "max_credit": MaxCreditPolicy,
-        "vix_dimension": VixDimensionPolicy,
-    }
-    try:
-        cls = policies[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown VC policy {name!r}; expected one of {sorted(policies)}"
-        ) from None
-    return cls()
+    """Factory for VC selection policies by name (registry dispatch)."""
+    return vc_policy_registry.create(name)

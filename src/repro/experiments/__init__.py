@@ -14,14 +14,22 @@ F12       :mod:`repro.experiments.fig12_virtual_inputs`
 T4        :mod:`repro.experiments.table4_applications`
 ========= ===============================================================
 
-Every module exposes ``run(...)`` (returns a structured result),
+Every module exposes ``spec(...)`` (the declarative
+:class:`~repro.experiments.spec.ExperimentSpec` behind the experiment),
+``run(...)`` (executes the spec and returns a structured result),
 ``report(result=None)`` (paper-style text rows) and ``main()``.
 Set ``REPRO_FULL=1`` for paper-fidelity run lengths.
+
+Drivers are looked up through :data:`repro.registry.experiments`; each
+entry's payload is the driver module and its label the one-line
+description the CLI prints.
 """
 
 from __future__ import annotations
 
 from types import ModuleType
+
+from repro.registry import experiments as experiment_registry
 
 from . import (
     ablations,
@@ -37,40 +45,58 @@ from . import (
     table4_applications,
     topology_comparison,
 )
-from .runner import FAST, FULL, RunLengths, format_table, improvement, run_lengths
+from .runner import (
+    FAST,
+    FULL,
+    RunLengths,
+    SpecRun,
+    execute_spec,
+    format_table,
+    improvement,
+    run_lengths,
+)
+from .spec import ExperimentSpec, ScenarioSpec
 
-#: Experiment id -> driver module.
+for _id, _module in (
+    ("t1", table1_delays),
+    ("t3", table3_allocator_delays),
+    ("f7", fig7_single_router),
+    ("f8", fig8_mesh),
+    ("f9", fig9_fairness),
+    ("f10", fig10_packet_chaining),
+    ("f11", fig11_energy),
+    ("f12", fig12_virtual_inputs),
+    ("t4", table4_applications),
+    ("abl", ablations),
+    ("radix", radix_scaling),
+    ("topo", topology_comparison),
+):
+    experiment_registry.register(_id, _module, label=_module.TITLE)
+
+#: Experiment id -> driver module (registry view, registration order).
 EXPERIMENTS: dict[str, ModuleType] = {
-    "t1": table1_delays,
-    "t3": table3_allocator_delays,
-    "f7": fig7_single_router,
-    "f8": fig8_mesh,
-    "f9": fig9_fairness,
-    "f10": fig10_packet_chaining,
-    "f11": fig11_energy,
-    "f12": fig12_virtual_inputs,
-    "t4": table4_applications,
-    "abl": ablations,
-    "radix": radix_scaling,
-    "topo": topology_comparison,
+    info.name: info.factory for info in experiment_registry.infos()
 }
 
 
 def get_experiment(exp_id: str) -> ModuleType:
-    """Look up an experiment driver by id (case-insensitive)."""
-    key = exp_id.strip().lower()
-    if key not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
-        )
-    return EXPERIMENTS[key]
+    """Look up an experiment driver by id (case-insensitive).
+
+    Unknown ids raise :class:`repro.registry.UnknownSchemeError`, which is
+    both a ``KeyError`` and a ``ValueError`` and lists the valid choices.
+    """
+    return experiment_registry.get(exp_id).factory
 
 
 __all__ = [
     "EXPERIMENTS",
+    "ExperimentSpec",
     "FAST",
     "FULL",
     "RunLengths",
+    "ScenarioSpec",
+    "SpecRun",
+    "execute_spec",
     "format_table",
     "get_experiment",
     "improvement",

@@ -17,42 +17,25 @@ individual design decisions:
   only part of the VIX gain because post-arbitration conflicts drop grants.
 * **A5 — virtual-input count.**  Single-router throughput for
   k = 1, 2, 3, 6 (the paper's Fig. 12 at router granularity).
+
+Every variant — network saturation probes and saturated single-router
+points alike — is one :class:`~repro.experiments.spec.ScenarioSpec`;
+scheme-specific constructor keywords (``pointer_policy``, ``partition``,
+``dynamic``, an explicit ``virtual_inputs`` for the separable variants)
+ride in the scenario's ``options`` and reach the allocator constructor
+through the registry factory.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
-from repro.core import (
-    SeparableInputFirstAllocator,
-    SeparableOutputFirstAllocator,
-    SparofloAllocator,
-    VIXAllocator,
-)
-from repro.core.requests import RequestMatrix
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, ParallelRunner, SimJob
+from repro.parallel import ExecutionStats
 
-from .runner import format_table, improvement, perf_footer, run_lengths
+from .runner import execute_spec, format_table, improvement, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
 
-
-def _single_router_throughput(alloc, radix: int, num_vcs: int, cycles: int, seed: int) -> float:
-    """Saturated single-router throughput for a pre-built allocator."""
-    rng = random.Random(seed)
-    out = [[rng.randrange(radix) for _ in range(num_vcs)] for _ in range(radix)]
-    total = 0
-    matrix = RequestMatrix(radix, radix, num_vcs)
-    for _ in range(cycles):
-        matrix.clear()
-        for p in range(radix):
-            for v in range(num_vcs):
-                matrix.add(p, v, out[p][v], tail=True)
-        grants = alloc.allocate(matrix)
-        total += len(grants)
-        for g in grants:
-            out[g.in_port][g.vc] = rng.randrange(radix)
-    return total / cycles
+TITLE = "Ablations — VC policy, pointer policy, partition, SPAROFLO, k-sweep"
 
 
 @dataclass
@@ -66,12 +49,74 @@ class AblationResult:
         return improvement(self.values[(study, variant)], self.values[(study, base)])
 
 
-def _ablation_point(spec: tuple) -> float:
-    """Worker: build the allocator from its spec and measure it (picklable —
-    allocator classes pickle by reference)."""
-    cls, args, kwargs, radix, num_vcs, cycles, seed = spec
-    alloc = cls(*args, **kwargs)
-    return _single_router_throughput(alloc, radix, num_vcs, cycles, seed)
+def spec(
+    *, radix: int = 5, num_vcs: int = 6, seed: int = 1, fast: bool | None = None
+) -> ExperimentSpec:
+    """The declarative description of every ablation study."""
+    scenarios: list[ScenarioSpec] = []
+
+    # A1: VC-assignment policy at mesh saturation (network simulations).
+    for variant, allocator, vc_policy in (
+        ("vix_dimension", "vix", "vix_dimension"),
+        ("max_credit", "vix", "max_credit"),
+        ("if_baseline", "if", ""),
+    ):
+        scenarios.append(
+            ScenarioSpec(
+                key=("vc_policy", variant),
+                allocator=allocator,
+                vc_policy=vc_policy,
+                injection_rate=1.0,
+                drain_limit=0,
+            )
+        )
+
+    # A2..A6 are saturated single-router points.
+    def single(study: str, variant: str, allocator: str, k: int = 1, **options) -> None:
+        scenarios.append(
+            ScenarioSpec(
+                key=(study, variant),
+                kind="single_router",
+                allocator=allocator,
+                radix=radix,
+                num_vcs=num_vcs,
+                virtual_inputs=k,
+                packet_length=1,
+                options=tuple(sorted(options.items())),
+            )
+        )
+
+    # A2: pointer policy.
+    for name, allocator, k in (("if", "input_first", 1), ("vix", "vix", 2)):
+        for policy in ("plain", "on_grant"):
+            single("pointer", f"{name}/{policy}", allocator, k, pointer_policy=policy)
+
+    # A3: partition (VIX k=2).
+    for partition in ("contiguous", "interleaved"):
+        single("partition", partition, "vix", 2, partition=partition)
+
+    # A4: SPAROFLO vs IF vs VIX.
+    single("sparoflo", "if", "input_first")
+    single("sparoflo", "sparoflo_static", "sparoflo", dynamic=False)
+    single("sparoflo", "sparoflo_dynamic", "sparoflo", dynamic=True)
+    single("sparoflo", "vix", "vix", 2)
+
+    # A6: separable phase order, with and without virtual inputs.
+    single("phase_order", "input_first", "input_first")
+    single("phase_order", "output_first", "output_first")
+    single("phase_order", "input_first_vix", "vix", 2)
+    single("phase_order", "output_first_vix", "output_first", virtual_inputs=2)
+
+    # A5: virtual-input count sweep.
+    for k in (1, 2, 3, 6):
+        if k == 1:
+            single("vinputs", "k=1", "input_first")
+        else:
+            single("vinputs", f"k={k}", "vix", k)
+
+    return ExperimentSpec(
+        name="abl", title=TITLE, scenarios=tuple(scenarios), seed=seed, fast=fast
+    )
 
 
 def run(
@@ -83,81 +128,15 @@ def run(
     jobs: int | str | None = None,
 ) -> AblationResult:
     """Run every ablation study."""
-    lengths = run_lengths(fast)
-    cycles = lengths.single_router_cycles
+    experiment = spec(radix=radix, num_vcs=num_vcs, seed=seed, fast=fast)
+    outcome = execute_spec(experiment, jobs=jobs)
     result = AblationResult()
-    runner = ParallelRunner(jobs)
-
-    # A1: VC-assignment policy at mesh saturation (network simulations).
-    a1 = [
-        ("vix_dimension", paper_config("vix").with_router(vc_policy="vix_dimension")),
-        ("max_credit", paper_config("vix").with_router(vc_policy="max_credit")),
-        ("if_baseline", paper_config("if")),
-    ]
-    a1_jobs = [
-        SimJob(
-            cfg,
-            injection_rate=1.0,
-            seed=seed,
-            warmup=lengths.warmup,
-            measure=lengths.measure,
-            drain_limit=0,
-        )
-        for _, cfg in a1
-    ]
-    for (name, _), res in zip(a1, runner.run(a1_jobs)):
-        result.values[("vc_policy", name)] = res.throughput_flits_per_node
-
-    # A2..A6 are saturated single-router points; collect every (study,
-    # variant) as an allocator spec, then fan them out in one batch.
-    points: list[tuple[tuple[str, str], tuple]] = []
-
-    def add(study: str, variant: str, cls, *args, **kwargs) -> None:
-        points.append(((study, variant), (cls, args, kwargs)))
-
-    # A2: pointer policy.
-    for name, cls, k in (("if", SeparableInputFirstAllocator, 1), ("vix", VIXAllocator, 2)):
-        for policy in ("plain", "on_grant"):
-            add("pointer", f"{name}/{policy}", cls, radix, radix, num_vcs, k,
-                pointer_policy=policy)
-
-    # A3: partition (VIX k=2).
-    for partition in ("contiguous", "interleaved"):
-        add("partition", partition, VIXAllocator, radix, radix, num_vcs, 2,
-            partition=partition)
-
-    # A4: SPAROFLO vs IF vs VIX.
-    add("sparoflo", "if", SeparableInputFirstAllocator, radix, radix, num_vcs)
-    add("sparoflo", "sparoflo_static", SparofloAllocator, radix, radix, num_vcs,
-        dynamic=False)
-    add("sparoflo", "sparoflo_dynamic", SparofloAllocator, radix, radix, num_vcs,
-        dynamic=True)
-    add("sparoflo", "vix", VIXAllocator, radix, radix, num_vcs, 2)
-
-    # A6: separable phase order, with and without virtual inputs.
-    add("phase_order", "input_first", SeparableInputFirstAllocator, radix, radix, num_vcs)
-    add("phase_order", "output_first", SeparableOutputFirstAllocator, radix, radix, num_vcs)
-    add("phase_order", "input_first_vix", VIXAllocator, radix, radix, num_vcs, 2)
-    add("phase_order", "output_first_vix", SeparableOutputFirstAllocator, radix, radix,
-        num_vcs, virtual_inputs=2)
-
-    # A5: virtual-input count sweep.
-    for k in (1, 2, 3, 6):
-        if k == 1:
-            add("vinputs", "k=1", SeparableInputFirstAllocator, radix, radix, num_vcs)
-        else:
-            add("vinputs", f"k={k}", VIXAllocator, radix, radix, num_vcs, k)
-
-    values = runner.map(
-        _ablation_point,
-        [
-            (cls, args, kwargs, radix, num_vcs, cycles, seed)
-            for _, (cls, args, kwargs) in points
-        ],
-    )
-    for (key, _), value in zip(points, values):
-        result.values[key] = value
-    result.perf = runner.stats
+    for scenario in experiment.scenarios:
+        value = outcome.values[scenario.key]
+        if scenario.kind == "network":
+            value = value.throughput_flits_per_node
+        result.values[scenario.key] = value
+    result.perf = outcome.stats
     return result
 
 

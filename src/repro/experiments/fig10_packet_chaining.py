@@ -11,19 +11,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.parallel import ExecutionStats
+from repro.registry import NETWORK_COMPARISON, allocators as allocator_registry
 
-from .runner import format_table, improvement, perf_footer, run_lengths
+from .runner import execute_spec, format_table, improvement, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
 
-ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "packet_chaining", "vix")
-LABELS = {
-    "input_first": "IF",
-    "wavefront": "WF",
-    "augmenting_path": "AP",
-    "packet_chaining": "PC",
-    "vix": "VIX",
-}
+TITLE = "Figure 10 — packet chaining comparison"
+
+#: The canonical comparison set plus Packet Chaining, in registry order.
+ALLOCATORS = allocator_registry.select(
+    allocator_registry.select(flag=NETWORK_COMPARISON) + ("packet_chaining",)
+)
+LABELS = allocator_registry.labels(ALLOCATORS)
 
 #: Paper's reported gains over IF at max injection (single-flit packets).
 PAPER_GAINS = {"packet_chaining": 0.09, "vix": 0.16}
@@ -40,29 +40,33 @@ class Fig10Result:
         return improvement(self.throughput[allocator], self.throughput["input_first"])
 
 
+def spec(*, seed: int = 1, fast: bool | None = None) -> ExperimentSpec:
+    """The declarative description of the Figure 10 saturation probes."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(alloc,),
+            allocator=alloc,
+            packet_length=1,
+            injection_rate=1.0,
+            drain_limit=0,
+        )
+        for alloc in ALLOCATORS
+    )
+    return ExperimentSpec(
+        name="f10", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
+
+
 def run(
     *, seed: int = 1, fast: bool | None = None, jobs: int | str | None = None
 ) -> Fig10Result:
     """Measure single-flit saturation throughput for every scheme."""
-    lengths = run_lengths(fast)
-    sim_jobs = [
-        SimJob(
-            paper_config(alloc, packet_length=1),
-            injection_rate=1.0,
-            seed=seed,
-            warmup=lengths.warmup,
-            measure=lengths.measure,
-            drain_limit=0,
-        )
-        for alloc in ALLOCATORS
-    ]
-    stats = ExecutionStats()
-    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    outcome = execute_spec(spec(seed=seed, fast=fast), jobs=jobs)
     throughput = {
-        alloc: res.throughput_flits_per_node
-        for alloc, res in zip(ALLOCATORS, results)
+        alloc: outcome.values[(alloc,)].throughput_flits_per_node
+        for alloc in ALLOCATORS
     }
-    return Fig10Result(throughput=throughput, perf=stats)
+    return Fig10Result(throughput=throughput, perf=outcome.stats)
 
 
 def report(result: Fig10Result | None = None) -> str:

@@ -12,12 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.energy import ActivityCounters, EnergyBreakdown, EnergyModel
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.parallel import ExecutionStats
 
-from .runner import format_table, improvement, perf_footer, run_lengths
+from .runner import execute_spec, format_table, improvement, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Figure 11 — network energy per bit"
 
 SCHEMES = ("input_first", "vix")
+#: Local display names (the figure contrasts "Baseline (IF)" with VIX).
 LABELS = {"input_first": "Baseline (IF)", "vix": "VIX"}
 COMPONENTS = ("buffer", "crossbar", "link", "clock", "leakage")
 
@@ -40,6 +43,24 @@ class Fig11Result:
         return improvement(self.per_bit("vix"), self.per_bit("input_first"))
 
 
+def spec(
+    *, injection_rate: float = 0.1, seed: int = 1, fast: bool | None = None
+) -> ExperimentSpec:
+    """The declarative description of the Figure 11 activity runs."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(scheme,),
+            allocator=scheme,
+            injection_rate=injection_rate,
+            drain_limit=0,
+        )
+        for scheme in SCHEMES
+    )
+    return ExperimentSpec(
+        name="f11", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
+
+
 def run(
     *,
     injection_rate: float = 0.1,
@@ -48,24 +69,12 @@ def run(
     jobs: int | str | None = None,
 ) -> Fig11Result:
     """Simulate both configurations and evaluate the energy models."""
-    lengths = run_lengths(fast)
-    configs = {scheme: paper_config(scheme) for scheme in SCHEMES}
-    sim_jobs = [
-        SimJob(
-            configs[scheme],
-            injection_rate=injection_rate,
-            seed=seed,
-            warmup=lengths.warmup,
-            measure=lengths.measure,
-            drain_limit=0,
-        )
-        for scheme in SCHEMES
-    ]
-    stats = ExecutionStats()
-    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    experiment = spec(injection_rate=injection_rate, seed=seed, fast=fast)
+    outcome = execute_spec(experiment, jobs=jobs)
     breakdowns: dict[str, EnergyBreakdown] = {}
-    for scheme, sim in zip(SCHEMES, results):
-        cfg = configs[scheme]
+    for scenario in experiment.scenarios:
+        sim = outcome.values[scenario.key]
+        cfg = scenario.network_config()
         counters = ActivityCounters(**sim.counters)
         model = EnergyModel(
             radix=5,
@@ -75,8 +84,8 @@ def run(
             num_routers=64,
             flit_width_bits=cfg.flit_width_bits,
         )
-        breakdowns[scheme] = model.evaluate(counters)
-    return Fig11Result(breakdowns=breakdowns, perf=stats)
+        breakdowns[scenario.key[0]] = model.evaluate(counters)
+    return Fig11Result(breakdowns=breakdowns, perf=outcome.stats)
 
 
 def report(result: Fig11Result | None = None) -> str:

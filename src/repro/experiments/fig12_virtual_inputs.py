@@ -17,14 +17,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.parallel import ExecutionStats
 
-from .runner import format_table, improvement, perf_footer, run_lengths
+from .runner import execute_spec, format_table, improvement, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Figure 12 — virtual-input count sweep"
 
 TOPOLOGIES = ("mesh", "fbfly", "cmesh")
 VC_COUNTS = (4, 6)
 CONFIG_LABELS = ("no VIX", "1:2 VIX", "ideal VIX")
+
+#: Figure 12 configuration label -> allocator scheme.
+CONFIG_ALLOCATORS = {
+    "no VIX": "input_first",
+    "1:2 VIX": "vix",
+    "ideal VIX": "ideal_vix",
+}
 
 
 @dataclass
@@ -55,14 +64,31 @@ class Fig12Result:
         )
 
 
-def _config_args(label: str, num_vcs: int) -> dict:
-    if label == "no VIX":
-        return {"allocator": "input_first"}
-    if label == "1:2 VIX":
-        return {"allocator": "vix", "virtual_inputs": 2}
-    if label == "ideal VIX":
-        return {"allocator": "ideal_vix"}
-    raise ValueError(f"unknown configuration {label!r}")
+def spec(
+    *,
+    topologies: tuple[str, ...] = TOPOLOGIES,
+    vc_counts: tuple[int, ...] = VC_COUNTS,
+    seed: int = 1,
+    fast: bool | None = None,
+) -> ExperimentSpec:
+    """The declarative description of the topology x VCs x config grid."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(topo, vcs, label),
+            allocator=CONFIG_ALLOCATORS[label],
+            topology=topo,
+            num_vcs=vcs,
+            virtual_inputs=2,
+            injection_rate=1.0,
+            drain_limit=0,
+        )
+        for topo in topologies
+        for vcs in vc_counts
+        for label in CONFIG_LABELS
+    )
+    return ExperimentSpec(
+        name="f12", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
 
 
 def run(
@@ -79,30 +105,15 @@ def run(
     the repo's biggest embarrassingly parallel workload; all points fan out
     in one batch.
     """
-    lengths = run_lengths(fast)
-    keys = [
-        (topo, vcs, label)
-        for topo in topologies
-        for vcs in vc_counts
-        for label in CONFIG_LABELS
-    ]
-    sim_jobs = [
-        SimJob(
-            paper_config(topology=topo, num_vcs=vcs, **_config_args(label, vcs)),
-            injection_rate=1.0,
-            seed=seed,
-            warmup=lengths.warmup,
-            measure=lengths.measure,
-            drain_limit=0,
-        )
-        for topo, vcs, label in keys
-    ]
-    stats = ExecutionStats()
-    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    experiment = spec(
+        topologies=topologies, vc_counts=vc_counts, seed=seed, fast=fast
+    )
+    outcome = execute_spec(experiment, jobs=jobs)
     throughput = {
-        key: res.throughput_flits_per_node for key, res in zip(keys, results)
+        scenario.key: outcome.values[scenario.key].throughput_flits_per_node
+        for scenario in experiment.scenarios
     }
-    return Fig12Result(throughput=throughput, perf=stats)
+    return Fig12Result(throughput=throughput, perf=outcome.stats)
 
 
 def report(result: Fig12Result | None = None) -> str:

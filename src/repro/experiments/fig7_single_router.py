@@ -12,20 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.parallel import ExecutionStats, ParallelRunner
-from repro.sim.single_router import SingleRouterExperiment
+from repro.parallel import ExecutionStats
+from repro.registry import NETWORK_COMPARISON, allocators as allocator_registry
 
-from .runner import format_table, improvement, perf_footer, run_lengths
+from .runner import execute_spec, format_table, improvement, perf_footer, run_lengths
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Figure 7 — single-router allocation efficiency"
 
 RADICES = (5, 8, 10)
-ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix", "ideal_vix")
-LABELS = {
-    "input_first": "IF",
-    "wavefront": "WF",
-    "augmenting_path": "AP",
-    "vix": "VIX",
-    "ideal_vix": "Ideal",
-}
+#: The canonical comparison set plus the ideal limit, in registry order.
+ALLOCATORS = allocator_registry.select(
+    allocator_registry.select(flag=NETWORK_COMPARISON) + ("ideal_vix",)
+)
+LABELS = allocator_registry.labels(ALLOCATORS)
 
 
 @dataclass
@@ -46,18 +46,32 @@ class Fig7Result:
         )
 
 
-def _simulate_point(spec: tuple) -> float:
-    """Worker: one saturated single-router run (must be picklable)."""
-    radix, alloc, num_vcs, packet_length, seed, cycles = spec
-    exp = SingleRouterExperiment(
-        alloc,
-        radix=radix,
-        num_vcs=num_vcs,
-        virtual_inputs=2,
-        packet_length=packet_length,
-        seed=seed,
+def spec(
+    *,
+    num_vcs: int = 6,
+    packet_length: int = 1,
+    cycles: int | None = None,
+    seed: int = 1,
+    fast: bool | None = None,
+) -> ExperimentSpec:
+    """The declarative description of the Figure 7 sweep."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(radix, alloc),
+            kind="single_router",
+            allocator=alloc,
+            radix=radix,
+            num_vcs=num_vcs,
+            virtual_inputs=2,
+            packet_length=packet_length,
+            cycles=cycles,
+        )
+        for radix in RADICES
+        for alloc in ALLOCATORS
     )
-    return exp.run(cycles).throughput
+    return ExperimentSpec(
+        name="f7", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
 
 
 def run(
@@ -72,17 +86,15 @@ def run(
     """Run the single-router sweep of Figure 7."""
     if cycles is None:
         cycles = run_lengths(fast).single_router_cycles
-    keys = [(radix, alloc) for radix in RADICES for alloc in ALLOCATORS]
-    runner = ParallelRunner(jobs)
-    values = runner.map(
-        _simulate_point,
-        [
-            (radix, alloc, num_vcs, packet_length, seed, cycles)
-            for radix, alloc in keys
-        ],
+    experiment = spec(
+        num_vcs=num_vcs,
+        packet_length=packet_length,
+        cycles=cycles,
+        seed=seed,
+        fast=fast,
     )
-    throughput = dict(zip(keys, values))
-    return Fig7Result(num_vcs, packet_length, cycles, throughput, runner.stats)
+    outcome = execute_spec(experiment, jobs=jobs)
+    return Fig7Result(num_vcs, packet_length, cycles, dict(outcome.values), outcome.stats)
 
 
 def report(result: Fig7Result | None = None) -> str:

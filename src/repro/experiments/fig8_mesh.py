@@ -14,19 +14,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.parallel import ExecutionStats
+from repro.registry import NETWORK_COMPARISON, allocators as allocator_registry
 from repro.sim.engine import SimulationResult
 
-from .runner import improvement, perf_footer, run_lengths
+from .runner import execute_spec, improvement, perf_footer, run_lengths
+from .spec import ExperimentSpec, ScenarioSpec
 
-ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix")
-LABELS = {
-    "input_first": "IF",
-    "wavefront": "WF",
-    "augmenting_path": "AP",
-    "vix": "VIX",
-}
+TITLE = "Figure 8 — mesh latency and throughput"
+
+#: The paper's canonical network-level comparison set, in registry order.
+ALLOCATORS = allocator_registry.select(flag=NETWORK_COMPARISON)
+LABELS = allocator_registry.labels(ALLOCATORS)
 
 #: Injection rates (packets/cycle/node) for the latency curve.
 DEFAULT_RATES = (0.01, 0.03, 0.05, 0.07, 0.08, 0.09, 0.10, 0.11)
@@ -63,6 +62,53 @@ class Fig8Result:
         return drained[-1].avg_latency
 
 
+def _resolve_rates(
+    rates: tuple[float, ...] | None, fast: bool | None
+) -> tuple[float, ...]:
+    if rates is not None:
+        return tuple(rates)
+    return FAST_RATES if run_lengths(fast).measure <= 2000 else DEFAULT_RATES
+
+
+def spec(
+    *,
+    rates: tuple[float, ...] | None = None,
+    allocators: tuple[str, ...] = ALLOCATORS,
+    topology: str = "mesh",
+    seed: int = 1,
+    fast: bool | None = None,
+    include_curves: bool = True,
+) -> ExperimentSpec:
+    """The declarative description of the Figure 8 sweep."""
+    rates = _resolve_rates(rates, fast)
+    scenarios: list[ScenarioSpec] = []
+    for alloc in allocators:
+        name = allocator_registry.canonical(alloc)
+        if include_curves:
+            for rate in rates:
+                scenarios.append(
+                    ScenarioSpec(
+                        key=("curve", name, rate),
+                        allocator=name,
+                        topology=topology,
+                        injection_rate=rate,
+                    )
+                )
+        # Saturation throughput: fully backlogged sources, no drain phase.
+        scenarios.append(
+            ScenarioSpec(
+                key=("saturation", name),
+                allocator=name,
+                topology=topology,
+                injection_rate=1.0,
+                drain_limit=0,
+            )
+        )
+    return ExperimentSpec(
+        name="f8", title=TITLE, scenarios=tuple(scenarios), seed=seed, fast=fast
+    )
+
+
 def run(
     *,
     rates: tuple[float, ...] | None = None,
@@ -75,51 +121,31 @@ def run(
 ) -> Fig8Result:
     """Run the Figure 8 sweep.
 
-    Every (allocator, rate) point is independent, so the whole figure fans
-    out through :mod:`repro.parallel` as one flat job list.
+    Every (allocator, rate) point is an independent scenario, so the whole
+    figure fans out through :func:`~repro.experiments.runner.execute_spec`
+    as one flat job list.
     """
-    lengths = run_lengths(fast)
-    if rates is None:
-        rates = FAST_RATES if lengths.measure <= 2000 else DEFAULT_RATES
-    result = Fig8Result(rates=tuple(rates))
-    sim_jobs: list[SimJob] = []
-    slots: list[tuple[str, bool]] = []  # (allocator, is_saturation)
-    for alloc in allocators:
-        cfg = paper_config(alloc, topology=topology)
-        if include_curves:
-            result.curves[alloc] = []
-            for rate in rates:
-                sim_jobs.append(
-                    SimJob(
-                        cfg,
-                        injection_rate=rate,
-                        seed=seed,
-                        warmup=lengths.warmup,
-                        measure=lengths.measure,
-                    )
-                )
-                slots.append((alloc, False))
-        # Saturation throughput: fully backlogged sources, no drain phase.
-        sim_jobs.append(
-            SimJob(
-                cfg,
-                injection_rate=1.0,
-                seed=seed,
-                warmup=lengths.warmup,
-                measure=lengths.measure,
-                drain_limit=0,
-            )
-        )
-        slots.append((alloc, True))
-    stats = ExecutionStats()
-    for (alloc, is_saturation), res in zip(
-        slots, run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
-    ):
-        if is_saturation:
+    experiment = spec(
+        rates=rates,
+        allocators=allocators,
+        topology=topology,
+        seed=seed,
+        fast=fast,
+        include_curves=include_curves,
+    )
+    outcome = execute_spec(experiment, jobs=jobs)
+    result = Fig8Result(rates=_resolve_rates(rates, fast))
+    if include_curves:
+        for alloc in allocators:
+            result.curves[allocator_registry.canonical(alloc)] = []
+    for scenario in experiment.scenarios:
+        res = outcome.values[scenario.key]
+        tag, alloc = scenario.key[0], scenario.key[1]
+        if tag == "saturation":
             result.saturation[alloc] = res
         else:
             result.curves[alloc].append(res)
-    result.perf = stats
+    result.perf = outcome.stats
     return result
 
 

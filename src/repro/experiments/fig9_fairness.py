@@ -10,18 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.parallel import ExecutionStats
+from repro.registry import NETWORK_COMPARISON, allocators as allocator_registry
 
-from .runner import format_table, perf_footer, run_lengths
+from .runner import execute_spec, format_table, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
 
-ALLOCATORS = ("input_first", "wavefront", "augmenting_path", "vix")
-LABELS = {
-    "input_first": "IF",
-    "wavefront": "WF",
-    "augmenting_path": "AP",
-    "vix": "VIX",
-}
+TITLE = "Figure 9 — fairness at saturation"
+
+ALLOCATORS = allocator_registry.select(flag=NETWORK_COMPARISON)
+LABELS = allocator_registry.labels(ALLOCATORS)
 
 #: Figure 9 published values (max/min node throughput at saturation).
 PAPER_VALUES = {"augmenting_path": 6.4, "vix": 1.99}
@@ -36,30 +34,31 @@ class Fig9Result:
     perf: ExecutionStats | None = None
 
 
+def spec(*, seed: int = 1, fast: bool | None = None) -> ExperimentSpec:
+    """The declarative description of the Figure 9 saturation probes."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(alloc,), allocator=alloc, injection_rate=1.0, drain_limit=0
+        )
+        for alloc in ALLOCATORS
+    )
+    return ExperimentSpec(
+        name="f9", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
+
+
 def run(
     *, seed: int = 1, fast: bool | None = None, jobs: int | str | None = None
 ) -> Fig9Result:
     """Measure max/min per-source delivered throughput at saturation."""
-    lengths = run_lengths(fast)
-    sim_jobs = [
-        SimJob(
-            paper_config(alloc),
-            injection_rate=1.0,
-            seed=seed,
-            warmup=lengths.warmup,
-            measure=lengths.measure,
-            drain_limit=0,
-        )
-        for alloc in ALLOCATORS
-    ]
-    stats = ExecutionStats()
-    results = run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)
+    outcome = execute_spec(spec(seed=seed, fast=fast), jobs=jobs)
     fairness: dict[str, float] = {}
     throughput: dict[str, float] = {}
-    for alloc, res in zip(ALLOCATORS, results):
+    for alloc in ALLOCATORS:
+        res = outcome.values[(alloc,)]
         fairness[alloc] = res.fairness
         throughput[alloc] = res.throughput_flits_per_node
-    return Fig9Result(fairness=fairness, throughput=throughput, perf=stats)
+    return Fig9Result(fairness=fairness, throughput=throughput, perf=outcome.stats)
 
 
 def report(result: Fig9Result | None = None) -> str:

@@ -11,13 +11,14 @@ router's critical path (the scaling limit).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.parallel import ExecutionStats
-from repro.timing import router_delays
 
-from .runner import format_table, perf_footer
+from .runner import execute_spec, format_table, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Extension — VIX radix-scaling limit from the timing models"
 
 RADICES = tuple(range(4, 21))
 
@@ -57,13 +58,35 @@ class RadixScalingResult:
         return None
 
 
+def spec(*, num_vcs: int = 6, radices: tuple[int, ...] = RADICES) -> ExperimentSpec:
+    """The declarative description of the radix sweep (two models each)."""
+    scenarios = []
+    for radix in radices:
+        for variant, k in (("base", 1), ("vix", 2)):
+            scenarios.append(
+                ScenarioSpec(
+                    key=(variant, radix),
+                    kind="analytic",
+                    fn="router_delays",
+                    options=(
+                        ("radix", radix),
+                        ("num_vcs", num_vcs),
+                        ("virtual_inputs", k),
+                        ("calibrated", False),
+                    ),
+                )
+            )
+    return ExperimentSpec(name="radix", title=TITLE, scenarios=tuple(scenarios))
+
+
 def run(*, num_vcs: int = 6, radices: tuple[int, ...] = RADICES) -> RadixScalingResult:
     """Evaluate the analytic delay models across radices."""
-    start = time.perf_counter()
+    experiment = spec(num_vcs=num_vcs, radices=radices)
+    outcome = execute_spec(experiment)
     points = []
     for radix in radices:
-        base = router_delays(radix, num_vcs, 1, calibrated=False)
-        vix = router_delays(radix, num_vcs, 2, calibrated=False)
+        base = outcome.values[("base", radix)]
+        vix = outcome.values[("vix", radix)]
         points.append(
             RadixPoint(
                 radix=radix,
@@ -73,12 +96,7 @@ def run(*, num_vcs: int = 6, radices: tuple[int, ...] = RADICES) -> RadixScaling
                 xbar_vix_ps=vix.xbar_ps,
             )
         )
-    return RadixScalingResult(
-        points=points,
-        perf=ExecutionStats(
-            jobs_run=2 * len(points), wall_seconds=time.perf_counter() - start
-        ),
-    )
+    return RadixScalingResult(points=points, perf=outcome.stats)
 
 
 def report(result: RadixScalingResult | None = None) -> str:

@@ -1,4 +1,5 @@
-"""Shared experiment infrastructure: run-length presets and table printing.
+"""Shared experiment infrastructure: fidelity presets, the spec executor,
+and table printing.
 
 Every experiment driver supports two fidelity levels:
 
@@ -6,15 +7,23 @@ Every experiment driver supports two fidelity levels:
   in minutes on a laptop; trends and rankings are stable at this level;
 * **full** — paper-fidelity run lengths, selected by setting the
   environment variable ``REPRO_FULL=1`` (or passing ``fast=False``).
+
+:func:`execute_spec` is the single execution path behind every driver: it
+takes a declarative :class:`~repro.experiments.spec.ExperimentSpec`,
+realizes each scenario according to its kind (cached network fan-out,
+parallel single-router/manycore workers, inline analytic models), and
+returns the results keyed by scenario slot plus merged execution counters.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
-from repro.parallel import ExecutionStats
+from repro.experiments.spec import ExperimentSpec, ScenarioSpec
+from repro.parallel import ExecutionStats, ParallelRunner, run_sim_jobs
 
 
 @dataclass(frozen=True)
@@ -96,3 +105,139 @@ def improvement(new: float, base: float) -> float:
     if base == 0:
         raise ValueError("baseline value is zero")
     return new / base - 1.0
+
+
+# --- the shared spec execution path ----------------------------------------
+
+
+def _single_router_point(item: tuple) -> float:
+    """Worker: one saturated single-router run (must be picklable)."""
+    from repro.sim.single_router import SingleRouterExperiment
+
+    allocator, radix, num_vcs, virtual_inputs, packet_length, seed, cycles, options = item
+    exp = SingleRouterExperiment(
+        allocator,
+        radix=radix,
+        num_vcs=num_vcs,
+        virtual_inputs=virtual_inputs,
+        packet_length=packet_length,
+        seed=seed,
+        allocator_options=dict(options),
+    )
+    return exp.run(cycles).throughput
+
+
+def _manycore_point(item: tuple) -> tuple[float, float]:
+    """Worker: one (mix, config) manycore run (must be picklable)."""
+    from repro.manycore import ManycoreSystem, get_mix
+
+    config, mix_name, seed, warmup, measure = item
+    system = ManycoreSystem(config, get_mix(mix_name), seed=seed)
+    res = system.run(warmup=warmup, measure=measure)
+    return res.aggregate_ipc, res.avg_network_latency
+
+
+def _analytic_value(scenario: ScenarioSpec) -> Any:
+    """Evaluate one analytic-model scenario inline."""
+    from repro.timing import allocator_delay, router_delays
+
+    options = dict(scenario.options)
+    if scenario.fn == "router_delays":
+        return router_delays(**options)
+    if scenario.fn == "allocator_delay":
+        return allocator_delay(**options)
+    raise ValueError(f"unknown analytic fn {scenario.fn!r}")
+
+
+@dataclass
+class SpecRun:
+    """The outcome of executing one :class:`ExperimentSpec`.
+
+    ``values`` maps each scenario's ``key`` to its kind-specific result:
+    a :class:`~repro.sim.engine.SimulationResult` for network scenarios,
+    throughput (flits/cycle) for single-router scenarios, an
+    ``(aggregate IPC, avg network latency)`` pair for manycore scenarios,
+    and the model's return value for analytic scenarios.
+    """
+
+    spec: ExperimentSpec
+    values: dict = field(default_factory=dict)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self.values[key]
+
+
+def execute_spec(spec: ExperimentSpec, *, jobs: int | str | None = None) -> SpecRun:
+    """Run every scenario of ``spec`` and return the keyed results.
+
+    Scenarios execute grouped by kind — network simulations first (one
+    cached :func:`~repro.parallel.run_sim_jobs` fan-out), then
+    single-router and manycore workers (one parallel batch each), then the
+    analytic models inline — with all execution counters merged into one
+    :class:`~repro.parallel.ExecutionStats`.  Within each group, results
+    preserve the spec's scenario order, so table formatters can iterate
+    the spec itself.
+    """
+    lengths = run_lengths(spec.fast)
+    run = SpecRun(spec=spec)
+
+    network = [s for s in spec.scenarios if s.kind == "network"]
+    if network:
+        sim_jobs = [
+            s.sim_job(lengths.warmup, lengths.measure, spec.seed) for s in network
+        ]
+        for scenario, res in zip(
+            network, run_sim_jobs(sim_jobs, jobs=jobs, stats=run.stats)
+        ):
+            run.values[scenario.key] = res
+
+    single = [s for s in spec.scenarios if s.kind == "single_router"]
+    if single:
+        runner = ParallelRunner(jobs)
+        items = [
+            (
+                s.allocator,
+                s.radix,
+                s.num_vcs,
+                s.virtual_inputs,
+                s.packet_length,
+                spec.seed,
+                s.cycles if s.cycles is not None else lengths.single_router_cycles,
+                s.options,
+            )
+            for s in single
+        ]
+        for scenario, value in zip(single, runner.map(_single_router_point, items)):
+            run.values[scenario.key] = value
+        run.stats.merge(runner.stats)
+
+    manycore = [s for s in spec.scenarios if s.kind == "manycore"]
+    if manycore:
+        runner = ParallelRunner(jobs)
+        items = [
+            (
+                s.network_config(),
+                s.mix,
+                spec.seed,
+                lengths.manycore_warmup,
+                lengths.manycore_measure,
+            )
+            for s in manycore
+        ]
+        for scenario, value in zip(manycore, runner.map(_manycore_point, items)):
+            run.values[scenario.key] = value
+        run.stats.merge(runner.stats)
+
+    analytic = [s for s in spec.scenarios if s.kind == "analytic"]
+    if analytic:
+        start = time.perf_counter()
+        for scenario in analytic:
+            run.values[scenario.key] = _analytic_value(scenario)
+        run.stats.merge(
+            ExecutionStats(
+                jobs_run=len(analytic), wall_seconds=time.perf_counter() - start
+            )
+        )
+
+    return run

@@ -9,12 +9,13 @@ lowering the frequency.
 
 from __future__ import annotations
 
-import time
-
 from repro.parallel import ExecutionStats
-from repro.timing import RouterDelays, router_delays
+from repro.timing import RouterDelays
 
-from .runner import format_table, perf_footer
+from .runner import execute_spec, format_table, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Table 1 — router pipeline stage delays"
 
 #: (design label, radix, virtual inputs) for the six Table 1 rows.
 CONFIGS: tuple[tuple[str, int, int], ...] = (
@@ -43,16 +44,34 @@ class Table1Rows(list):
     perf: ExecutionStats | None = None
 
 
-def run(num_vcs: int = 6, calibrated: bool = True) -> list[RouterDelays]:
-    """Compute the Table 1 rows."""
-    start = time.perf_counter()
-    rows = Table1Rows(
-        router_delays(radix, num_vcs, k, design=name, calibrated=calibrated)
+def spec(num_vcs: int = 6, calibrated: bool = True) -> ExperimentSpec:
+    """The declarative description of the six Table 1 model evaluations."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(name,),
+            kind="analytic",
+            fn="router_delays",
+            options=(
+                ("radix", radix),
+                ("num_vcs", num_vcs),
+                ("virtual_inputs", k),
+                ("design", name),
+                ("calibrated", calibrated),
+            ),
+        )
         for name, radix, k in CONFIGS
     )
-    rows.perf = ExecutionStats(
-        jobs_run=len(rows), wall_seconds=time.perf_counter() - start
+    return ExperimentSpec(name="t1", title=TITLE, scenarios=scenarios)
+
+
+def run(num_vcs: int = 6, calibrated: bool = True) -> list[RouterDelays]:
+    """Compute the Table 1 rows."""
+    experiment = spec(num_vcs, calibrated)
+    outcome = execute_spec(experiment)
+    rows = Table1Rows(
+        outcome.values[scenario.key] for scenario in experiment.scenarios
     )
+    rows.perf = outcome.stats
     return rows
 
 

@@ -7,12 +7,13 @@ path (infeasible within a router cycle).
 from __future__ import annotations
 
 import math
-import time
 
 from repro.parallel import ExecutionStats
-from repro.timing import allocator_delay
 
-from .runner import format_table, perf_footer
+from .runner import execute_spec, format_table, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Table 3 — switch-allocator delays"
 
 SCHEMES = ("input_first", "wavefront", "augmenting_path")
 
@@ -30,15 +31,29 @@ class Table3Delays(dict):
     perf: ExecutionStats | None = None
 
 
+def spec(radix: int = 5, num_vcs: int = 6) -> ExperimentSpec:
+    """The declarative description of the Table 3 model evaluations."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(scheme,),
+            kind="analytic",
+            fn="allocator_delay",
+            options=(("scheme", scheme), ("radix", radix), ("num_vcs", num_vcs)),
+        )
+        for scheme in SCHEMES
+    )
+    return ExperimentSpec(name="t3", title=TITLE, scenarios=scenarios)
+
+
 def run(radix: int = 5, num_vcs: int = 6) -> dict[str, float]:
     """Delay (ps) per scheme; ``inf`` marks infeasible schemes."""
-    start = time.perf_counter()
+    experiment = spec(radix, num_vcs)
+    outcome = execute_spec(experiment)
     values = Table3Delays(
-        (s, allocator_delay(s, radix, num_vcs)) for s in SCHEMES
+        (scenario.key[0], outcome.values[scenario.key])
+        for scenario in experiment.scenarios
     )
-    values.perf = ExecutionStats(
-        jobs_run=len(values), wall_seconds=time.perf_counter() - start
-    )
+    values.perf = outcome.stats
     return values
 
 

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.manycore import ManycoreSystem, get_mix
+from repro.manycore import get_mix
 from repro.manycore.workloads import MIXES, PAPER_MIX_MPKI, PAPER_MIX_SPEEDUP
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, ParallelRunner
+from repro.parallel import ExecutionStats
 
-from .runner import format_table, perf_footer, run_lengths
+from .runner import execute_spec, format_table, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Table 4 — application-level speedups"
 
 
 @dataclass
@@ -36,12 +38,29 @@ class Table4Result:
         return sum(self.speedup(m, scheme) for m in mixes) / len(mixes)
 
 
-def _simulate_mix(spec: tuple) -> tuple[float, float]:
-    """Worker: one (mix, scheme) manycore run (must be picklable)."""
-    mix_name, scheme, seed, warmup, measure = spec
-    system = ManycoreSystem(paper_config(scheme), get_mix(mix_name), seed=seed)
-    res = system.run(warmup=warmup, measure=measure)
-    return res.aggregate_ipc, res.avg_network_latency
+def spec(
+    *,
+    mixes: tuple[str, ...] | None = None,
+    schemes: tuple[str, ...] = ("input_first", "vix"),
+    seed: int = 1,
+    fast: bool | None = None,
+) -> ExperimentSpec:
+    """The declarative description of the mix x scheme grid."""
+    if mixes is None:
+        mixes = tuple(sorted(MIXES))
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(mix_name, scheme),
+            kind="manycore",
+            allocator=scheme,
+            mix=mix_name,
+        )
+        for mix_name in mixes
+        for scheme in schemes
+    )
+    return ExperimentSpec(
+        name="t4", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
 
 
 def run(
@@ -53,25 +72,17 @@ def run(
     jobs: int | str | None = None,
 ) -> Table4Result:
     """Run every mix under every scheme."""
-    lengths = run_lengths(fast)
-    if mixes is None:
-        mixes = tuple(sorted(MIXES))
+    experiment = spec(mixes=mixes, schemes=schemes, seed=seed, fast=fast)
+    outcome = execute_spec(experiment, jobs=jobs)
     result = Table4Result()
-    for mix_name in mixes:
-        result.avg_mpki[mix_name] = get_mix(mix_name).average_mpki()
-    keys = [(mix_name, scheme) for mix_name in mixes for scheme in schemes]
-    runner = ParallelRunner(jobs)
-    values = runner.map(
-        _simulate_mix,
-        [
-            (mix_name, scheme, seed, lengths.manycore_warmup, lengths.manycore_measure)
-            for mix_name, scheme in keys
-        ],
-    )
-    for key, (ipc, latency) in zip(keys, values):
-        result.ipc[key] = ipc
-        result.net_latency[key] = latency
-    result.perf = runner.stats
+    for scenario in experiment.scenarios:
+        mix_name = scenario.mix
+        if mix_name not in result.avg_mpki:
+            result.avg_mpki[mix_name] = get_mix(mix_name).average_mpki()
+        ipc, latency = outcome.values[scenario.key]
+        result.ipc[scenario.key] = ipc
+        result.net_latency[scenario.key] = latency
+    result.perf = outcome.stats
     return result
 
 

@@ -22,16 +22,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis import saturation_bound
-from repro.network.config import paper_config
-from repro.parallel import ExecutionStats, SimJob, run_sim_jobs
+from repro.parallel import ExecutionStats
+from repro.registry import allocators as allocator_registry
 from repro.topology import make_topology
 from repro.traffic.patterns import UniformRandom
 
-from .runner import format_table, perf_footer, run_lengths
+from .runner import execute_spec, format_table, perf_footer
+from .spec import ExperimentSpec, ScenarioSpec
+
+TITLE = "Extension — topologies vs analytic wiring bounds"
 
 TOPOLOGIES = ("mesh", "torus", "cmesh", "fbfly")
-SCHEMES = ("input_first", "vix")
-LABELS = {"input_first": "IF", "vix": "VIX"}
+SCHEMES = allocator_registry.select(("input_first", "vix"))
+LABELS = allocator_registry.labels(SCHEMES)
 
 
 @dataclass
@@ -56,6 +59,29 @@ class TopologyComparisonResult:
         )
 
 
+def spec(
+    *,
+    topologies: tuple[str, ...] = TOPOLOGIES,
+    seed: int = 1,
+    fast: bool | None = None,
+) -> ExperimentSpec:
+    """The declarative description of the (topology, scheme) grid."""
+    scenarios = tuple(
+        ScenarioSpec(
+            key=(topo_name, scheme),
+            allocator=scheme,
+            topology=topo_name,
+            injection_rate=1.0,
+            drain_limit=0,
+        )
+        for topo_name in topologies
+        for scheme in SCHEMES
+    )
+    return ExperimentSpec(
+        name="topo", title=TITLE, scenarios=scenarios, seed=seed, fast=fast
+    )
+
+
 def run(
     *,
     topologies: tuple[str, ...] = TOPOLOGIES,
@@ -64,27 +90,17 @@ def run(
     jobs: int | str | None = None,
 ) -> TopologyComparisonResult:
     """Measure every (topology, scheme) pair and compute the bounds."""
-    lengths = run_lengths(fast)
     result = TopologyComparisonResult()
     for topo_name in topologies:
         topo = make_topology(topo_name, 64)
         result.bounds[topo_name] = saturation_bound(topo, UniformRandom(64))
-    keys = [(topo_name, scheme) for topo_name in topologies for scheme in SCHEMES]
-    sim_jobs = [
-        SimJob(
-            paper_config(scheme, topology=topo_name),
-            injection_rate=1.0,
-            seed=seed,
-            warmup=lengths.warmup,
-            measure=lengths.measure,
-            drain_limit=0,
-        )
-        for topo_name, scheme in keys
-    ]
-    stats = ExecutionStats()
-    for key, res in zip(keys, run_sim_jobs(sim_jobs, jobs=jobs, stats=stats)):
-        result.throughput[key] = res.throughput_flits_per_node
-    result.perf = stats
+    experiment = spec(topologies=topologies, seed=seed, fast=fast)
+    outcome = execute_spec(experiment, jobs=jobs)
+    for scenario in experiment.scenarios:
+        result.throughput[scenario.key] = outcome.values[
+            scenario.key
+        ].throughput_flits_per_node
+    result.perf = outcome.stats
     return result
 
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.registry import allocators as _allocators
+
 
 @dataclass(frozen=True)
 class RouterConfig:
@@ -18,7 +20,8 @@ class RouterConfig:
     num_vcs: int = 6
     #: Flit buffers per VC (paper default: 5).
     buffer_depth: int = 5
-    #: Switch allocation scheme (see :func:`repro.core.make_allocator`).
+    #: Switch allocation scheme (any name or alias registered in
+    #: :data:`repro.registry.allocators`).
     allocator: str = "input_first"
     #: Crossbar virtual inputs per port; only meaningful with the "vix"
     #: allocator (2 = the paper's 1:2 VIX).
@@ -52,17 +55,14 @@ class RouterConfig:
     def effective_virtual_inputs(self) -> int:
         """Crossbar inputs per port after resolving the allocator choice.
 
-        Only the VIX allocators actually enlarge the crossbar; every other
-        scheme drives a conventional ``P x P`` crossbar.
+        Resolved through the scheme registry's capability flags: only
+        schemes flagged as enlarging the crossbar present more than one
+        input per port; every other scheme drives a conventional ``P x P``
+        crossbar.
         """
-        from repro.core import canonical_allocator_name
-
-        key = canonical_allocator_name(self.allocator)
-        if key == "vix":
-            return min(self.virtual_inputs, self.num_vcs)
-        if key == "ideal_vix":
-            return self.num_vcs
-        return 1
+        return _allocators.get(self.allocator).effective_virtual_inputs(
+            self.virtual_inputs, self.num_vcs
+        )
 
 
 @dataclass(frozen=True)
@@ -107,12 +107,11 @@ def paper_config(
     """Convenience constructor for the paper's evaluation configurations.
 
     VIX configurations automatically enable the Section 2.3 dimension-aware
-    VC assignment policy.
+    VC assignment policy (keyed off the registry's enlarged-crossbar flag).
     """
-    from repro.core import canonical_allocator_name
-
-    key = canonical_allocator_name(allocator)
-    vc_policy = "vix_dimension" if key in ("vix", "ideal_vix") else "max_credit"
+    info = _allocators.get(allocator)
+    key = info.name
+    vc_policy = "vix_dimension" if info.enlarges_crossbar else "max_credit"
     return NetworkConfig(
         topology=topology,
         num_terminals=64,

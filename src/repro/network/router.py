@@ -16,7 +16,8 @@ a hop costs ``pipeline_stages`` cycles end to end.
 
 from __future__ import annotations
 
-from repro.core import RequestMatrix, RoundRobinArbiter, make_allocator, make_vc_policy
+from repro.core import RequestMatrix, RoundRobinArbiter
+from repro.registry import allocators as _allocators, vc_policies as _vc_policies
 from repro.core.requests import Grant
 from repro.topology.base import Topology
 
@@ -107,14 +108,14 @@ class Router:
         # Upstream credit sinks per input port (OutputPort or NI), or None
         # for dead-edge ports that can never receive flits.
         self.upstream: list[object | None] = [None] * self.radix
-        self.allocator = make_allocator(
+        self.allocator = _allocators.create(
             config.allocator,
             self.radix,
             self.radix,
             v,
-            virtual_inputs=config.virtual_inputs,
+            config.virtual_inputs,
         )
-        self.vc_policy = make_vc_policy(config.vc_policy)
+        self.vc_policy = _vc_policies.create(config.vc_policy)
         # Bound method (or None) resolved once: the allocator's forced-move
         # entry point, consulted before building a request matrix.
         self._alloc_fast = self.allocator.allocate_fast

@@ -23,21 +23,53 @@ if TYPE_CHECKING:  # imported lazily at runtime: repro.sim imports us back
     from repro.sim.engine import SimulationResult
 
 
+def _canonical_value(value: object) -> object:
+    """Deterministic, JSON-able form of one pattern attribute value.
+
+    Scalars pass through; tuples/lists recurse into lists; sets and dicts —
+    whose iteration order is not part of their identity — are rewritten as
+    *sorted*, tagged pair lists so two equal values always serialize to the
+    same bytes regardless of construction order.  Raises :class:`TypeError`
+    for anything without a canonical form (callers skip such attributes).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_canonical_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted((_canonical_value(v) for v in value), key=repr)}
+    if isinstance(value, dict):
+        return {
+            "__dict__": sorted(
+                (
+                    [_canonical_value(k), _canonical_value(v)]
+                    for k, v in value.items()
+                ),
+                key=repr,
+            )
+        }
+    raise TypeError(f"no canonical form for {type(value).__name__}")
+
+
 def _pattern_spec(pattern: TrafficPattern | str) -> dict:
     """A JSON-able identity for a traffic pattern.
 
     String specs name a :func:`repro.traffic.patterns.make_pattern` pattern;
     pattern instances contribute their class, size, and public constructor
-    state (every public attribute is a scalar or tuple by construction).
+    state.  Attribute values canonicalize recursively (nested tuples, dicts,
+    and sets serialize deterministically); attributes without a canonical
+    form — helper objects, not constructor state — are skipped.
     """
     if isinstance(pattern, str):
         return {"kind": "name", "name": pattern.strip().lower()}
-    attrs = {
-        name: list(value) if isinstance(value, tuple) else value
-        for name, value in sorted(vars(pattern).items())
-        if not name.startswith("_")
-        and isinstance(value, (int, float, str, bool, tuple))
-    }
+    attrs = {}
+    for name, value in sorted(vars(pattern).items()):
+        if name.startswith("_"):
+            continue
+        try:
+            attrs[name] = _canonical_value(value)
+        except TypeError:
+            continue
     return {"kind": "instance", "class": type(pattern).__name__, "attrs": attrs}
 
 

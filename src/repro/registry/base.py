@@ -1,0 +1,217 @@
+"""Typed scheme registration and lookup.
+
+A :class:`Registry` is an ordered name -> :class:`SchemeInfo` table for one
+*kind* of pluggable object (switch allocators, VC policies, topologies,
+traffic patterns, experiment drivers).  Providing packages register their
+schemes at import time; consumers resolve names (and aliases) through the
+registry instead of hand-rolled ``if name == ...`` dispatch, so adding a
+scheme means registering one object in one place.
+
+Registries are lazily populated: each one knows the module that provides
+its entries and imports it on first lookup, which keeps this module free of
+heavyweight imports (and import cycles) while letting light consumers such
+as :mod:`repro.network.config` depend on it at module scope.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+#: Capability flag: the scheme drives an enlarged (``kP x P``) crossbar.
+ENLARGES_CROSSBAR = "enlarges_crossbar"
+#: Capability flag: one crossbar virtual input per VC (the ideal limit).
+VIRTUAL_INPUT_PER_VC = "virtual_input_per_vc"
+#: Curation flag: member of the paper's canonical network-level
+#: comparison set (Figures 8-10), in registration order.
+NETWORK_COMPARISON = "network_comparison"
+
+
+class UnknownSchemeError(ValueError, KeyError):
+    """An unregistered scheme name was requested.
+
+    Subclasses both :class:`ValueError` and :class:`KeyError` so it slots
+    into every pre-registry call site: the ``make_*`` factories historically
+    raised ``ValueError`` while the experiment table raised ``KeyError``.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One registered scheme: identity, constructor, and capabilities."""
+
+    #: Canonical name (the registry key).
+    name: str
+    #: Constructor (or arbitrary payload, e.g. a driver module).
+    factory: Callable[..., Any] | Any
+    #: The kind of registry this entry belongs to ("allocator", ...).
+    kind: str = ""
+    #: Accepted alternative spellings, resolved to :attr:`name`.
+    aliases: tuple[str, ...] = ()
+    #: Short display label for tables and figures (e.g. ``"IF"``).
+    label: str = ""
+    #: Where the scheme comes from in the paper (figure/section/reference).
+    provenance: str = ""
+    #: Capability flags (see the module-level flag constants).
+    flags: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def enlarges_crossbar(self) -> bool:
+        """True for schemes that need a wider-than-``P x P`` crossbar."""
+        return ENLARGES_CROSSBAR in self.flags
+
+    def effective_virtual_inputs(self, requested: int, num_vcs: int) -> int:
+        """Crossbar inputs per port this scheme actually drives.
+
+        Conventional schemes always present one input per port; capped
+        virtual-input schemes (1:k VIX) present ``min(requested, num_vcs)``;
+        per-VC schemes (ideal VIX) present one per VC.
+        """
+        if VIRTUAL_INPUT_PER_VC in self.flags:
+            return num_vcs
+        if ENLARGES_CROSSBAR in self.flags:
+            return min(requested, num_vcs)
+        return 1
+
+    def create(self, *args: Any, **kwargs: Any) -> Any:
+        """Invoke the factory."""
+        return self.factory(*args, **kwargs)
+
+
+class Registry:
+    """Ordered name -> :class:`SchemeInfo` table for one kind of scheme."""
+
+    def __init__(self, kind: str, *, provider: str | None = None) -> None:
+        self.kind = kind
+        self._provider = provider
+        self._loaded = provider is None
+        self._by_name: dict[str, SchemeInfo] = {}
+        self._aliases: dict[str, str] = {}
+
+    # --- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any] | Any,
+        *,
+        aliases: tuple[str, ...] = (),
+        label: str = "",
+        provenance: str = "",
+        flags: tuple[str, ...] | frozenset[str] = (),
+    ) -> SchemeInfo:
+        """Register one scheme; duplicate names or aliases are errors."""
+        key = name.strip().lower()
+        if key in self._by_name or key in self._aliases:
+            raise ValueError(f"{self.kind} {key!r} is already registered")
+        info = SchemeInfo(
+            name=key,
+            factory=factory,
+            kind=self.kind,
+            aliases=tuple(a.strip().lower() for a in aliases),
+            label=label or key,
+            provenance=provenance,
+            flags=frozenset(flags),
+        )
+        for alias in info.aliases:
+            if alias in self._by_name or alias in self._aliases:
+                raise ValueError(
+                    f"{self.kind} alias {alias!r} is already registered"
+                )
+        self._by_name[key] = info
+        for alias in info.aliases:
+            self._aliases[alias] = key
+        return info
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            # Mark first: the provider module itself may consult the
+            # registry while registering.
+            self._loaded = True
+            importlib.import_module(self._provider)  # type: ignore[arg-type]
+
+    # --- lookup ------------------------------------------------------------
+
+    def canonical(self, name: str) -> str:
+        """Resolve a name or alias to its canonical form (or raise)."""
+        self._ensure_loaded()
+        key = name.strip().lower() if isinstance(name, str) else name
+        key = self._aliases.get(key, key)
+        if key not in self._by_name:
+            raise UnknownSchemeError(
+                f"unknown {self.kind} {name!r}; expected one of "
+                f"{self.names()} (or aliases {sorted(self._aliases)})"
+            )
+        return key
+
+    def get(self, name: str) -> SchemeInfo:
+        """The :class:`SchemeInfo` registered under ``name`` (or an alias)."""
+        return self._by_name[self.canonical(name)]
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Build an instance of the scheme registered under ``name``."""
+        return self.get(name).create(*args, **kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        """Every canonical name, in registration order."""
+        self._ensure_loaded()
+        return tuple(self._by_name)
+
+    def infos(self) -> tuple[SchemeInfo, ...]:
+        """Every entry, in registration order."""
+        self._ensure_loaded()
+        return tuple(self._by_name.values())
+
+    def aliases(self) -> dict[str, str]:
+        """Alias -> canonical name mapping."""
+        self._ensure_loaded()
+        return dict(self._aliases)
+
+    def select(
+        self,
+        names: tuple[str, ...] | list[str] | None = None,
+        *,
+        flag: str | None = None,
+    ) -> tuple[str, ...]:
+        """Canonical names filtered by ``names`` and/or ``flag``.
+
+        The result always follows registration order — the single canonical
+        ordering every table and figure shares — regardless of the order
+        ``names`` was written in.
+        """
+        self._ensure_loaded()
+        wanted = None if names is None else {self.canonical(n) for n in names}
+        return tuple(
+            info.name
+            for info in self._by_name.values()
+            if (wanted is None or info.name in wanted)
+            and (flag is None or flag in info.flags)
+        )
+
+    def labels(
+        self, names: tuple[str, ...] | list[str] | None = None
+    ) -> dict[str, str]:
+        """Canonical name -> display label, optionally restricted."""
+        return {n: self._by_name[n].label for n in self.select(names)}
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            self.canonical(name)  # type: ignore[arg-type]
+        except (UnknownSchemeError, AttributeError):
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._by_name)
+
+    def __repr__(self) -> str:
+        status = self.names() if self._loaded else f"<unloaded: {self._provider}>"
+        return f"Registry({self.kind!r}, {status})"

@@ -12,7 +12,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core import RequestMatrix, make_allocator, validate_grants
+from repro.core import RequestMatrix, validate_grants
+from repro.registry import allocators as _allocators
 
 
 @dataclass
@@ -51,6 +52,7 @@ class SingleRouterExperiment:
         packet_length: int = 1,
         seed: int = 1,
         validate: bool = False,
+        allocator_options: dict | None = None,
     ) -> None:
         if radix < 2:
             raise ValueError(f"radix must be >= 2, got {radix}")
@@ -61,8 +63,12 @@ class SingleRouterExperiment:
         self.num_vcs = num_vcs
         self.packet_length = packet_length
         self.validate = validate
-        self.allocator = make_allocator(
-            allocator, radix, radix, num_vcs, virtual_inputs=virtual_inputs
+        # Registry dispatch; ``allocator_options`` forwards scheme-specific
+        # constructor keywords (pointer_policy, partition, dynamic, ...) for
+        # the ablation variants.
+        self.allocator = _allocators.create(
+            allocator, radix, radix, num_vcs, virtual_inputs,
+            **(allocator_options or {}),
         )
         self.rng = random.Random(seed)
         # Backlogged VC state: (remaining flits, requested output).

@@ -183,9 +183,9 @@ def allocator_delay(scheme: str, radix: int = 5, num_vcs: int = 6) -> float:
     * wavefront: 39% over separable (the paper's measurement);
     * augmenting path: infeasible within a router cycle -> ``inf``.
     """
-    from repro.core import canonical_allocator_name
+    from repro.registry import allocators
 
-    key = canonical_allocator_name(scheme)
+    key = allocators.canonical(scheme)
     base = router_delays(radix, num_vcs, 1).sa_ps
     if key in ("input_first", "output_first", "packet_chaining", "sparoflo"):
         return base

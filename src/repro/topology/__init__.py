@@ -12,53 +12,93 @@ from __future__ import annotations
 
 import math
 
+from repro.registry import topologies as topology_registry
+
 from .base import LinkSpec, Topology
 from .cmesh import CMeshTopology
 from .flattened_butterfly import FlattenedButterflyTopology
 from .mesh import MeshTopology
 from .torus import TorusTopology
 
-TOPOLOGY_NAMES = ("mesh", "cmesh", "fbfly", "torus")
+
+def _square_side(kind: str, num_terminals: int) -> int:
+    side = math.isqrt(num_terminals)
+    if side * side != num_terminals:
+        raise ValueError(
+            f"{kind} needs a square terminal count, got {num_terminals}"
+        )
+    return side
+
+
+def _concentrated_side(kind: str, num_terminals: int) -> int:
+    if num_terminals % 4 != 0:
+        raise ValueError(
+            f"{kind} (4:1) needs terminals divisible by 4, got {num_terminals}"
+        )
+    side = math.isqrt(num_terminals // 4)
+    if side * side * 4 != num_terminals:
+        raise ValueError(f"{kind} (4:1) needs 4*k^2 terminals, got {num_terminals}")
+    return side
+
+
+def _make_mesh(num_terminals: int) -> Topology:
+    side = _square_side("mesh", num_terminals)
+    return MeshTopology(side, side)
+
+
+def _make_cmesh(num_terminals: int) -> Topology:
+    side = _concentrated_side("cmesh", num_terminals)
+    return CMeshTopology(side, side, concentration=4)
+
+
+def _make_fbfly(num_terminals: int) -> Topology:
+    side = _concentrated_side("fbfly", num_terminals)
+    return FlattenedButterflyTopology(side, side, concentration=4)
+
+
+def _make_torus(num_terminals: int) -> Topology:
+    side = _square_side("torus", num_terminals)
+    return TorusTopology(side, side)
+
+
+topology_registry.register(
+    "mesh",
+    _make_mesh,
+    label="Mesh",
+    provenance="8x8 mesh, radix-5 routers (paper Section 3)",
+)
+topology_registry.register(
+    "cmesh",
+    _make_cmesh,
+    aliases=("concentrated_mesh",),
+    label="CMesh",
+    provenance="4x4 concentrated mesh (4:1), radix-8 routers",
+)
+topology_registry.register(
+    "fbfly",
+    _make_fbfly,
+    aliases=("flattened_butterfly",),
+    label="FBfly",
+    provenance="4x4 flattened butterfly (4:1), radix-10 routers",
+)
+topology_registry.register(
+    "torus",
+    _make_torus,
+    label="Torus",
+    provenance="extension topology (wraparound mesh)",
+)
+
+TOPOLOGY_NAMES = topology_registry.names()
 
 
 def make_topology(name: str, num_terminals: int = 64) -> Topology:
-    """Build one of the paper's topologies scaled to ``num_terminals``.
+    """Build one of the paper's topologies scaled to ``num_terminals``
+    (registry dispatch).
 
-    ``num_terminals`` must be a square (mesh) or 4x a square (cmesh/fbfly
-    with the paper's 4:1 concentration).
+    ``num_terminals`` must be a square (mesh/torus) or 4x a square
+    (cmesh/fbfly with the paper's 4:1 concentration).
     """
-    key = name.strip().lower()
-    if key == "mesh":
-        side = math.isqrt(num_terminals)
-        if side * side != num_terminals:
-            raise ValueError(f"mesh needs a square terminal count, got {num_terminals}")
-        return MeshTopology(side, side)
-    if key == "cmesh":
-        if num_terminals % 4 != 0:
-            raise ValueError(f"cmesh (4:1) needs terminals divisible by 4, got {num_terminals}")
-        side = math.isqrt(num_terminals // 4)
-        if side * side * 4 != num_terminals:
-            raise ValueError(
-                f"cmesh (4:1) needs 4*k^2 terminals, got {num_terminals}"
-            )
-        return CMeshTopology(side, side, concentration=4)
-    if key == "torus":
-        side = math.isqrt(num_terminals)
-        if side * side != num_terminals:
-            raise ValueError(
-                f"torus needs a square terminal count, got {num_terminals}"
-            )
-        return TorusTopology(side, side)
-    if key == "fbfly":
-        if num_terminals % 4 != 0:
-            raise ValueError(f"fbfly (4:1) needs terminals divisible by 4, got {num_terminals}")
-        side = math.isqrt(num_terminals // 4)
-        if side * side * 4 != num_terminals:
-            raise ValueError(
-                f"fbfly (4:1) needs 4*k^2 terminals, got {num_terminals}"
-            )
-        return FlattenedButterflyTopology(side, side, concentration=4)
-    raise ValueError(f"unknown topology {name!r}; expected one of {TOPOLOGY_NAMES}")
+    return topology_registry.create(name, num_terminals)
 
 
 __all__ = [

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 
+from repro.registry import patterns as pattern_registry
+
 
 class TrafficPattern(ABC):
     """Destination generator for one network size."""
@@ -218,31 +220,59 @@ class Hotspot(TrafficPattern):
         return dist
 
 
-PATTERN_NAMES = (
+pattern_registry.register(
     "uniform",
-    "bit_complement",
-    "bit_reverse",
-    "shuffle",
-    "transpose",
-    "tornado",
-    "neighbor",
-    "hotspot",
+    UniformRandom,
+    aliases=("uniform_random", "ur"),
+    label="uniform random",
+    provenance="paper Section 3 (statistical evaluation)",
 )
+pattern_registry.register(
+    "bit_complement",
+    BitComplement,
+    label="bit complement",
+    provenance="Dally & Towles ch. 3.2",
+)
+pattern_registry.register(
+    "bit_reverse",
+    BitReverse,
+    label="bit reverse",
+    provenance="Dally & Towles ch. 3.2",
+)
+pattern_registry.register(
+    "shuffle",
+    Shuffle,
+    label="perfect shuffle",
+    provenance="Dally & Towles ch. 3.2",
+)
+pattern_registry.register(
+    "transpose",
+    Transpose,
+    label="transpose",
+    provenance="Dally & Towles ch. 3.2",
+)
+pattern_registry.register(
+    "tornado",
+    Tornado,
+    label="tornado",
+    provenance="Dally & Towles ch. 3.2",
+)
+pattern_registry.register(
+    "neighbor",
+    Neighbor,
+    label="nearest neighbor",
+    provenance="Dally & Towles ch. 3.2",
+)
+pattern_registry.register(
+    "hotspot",
+    Hotspot,
+    label="hotspot",
+    provenance="extension benches (adversarial load)",
+)
+
+PATTERN_NAMES = pattern_registry.names()
 
 
 def make_pattern(name: str, num_terminals: int, **kwargs: object) -> TrafficPattern:
-    """Build a traffic pattern by name."""
-    classes: dict[str, type[TrafficPattern]] = {
-        "uniform": UniformRandom,
-        "bit_complement": BitComplement,
-        "bit_reverse": BitReverse,
-        "shuffle": Shuffle,
-        "transpose": Transpose,
-        "tornado": Tornado,
-        "neighbor": Neighbor,
-        "hotspot": Hotspot,
-    }
-    key = name.strip().lower()
-    if key not in classes:
-        raise ValueError(f"unknown pattern {name!r}; expected one of {PATTERN_NAMES}")
-    return classes[key](num_terminals, **kwargs)  # type: ignore[arg-type]
+    """Build a traffic pattern by name (registry dispatch)."""
+    return pattern_registry.create(name, num_terminals, **kwargs)

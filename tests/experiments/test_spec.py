@@ -1,0 +1,192 @@
+"""Declarative experiment specs: round-trips, cache identity, validation."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig7_single_router,
+    fig8_mesh,
+    fig9_fairness,
+    fig10_packet_chaining,
+    fig11_energy,
+    fig12_virtual_inputs,
+    radix_scaling,
+    table1_delays,
+    table3_allocator_delays,
+    table4_applications,
+    topology_comparison,
+)
+from repro.experiments.spec import ExperimentSpec, ScenarioSpec
+from repro.registry import UnknownSchemeError
+
+ALL_DRIVERS = [
+    table1_delays,
+    table3_allocator_delays,
+    fig7_single_router,
+    fig8_mesh,
+    fig9_fairness,
+    fig10_packet_chaining,
+    fig11_energy,
+    fig12_virtual_inputs,
+    table4_applications,
+    ablations,
+    radix_scaling,
+    topology_comparison,
+]
+
+
+class TestScenarioValidation:
+    def test_scheme_names_canonicalized_at_construction(self):
+        scenario = ScenarioSpec(allocator="IF", topology="flattened_butterfly")
+        assert scenario.allocator == "input_first"
+        assert scenario.topology == "fbfly"
+
+    def test_unknown_allocator_fails_fast_with_choices(self):
+        with pytest.raises(UnknownSchemeError) as exc_info:
+            ScenarioSpec(allocator="not_an_allocator")
+        message = str(exc_info.value)
+        assert "not_an_allocator" in message
+        assert "input_first" in message and "vix" in message
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="scenario kind"):
+            ScenarioSpec(kind="quantum")
+
+    def test_unknown_analytic_fn_rejected(self):
+        with pytest.raises(ValueError, match="analytic fn"):
+            ScenarioSpec(kind="analytic", fn="frobnicate")
+
+    def test_default_vc_policy_follows_crossbar_flag(self):
+        assert ScenarioSpec(allocator="vix").resolved_vc_policy() == "vix_dimension"
+        assert ScenarioSpec(allocator="if").resolved_vc_policy() == "max_credit"
+        assert (
+            ScenarioSpec(allocator="vix", vc_policy="max_credit").resolved_vc_policy()
+            == "max_credit"
+        )
+
+    def test_pattern_options_canonicalized_from_dict(self):
+        a = ScenarioSpec(
+            pattern="hotspot", pattern_options={"hotspots": (0,), "fraction": 0.2}
+        )
+        b = ScenarioSpec(
+            pattern="hotspot", pattern_options={"fraction": 0.2, "hotspots": [0]}
+        )
+        assert a == b
+        assert a.pattern_options == (("fraction", 0.2), ("hotspots", (0,)))
+
+    def test_duplicate_scenario_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scenario key"):
+            ExperimentSpec(
+                name="dup",
+                scenarios=(
+                    ScenarioSpec(key=("a", 1)),
+                    ScenarioSpec(key=("a", 1), allocator="vix"),
+                ),
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "driver", ALL_DRIVERS, ids=lambda m: m.__name__.rsplit(".", 1)[-1]
+    )
+    def test_driver_spec_round_trips_identically(self, driver):
+        spec = driver.spec()
+        rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.canonical_json() == spec.canonical_json()
+        assert rebuilt.content_key() == spec.content_key()
+
+    def test_scenario_round_trip_preserves_every_field(self):
+        scenario = ScenarioSpec(
+            key=("curve", "vix", 0.42),
+            allocator="vix",
+            topology="torus",
+            num_vcs=4,
+            buffer_depth=3,
+            virtual_inputs=3,
+            vc_policy="max_credit",
+            packet_length=1,
+            pattern="hotspot",
+            pattern_options={"fraction": 0.2},
+            injection_rate=0.42,
+            drain_limit=0,
+            burst_length=4.0,
+        )
+        assert ScenarioSpec.from_dict(scenario.to_dict()) == scenario
+
+
+class TestCacheIdentity:
+    def test_content_key_stable_across_processes(self):
+        spec = fig8_mesh.spec(fast=True)
+        script = (
+            "from repro.experiments import fig8_mesh;"
+            "print(fig8_mesh.spec(fast=True).content_key())"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        assert result.stdout.strip() == spec.content_key()
+
+    def test_content_key_tracks_package_version(self, monkeypatch):
+        import repro
+
+        spec = fig9_fairness.spec()
+        before = spec.content_key()
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert spec.content_key() != before
+
+    def test_sim_job_keys_stable_across_processes(self):
+        spec = fig8_mesh.spec(fast=True)
+        keys = [
+            s.sim_job(100, 200, spec.seed).key()
+            for s in spec.scenarios
+            if s.kind == "network"
+        ]
+        script = (
+            "from repro.experiments import fig8_mesh;"
+            "spec = fig8_mesh.spec(fast=True);"
+            "print('\\n'.join(s.sim_job(100, 200, spec.seed).key()"
+            " for s in spec.scenarios if s.kind == 'network'))"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        assert result.stdout.split() == keys
+
+    def test_equal_specs_share_keys_distinct_specs_do_not(self):
+        assert fig8_mesh.spec().content_key() == fig8_mesh.spec().content_key()
+        assert (
+            fig8_mesh.spec(seed=2).content_key() != fig8_mesh.spec().content_key()
+        )
+        assert fig8_mesh.spec().content_key() != fig9_fairness.spec().content_key()
+
+
+class TestDriverSpecs:
+    @pytest.mark.parametrize(
+        "driver", ALL_DRIVERS, ids=lambda m: m.__name__.rsplit(".", 1)[-1]
+    )
+    def test_spec_names_match_registry_ids(self, driver):
+        from repro.registry import experiments as experiment_registry
+
+        spec = driver.spec()
+        assert spec.name in experiment_registry.names()
+        assert experiment_registry.get(spec.name).factory is driver
+        assert spec.title == driver.TITLE
+
+    def test_network_scenarios_produce_runnable_jobs(self):
+        spec = fig9_fairness.spec()
+        for scenario in spec.scenarios:
+            job = scenario.sim_job(10, 20, spec.seed)
+            assert job.key()
+            assert job.config.router.allocator == scenario.allocator
+
+    def test_sim_job_rejected_for_non_network_kinds(self):
+        scenario = ScenarioSpec(kind="single_router", allocator="vix")
+        with pytest.raises(ValueError, match="single_router"):
+            scenario.sim_job(10, 20, 1)

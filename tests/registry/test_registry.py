@@ -1,0 +1,154 @@
+"""Scheme-registry behaviour: completeness, ordering, errors, flags."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.registry import (
+    ALL_REGISTRIES,
+    ENLARGES_CROSSBAR,
+    NETWORK_COMPARISON,
+    VIRTUAL_INPUT_PER_VC,
+    Registry,
+    UnknownSchemeError,
+    allocators,
+    patterns,
+    topologies,
+    vc_policies,
+)
+
+
+class TestAllocatorCompleteness:
+    def test_every_allocator_is_constructible(self):
+        for name in allocators.names():
+            allocator = allocators.create(name, 5, 5, 6, 2)
+            assert hasattr(allocator, "allocate"), name
+
+    def test_expected_schemes_present(self):
+        assert allocators.names() == (
+            "input_first",
+            "output_first",
+            "wavefront",
+            "augmenting_path",
+            "packet_chaining",
+            "sparoflo",
+            "vix",
+            "ideal_vix",
+        )
+
+    def test_network_comparison_set_matches_paper(self):
+        # Figures 8-10 compare exactly these, in this order.
+        assert allocators.select(flag=NETWORK_COMPARISON) == (
+            "input_first",
+            "wavefront",
+            "augmenting_path",
+            "vix",
+        )
+
+    def test_constructor_options_reach_the_class(self):
+        allocator = allocators.create(
+            "input_first", 5, 5, 6, 1, pointer_policy="on_grant"
+        )
+        assert allocator.pointer_policy == "on_grant"
+
+    def test_explicit_virtual_inputs_option_overrides_positional(self):
+        # Ablation A6: conventional separable allocators accept an explicit
+        # virtual_inputs keyword through options even though the positional
+        # config-level value is dropped for them.
+        allocator = allocators.create("output_first", 5, 5, 6, 1, virtual_inputs=2)
+        assert allocator.virtual_inputs == 2
+
+
+class TestLookupSemantics:
+    def test_aliases_resolve_to_canonical(self):
+        assert allocators.canonical("if") == "input_first"
+        assert allocators.canonical("IF") == "input_first"
+        assert allocators.canonical("separable") == "input_first"
+        assert allocators.canonical("ivix") == "ideal_vix"
+        assert topologies.canonical("flattened_butterfly") == "fbfly"
+        assert patterns.canonical("ur") == "uniform"
+        assert vc_policies.canonical("dimension") == "vix_dimension"
+
+    def test_unknown_name_raises_single_registry_error(self):
+        with pytest.raises(UnknownSchemeError) as exc_info:
+            allocators.canonical("no_such_scheme")
+        message = str(exc_info.value)
+        assert "no_such_scheme" in message
+        for valid in allocators.names():
+            assert valid in message
+
+    def test_error_is_both_value_and_key_error(self):
+        with pytest.raises(ValueError):
+            allocators.get("bogus")
+        with pytest.raises(KeyError):
+            allocators.get("bogus")
+
+    def test_select_preserves_registration_order(self):
+        assert allocators.select(("vix", "input_first")) == ("input_first", "vix")
+        assert allocators.select(("wf", "if")) == ("input_first", "wavefront")
+
+    def test_labels_follow_selection(self):
+        labels = allocators.labels(("if", "vix"))
+        assert labels == {"input_first": "IF", "vix": "VIX"}
+
+    def test_contains_and_iteration(self):
+        assert "vix" in allocators
+        assert "if" in allocators
+        assert "nonsense" not in allocators
+        assert 3 not in allocators
+        assert list(allocators) == list(allocators.names())
+        assert len(allocators) == len(allocators.names())
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("toy")
+        registry.register("a", object, aliases=("b",))
+        with pytest.raises(ValueError):
+            registry.register("a", object)
+        with pytest.raises(ValueError):
+            registry.register("b", object)
+        with pytest.raises(ValueError):
+            registry.register("c", object, aliases=("a",))
+
+
+class TestCapabilityFlags:
+    def test_crossbar_flags(self):
+        assert allocators.get("vix").enlarges_crossbar
+        assert allocators.get("ideal_vix").enlarges_crossbar
+        assert not allocators.get("input_first").enlarges_crossbar
+        assert not allocators.get("sparoflo").enlarges_crossbar
+        assert VIRTUAL_INPUT_PER_VC in allocators.get("ideal_vix").flags
+        assert VIRTUAL_INPUT_PER_VC not in allocators.get("vix").flags
+
+    def test_effective_virtual_inputs(self):
+        assert allocators.get("input_first").effective_virtual_inputs(2, 6) == 1
+        assert allocators.get("vix").effective_virtual_inputs(2, 6) == 2
+        assert allocators.get("vix").effective_virtual_inputs(8, 6) == 6
+        assert allocators.get("ideal_vix").effective_virtual_inputs(2, 6) == 6
+
+    def test_router_config_resolves_through_registry(self):
+        from repro.network.config import RouterConfig
+
+        assert RouterConfig(allocator="if").effective_virtual_inputs == 1
+        assert (
+            RouterConfig(allocator="vix", virtual_inputs=2).effective_virtual_inputs
+            == 2
+        )
+        assert (
+            RouterConfig(allocator="ideal", num_vcs=6).effective_virtual_inputs == 6
+        )
+
+
+class TestCliList:
+    def test_python_m_repro_list_names_every_scheme(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        for registry in ALL_REGISTRIES:
+            for info in registry.infos():
+                assert info.name in result.stdout, (registry.kind, info.name)
