@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs examples all clean
+.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs fault-smoke examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,11 @@ bench-baseline:
 # smoke-checks against it.
 bench-obs:
 	$(PYTHON) scripts/bench_pr3.py --out BENCH_PR3.json
+
+# Fault-tolerance smoke: a crashed and a hung worker must not change one
+# reported number, and the run journal must record the kills/retries.
+fault-smoke:
+	$(PYTHON) scripts/check_fault_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

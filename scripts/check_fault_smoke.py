@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Fault-tolerance smoke check for the parallel execution layer.
+
+Runs a reduced Figure-8 sweep twice — once clean, once with deterministic
+fault injection (one worker hard-exits, one job hangs twice and must be
+killed and retried) — and requires:
+
+* the faulted report to be byte-identical to the clean one after
+  stripping the ``[perf_counters]`` footer (faults may never change a
+  reported number, only cost retries);
+* the run journal to record the injected failures (a ``timeout`` kill
+  and ``retry`` requeues) and every job's eventual completion.
+
+Usage::
+
+    python scripts/check_fault_smoke.py
+
+The driver runs in a subprocess per scenario with an isolated cache root,
+so the check never touches the user's real cache.
+"""
+
+from __future__ import annotations
+
+import difflib
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+#: The reduced sweep: 2 allocators x (2 curve rates + 1 saturation) = 6 jobs.
+_DRIVER = (
+    "from repro.experiments import fig8_mesh as f8; "
+    "print(f8.report(f8.run(rates=(0.02, 0.06), "
+    "allocators=('input_first', 'vix'), jobs=2)))"
+)
+
+_JOB_COUNT = 6
+
+#: Job 1's first attempt hard-exits its worker (breaking the pool); job 2
+#: hangs on two attempts and must be killed on its budget both times.
+_FAULTS = "exit@1,hang@2x2"
+
+
+def _base_env(cache_dir: str) -> dict:
+    env = {
+        name: value
+        for name, value in os.environ.items()
+        if not name.startswith("REPRO_")
+    }
+    env["PYTHONPATH"] = "src"
+    env["REPRO_CACHE_DIR"] = cache_dir
+    return env
+
+
+def _run_driver(env: dict, label: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"[fault-smoke] {label} run failed "
+            f"(exit {result.returncode}):\n{result.stderr}"
+        )
+    lines = [
+        line
+        for line in result.stdout.splitlines()
+        if not line.startswith("[perf_counters]")
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="fault-smoke-") as tmp:
+        clean_env = _base_env(os.path.join(tmp, "clean"))
+        faulted_env = _base_env(os.path.join(tmp, "faulted"))
+        faulted_env.update(
+            REPRO_FAULTS=_FAULTS,
+            # Far beyond the timeout budget: an unkilled hang would blow
+            # the subprocess timeout instead of passing silently.
+            REPRO_FAULT_HANG_SECONDS="600",
+            REPRO_TIMEOUT="15",
+            REPRO_MAX_RETRIES="3",
+        )
+
+        clean = _run_driver(clean_env, "clean")
+        faulted = _run_driver(faulted_env, "faulted")
+        if clean != faulted:
+            print("[fault-smoke] MISMATCH between clean and faulted reports")
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    clean.splitlines(keepends=True),
+                    faulted.splitlines(keepends=True),
+                    fromfile="clean",
+                    tofile="faulted",
+                )
+            )
+            return 1
+        print("[fault-smoke] clean and faulted reports identical")
+
+        journals = glob.glob(
+            os.path.join(tmp, "faulted", "journals", "*.jsonl")
+        )
+        if len(journals) != 1:
+            print(f"[fault-smoke] expected 1 journal, found {journals}")
+            return 1
+        entries = []
+        with open(journals[0]) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+        statuses = {entry["status"] for entry in entries}
+        completed = {
+            entry["job_key"]
+            for entry in entries
+            if entry["status"] == "completed"
+        }
+        failures = 0
+        if "timeout" not in statuses:
+            print("[fault-smoke] journal records no timeout kill")
+            failures += 1
+        if "retry" not in statuses:
+            print("[fault-smoke] journal records no retries")
+            failures += 1
+        if len(completed) != _JOB_COUNT:
+            print(
+                f"[fault-smoke] journal records {len(completed)} completed "
+                f"jobs, expected {_JOB_COUNT}"
+            )
+            failures += 1
+        if failures:
+            for entry in entries:
+                print(f"[fault-smoke]   {entry}")
+            return 1
+        print(
+            f"[fault-smoke] journal: {len(completed)} jobs completed, "
+            f"statuses seen: {sorted(statuses)}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,7 +62,13 @@ def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
 
 def summarize_metrics(path: Path) -> str:
     """Aggregate metrics snapshots per allocator and render the table."""
-    records = _read_jsonl(path)
+    # Sweep-level runner counter lines (retries/cancellations/resumes)
+    # published by execute_spec are not per-run probe snapshots.
+    records = [
+        rec
+        for rec in _read_jsonl(path)
+        if rec.get("kind") != "execution_stats"
+    ]
     if not records:
         return f"{path}: no metrics records"
     by_alloc: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))

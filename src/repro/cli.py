@@ -6,6 +6,7 @@ Usage::
     vix-repro t1                # Table 1 (stage delays)
     vix-repro f8 --full         # Figure 8 at paper-fidelity run lengths
     vix-repro f8 --jobs auto    # fan simulations out over all CPU cores
+    vix-repro f8 --resume       # continue an interrupted sweep
     vix-repro all               # everything (slow)
 
 Experiment ids and their descriptions come from the experiment registry
@@ -82,6 +83,29 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the on-disk result cache (equivalent to REPRO_NO_CACHE=1)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep: skip jobs recorded complete in "
+        "the run journal and served by the cache (equivalent to "
+        "REPRO_RESUME=1)",
+    )
+    parser.add_argument(
+        "--timeout",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="per-job time budget; a hung job's worker is killed and the "
+        "job retried (equivalent to REPRO_TIMEOUT)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        metavar="N",
+        type=int,
+        default=None,
+        help="retries per job after a crash/timeout/exception before "
+        "falling back (default 2; equivalent to REPRO_MAX_RETRIES)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also write each result as DIR/<experiment>.json",
@@ -135,6 +159,17 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_PROFILE"] = "1"
         if args.profile:
             os.environ["REPRO_PROFILE_DIR"] = args.profile
+
+    if args.resume:
+        os.environ["REPRO_RESUME"] = "1"
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            parser.error(f"--timeout must be > 0, got {args.timeout}")
+        os.environ["REPRO_TIMEOUT"] = repr(args.timeout)
+    if args.max_retries is not None:
+        if args.max_retries < 0:
+            parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+        os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
 
     if args.jobs is not None:
         from repro.parallel import resolve_jobs

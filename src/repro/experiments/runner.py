@@ -23,7 +23,14 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.experiments.spec import ExperimentSpec, ScenarioSpec
-from repro.parallel import ExecutionStats, ParallelRunner, run_sim_jobs
+from repro.obs import ObservabilityConfig
+from repro.parallel import (
+    ExecutionStats,
+    ParallelRunner,
+    RunJournal,
+    journal_path,
+    run_sim_jobs,
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,16 @@ FULL = RunLengths(
 def full_fidelity_requested() -> bool:
     """True when the environment asks for paper-fidelity run lengths."""
     return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
+
+
+def resume_requested() -> bool:
+    """True when the environment asks to resume an interrupted sweep.
+
+    Set by the ``--resume`` CLI flag (``REPRO_RESUME=1``): jobs recorded
+    complete in the spec's run journal are served from the cache instead
+    of re-executed, and everything else runs as usual.
+    """
+    return os.environ.get("REPRO_RESUME", "").strip() not in ("", "0", "false")
 
 
 def run_lengths(fast: bool | None = None) -> RunLengths:
@@ -168,7 +185,12 @@ class SpecRun:
         return self.values[key]
 
 
-def execute_spec(spec: ExperimentSpec, *, jobs: int | str | None = None) -> SpecRun:
+def execute_spec(
+    spec: ExperimentSpec,
+    *,
+    jobs: int | str | None = None,
+    resume: bool | None = None,
+) -> SpecRun:
     """Run every scenario of ``spec`` and return the keyed results.
 
     Scenarios execute grouped by kind — network simulations first (one
@@ -178,7 +200,16 @@ def execute_spec(spec: ExperimentSpec, *, jobs: int | str | None = None) -> Spec
     :class:`~repro.parallel.ExecutionStats`.  Within each group, results
     preserve the spec's scenario order, so table formatters can iterate
     the spec itself.
+
+    Network scenarios checkpoint per-job progress to a
+    :class:`~repro.parallel.RunJournal` keyed by the spec's content key.
+    With ``resume`` true (default: ``$REPRO_RESUME``, i.e. the
+    ``--resume`` flag), jobs journaled complete by an interrupted earlier
+    run are served from the result cache instead of re-executed;
+    otherwise the journal restarts fresh.
     """
+    if resume is None:
+        resume = resume_requested()
     lengths = run_lengths(spec.fast)
     run = SpecRun(spec=spec)
 
@@ -187,8 +218,18 @@ def execute_spec(spec: ExperimentSpec, *, jobs: int | str | None = None) -> Spec
         sim_jobs = [
             s.sim_job(lengths.warmup, lengths.measure, spec.seed) for s in network
         ]
+        path = journal_path(spec.content_key())
+        resumed_keys = RunJournal.completed_keys(path) if resume else frozenset()
+        journal = RunJournal(path, fresh=not resume)
         for scenario, res in zip(
-            network, run_sim_jobs(sim_jobs, jobs=jobs, stats=run.stats)
+            network,
+            run_sim_jobs(
+                sim_jobs,
+                jobs=jobs,
+                stats=run.stats,
+                journal=journal,
+                resumed_keys=resumed_keys,
+            ),
         ):
             run.values[scenario.key] = res
 
@@ -238,6 +279,16 @@ def execute_spec(spec: ExperimentSpec, *, jobs: int | str | None = None) -> Spec
             ExecutionStats(
                 jobs_run=len(analytic), wall_seconds=time.perf_counter() - start
             )
+        )
+
+    obs = ObservabilityConfig.from_env()
+    if obs.metrics and obs.metrics_path:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run.stats.publish(registry)
+        registry.export_jsonl(
+            obs.metrics_path, experiment=spec.name, kind="execution_stats"
         )
 
     return run

@@ -1,0 +1,125 @@
+"""Checkpoint journal: a JSONL record of per-job sweep progress.
+
+:class:`RunJournal` is the crash/interrupt checkpoint for one sweep: every
+job state transition appends one JSON line ``{"job_key", "status",
+"attempt", "seconds"}``, so a driver killed mid-run (SIGINT, OOM, a lost
+machine) can be relaunched with ``--resume`` and skip the jobs already
+recorded ``completed``.  The journal records *progress*; the result
+*data* lives in the :class:`~repro.parallel.cache.ResultCache`, which the
+runner now writes through as each job lands — together they make an
+interrupted sweep lose only its in-flight jobs.
+
+Journals live next to the cache (``<cache root>/journals/<run key>.jsonl``,
+one file per :meth:`~repro.experiments.spec.ExperimentSpec.content_key`)
+and share its durability contract: filesystem errors degrade to "no
+journal" rather than failing the sweep, and a line torn by a crash is
+skipped on load rather than poisoning the resume.
+
+Statuses written by the runner:
+
+* ``completed`` — the job finished and its result was persisted;
+* ``resumed`` — a resume run skipped the job (journaled complete and
+  present in the cache);
+* ``timeout`` / ``crash`` / ``error`` — one attempt failed that way;
+* ``retry`` — the job was requeued after a failed attempt;
+* ``failed`` — the job exhausted its retry budget.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .cache import default_cache_dir
+
+#: Journal statuses that mark a job as done for resume purposes.
+COMPLETED_STATUSES = ("completed", "resumed")
+
+
+def journal_dir() -> Path:
+    """Directory holding run journals (next to the result cache)."""
+    return default_cache_dir() / "journals"
+
+
+def journal_path(run_key: str) -> Path:
+    """On-disk journal location for one run (spec content key)."""
+    return journal_dir() / f"{run_key}.jsonl"
+
+
+class RunJournal:
+    """Append-only JSONL journal of per-job execution status."""
+
+    def __init__(self, path: str | Path, *, fresh: bool = False) -> None:
+        self.path = Path(path)
+        if fresh:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def record(
+        self,
+        job_key: str,
+        status: str,
+        *,
+        attempt: int = 0,
+        seconds: float = 0.0,
+    ) -> None:
+        """Append one status line.
+
+        Errors are swallowed: the journal accelerates resume, it is never
+        a dependency (same contract as the result cache).  Each append is
+        a single short write, so concurrent processes stay line-valid.
+        """
+        line = json.dumps(
+            {
+                "job_key": job_key,
+                "status": status,
+                "attempt": attempt,
+                "seconds": round(seconds, 6),
+            },
+            sort_keys=True,
+        )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass
+
+    @staticmethod
+    def load(path: str | Path) -> list[dict]:
+        """Every well-formed entry of ``path``, in write order.
+
+        A missing file is an empty journal; malformed lines (e.g. torn by
+        the crash being resumed from) are skipped.
+        """
+        try:
+            raw = Path(path).read_text()
+        except OSError:
+            return []
+        entries = []
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("job_key"), str):
+                entries.append(entry)
+        return entries
+
+    @classmethod
+    def completed_keys(cls, path: str | Path) -> frozenset[str]:
+        """Job keys recorded complete in ``path`` (resume skip set).
+
+        ``resumed`` counts as complete so resuming twice in a row keeps
+        the full skip set.
+        """
+        return frozenset(
+            entry["job_key"]
+            for entry in cls.load(path)
+            if entry.get("status") in COMPLETED_STATUSES
+        )

@@ -4,10 +4,22 @@ The runner's contract is *serial equivalence*: ``ParallelRunner.run(jobs)``
 returns results in job order with field-for-field the same values a serial
 loop would produce — simulations are deterministic from their spec, so the
 only thing parallelism changes is the wall clock.  Failure handling keeps
-that contract under duress: a failed or crashed worker batch is retried
-once in a fresh pool, and whatever still fails is executed inline in the
-parent process (with a warning), so a broken multiprocessing stack degrades
-to the serial behaviour instead of a crash.
+that contract under duress:
+
+* results are collected ``as_completed`` and written back to the cache
+  (and the run journal) the moment they land, so a killed sweep keeps
+  every completed job;
+* a chunk that exceeds its ``timeout`` budget is *genuinely cancelled*:
+  the pool's workers are SIGKILLed, so pool shutdown never blocks on a
+  hung worker and the timed-out job is never executed twice by a zombie;
+* failed jobs are retried per *job* (``max_retries``, capped exponential
+  backoff); a failed multi-job chunk is first bisected to fence off the
+  one poisoned job instead of failing its chunk-mates;
+* whatever still fails after the retry budget is executed inline in the
+  parent process (with a warning), so a broken multiprocessing stack
+  degrades to the serial behaviour instead of a crash — except jobs that
+  *timed out* on every attempt, which raise :class:`JobTimeoutError`
+  (re-running a hanging job inline would hang the driver uncancellably).
 """
 
 from __future__ import annotations
@@ -15,17 +27,44 @@ from __future__ import annotations
 import os
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Collection, Sequence
 
 from repro.obs import env_observability_enabled, profiled_call, spans_from_counters
 
 from .cache import ResultCache
+from .faults import inject_fault
 from .jobs import SimJob
+from .journal import RunJournal
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.sim imports us back
     from repro.sim.engine import SimulationResult
+
+#: Ceiling on one retry's backoff sleep, whatever the attempt number.
+BACKOFF_CAP_SECONDS = 2.0
+
+#: Poll granularity of the timeout watchdog (seconds).  Budgets are only
+#: enforceable to this resolution; it also bounds how stale a freshly
+#: started future's deadline assignment can be.
+_POLL_TICK = 0.05
+
+_TRUTHY_OFF = ("", "0", "false")
+
+
+class JobTimeoutError(TimeoutError):
+    """A job exceeded its time budget on every allowed attempt.
+
+    Raised instead of the inline fallback: a job that hangs in workers
+    would hang the parent too, with no way left to cancel it.
+    """
 
 
 def resolve_jobs(jobs: int | str | None = None) -> int:
@@ -34,16 +73,83 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
     ``None`` defers to ``$REPRO_JOBS`` (default 1 — serial); ``"auto"`` or
     any value < 1 means one worker per CPU core.
     """
+    source = None
     if jobs is None:
+        source = "$REPRO_JOBS"
         jobs = os.environ.get("REPRO_JOBS", "1")
     if isinstance(jobs, str):
         text = jobs.strip().lower()
         if text in ("", "auto"):
             return os.cpu_count() or 1
-        jobs = int(text)
+        try:
+            jobs = int(text)
+        except ValueError:
+            where = f" (from {source})" if source else ""
+            raise ValueError(
+                f"invalid worker count {text!r}{where}: expected an "
+                "integer, 'auto' (one worker per CPU core), or a value "
+                "< 1 (also one worker per core)"
+            ) from None
     if jobs < 1:
         return os.cpu_count() or 1
     return jobs
+
+
+def resolve_timeout(timeout: float | None = None) -> float | None:
+    """Resolve a per-job timeout: explicit argument beats ``$REPRO_TIMEOUT``.
+
+    ``None`` with the variable unset means no budget.
+    """
+    if timeout is None:
+        text = os.environ.get("REPRO_TIMEOUT", "").strip()
+        if not text:
+            return None
+        try:
+            timeout = float(text)
+        except ValueError:
+            raise ValueError(
+                f"invalid $REPRO_TIMEOUT value {text!r}: expected a "
+                "per-job budget in seconds"
+            ) from None
+    if timeout <= 0:
+        raise ValueError(f"timeout must be > 0, got {timeout}")
+    return timeout
+
+
+def resolve_max_retries(max_retries: int | None = None) -> int:
+    """Resolve the per-job retry budget (``$REPRO_MAX_RETRIES``, default 2)."""
+    if max_retries is None:
+        text = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+        if not text:
+            return 2
+        try:
+            max_retries = int(text)
+        except ValueError:
+            raise ValueError(
+                f"invalid $REPRO_MAX_RETRIES value {text!r}: expected a "
+                "non-negative integer"
+            ) from None
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
+def resolve_backoff(backoff: float | None = None) -> float:
+    """Resolve the base retry backoff (``$REPRO_RETRY_BACKOFF``, default 0.05s)."""
+    if backoff is None:
+        text = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
+        if not text:
+            return 0.05
+        try:
+            backoff = float(text)
+        except ValueError:
+            raise ValueError(
+                f"invalid $REPRO_RETRY_BACKOFF value {text!r}: expected "
+                "seconds as a number"
+            ) from None
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    return backoff
 
 
 @dataclass
@@ -55,6 +161,12 @@ class ExecutionStats:
     worker_retries: int = 0
     inline_fallbacks: int = 0
     wall_seconds: float = 0.0
+    #: Hung futures whose workers were SIGKILLed on a ``timeout`` expiry.
+    cancellations: int = 0
+    #: Jobs skipped on ``--resume`` (journaled complete + served by cache).
+    resumed_jobs: int = 0
+    #: Failed multi-job chunks split to isolate a poisoned job.
+    chunk_bisections: int = 0
     #: Router idle-to-busy transitions across the freshly executed runs
     #: (activity-gated stepping; cached results contribute nothing).
     router_wakeups: int = 0
@@ -73,6 +185,9 @@ class ExecutionStats:
         self.worker_retries += other.worker_retries
         self.inline_fallbacks += other.inline_fallbacks
         self.wall_seconds += other.wall_seconds
+        self.cancellations += other.cancellations
+        self.resumed_jobs += other.resumed_jobs
+        self.chunk_bisections += other.chunk_bisections
         self.router_wakeups += other.router_wakeups
         self.cycles_skipped += other.cycles_skipped
         if other.max_job_seconds > self.max_job_seconds:
@@ -100,6 +215,9 @@ class ExecutionStats:
             "worker_retries": self.worker_retries,
             "inline_fallbacks": self.inline_fallbacks,
             "wall_seconds": round(self.wall_seconds, 3),
+            "cancellations": self.cancellations,
+            "resumed_jobs": self.resumed_jobs,
+            "chunk_bisections": self.chunk_bisections,
             "router_wakeups": self.router_wakeups,
             "cycles_skipped": self.cycles_skipped,
             "max_job_seconds": round(self.max_job_seconds, 3),
@@ -111,16 +229,39 @@ class ExecutionStats:
             }
         return data
 
+    def publish(self, registry) -> None:
+        """Publish the batch counters into an obs ``MetricsRegistry``.
+
+        Counter/gauge names are prefixed ``runner_`` so they can never
+        collide with simulator-side metrics merged into the same registry.
+        """
+        registry.counter("runner_jobs_run").inc(self.jobs_run)
+        registry.counter("runner_cache_hits").inc(self.cache_hits)
+        registry.counter("runner_worker_retries").inc(self.worker_retries)
+        registry.counter("runner_inline_fallbacks").inc(self.inline_fallbacks)
+        registry.counter("runner_cancellations").inc(self.cancellations)
+        registry.counter("runner_resumed_jobs").inc(self.resumed_jobs)
+        registry.counter("runner_chunk_bisections").inc(self.chunk_bisections)
+        registry.gauge("runner_wall_seconds").set(round(self.wall_seconds, 3))
+        registry.gauge("runner_max_job_seconds").set(round(self.max_job_seconds, 3))
+
     def summary(self) -> str:
         """One-line human-readable form for table footers."""
         line = (
             f"jobs run: {self.jobs_run} | cache hits: {self.cache_hits} | "
             f"worker retries: {self.worker_retries} | "
+            f"inline fallbacks: {self.inline_fallbacks} | "
             f"wall: {self.wall_seconds:.2f}s | "
             f"max job: {self.max_job_seconds:.2f}s | "
             f"router wakeups: {self.router_wakeups} | "
             f"cycles skipped: {self.cycles_skipped}"
         )
+        if self.cancellations:
+            line += f" | cancellations: {self.cancellations}"
+        if self.resumed_jobs:
+            line += f" | resumed: {self.resumed_jobs}"
+        if self.chunk_bisections:
+            line += f" | chunk bisections: {self.chunk_bisections}"
         if self.phase_seconds:
             spans = " ".join(
                 f"{phase}={seconds:.2f}s"
@@ -144,17 +285,47 @@ def _run_sim_job(job: SimJob) -> SimulationResult:
 
 
 def _run_batch(fn: Callable, batch: list) -> list:
-    """Execute one chunk of items in a worker process.
+    """Execute one chunk of ``(job_index, attempt, item)`` triples.
 
-    Returns ``(value, wall_seconds)`` pairs so the parent can track the
-    slowest individual job without a second round trip.
+    Returns ``(value, wall_seconds)`` pairs aligned with ``batch`` so the
+    parent can track the slowest individual job without a second round
+    trip.  With ``$REPRO_FAULTS`` set, the deterministic fault hooks fire
+    before each item (see :mod:`repro.parallel.faults`).
     """
     out = []
-    for item in batch:
+    for index, attempt, item in batch:
+        inject_fault(index, attempt)
         start = time.perf_counter()
         value = fn(item)
         out.append((value, time.perf_counter() - start))
     return out
+
+
+def _kill_workers(pool: ProcessPoolExecutor) -> int:
+    """SIGKILL every live worker of ``pool`` (genuine hung-job cancellation).
+
+    ``ProcessPoolExecutor`` exposes no public way to cancel a *running*
+    call, so this reaches for the executor's process table; the attribute
+    is absent only on never-started pools, which have nothing to kill.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    killed = 0
+    for proc in list(processes.values()):
+        if proc.is_alive():
+            proc.kill()
+            killed += 1
+    return killed
+
+
+@dataclass
+class _Job:
+    """Retry bookkeeping for one item of an ``_execute`` batch."""
+
+    index: int
+    item: object
+    attempt: int = 0
+    timed_out: bool = False
+    error: BaseException | None = None
 
 
 class ParallelRunner:
@@ -170,13 +341,29 @@ class ParallelRunner:
         :meth:`run` (SimJob execution) consults the cache; :meth:`map` is
         for arbitrary callables and always executes.
     timeout:
-        Optional per-job seconds budget.  A chunk that exceeds
-        ``timeout * len(chunk)`` counts as failed and follows the
-        retry-then-inline path.
+        Optional per-job seconds budget (default ``$REPRO_TIMEOUT``).  A
+        chunk that exceeds ``timeout * len(chunk)`` after starting is
+        treated as hung: its pool's workers are killed and the chunk's
+        jobs are retried in a fresh pool.
     chunksize:
         Jobs per worker submission.  1 (the default) gives the best
         load balance for second-scale simulations; raise it for very
-        short jobs to amortise pickling overhead.
+        short jobs to amortise pickling overhead.  A failed chunk is
+        bisected until the poisoned job is isolated.
+    max_retries:
+        Per-job retry budget after a crash/timeout/exception (default
+        ``$REPRO_MAX_RETRIES`` or 2).  Jobs that exhaust it fall back to
+        inline execution (timeouts instead raise :class:`JobTimeoutError`).
+    backoff:
+        Base seconds of the capped exponential retry backoff (default
+        ``$REPRO_RETRY_BACKOFF`` or 0.05; attempt ``n`` sleeps
+        ``backoff * 2**(n-1)``, capped at :data:`BACKOFF_CAP_SECONDS`).
+    journal:
+        Optional :class:`~repro.parallel.journal.RunJournal` that
+        :meth:`run` records per-job progress into.
+    resumed_keys:
+        Job keys a previous interrupted run journaled complete; cache
+        hits on them count as ``resumed_jobs``.
     """
 
     def __init__(
@@ -186,6 +373,10 @@ class ParallelRunner:
         cache: ResultCache | str | None = "default",
         timeout: float | None = None,
         chunksize: int = 1,
+        max_retries: int | None = None,
+        backoff: float | None = None,
+        journal: RunJournal | None = None,
+        resumed_keys: Collection[str] = (),
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if cache == "default":
@@ -193,12 +384,14 @@ class ParallelRunner:
             # produced without probes/tracing and carries no metrics.
             cache = None if env_observability_enabled() else ResultCache.default()
         self.cache = cache
-        if timeout is not None and timeout <= 0:
-            raise ValueError(f"timeout must be > 0, got {timeout}")
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        self.timeout = timeout
+        self.timeout = resolve_timeout(timeout)
         self.chunksize = chunksize
+        self.max_retries = resolve_max_retries(max_retries)
+        self.backoff = resolve_backoff(backoff)
+        self.journal = journal
+        self.resumed_keys = frozenset(resumed_keys)
         self.stats = ExecutionStats()
 
     # --- SimJob execution (cached) ----------------------------------------
@@ -207,35 +400,59 @@ class ParallelRunner:
         """Execute every job, returning results in job order.
 
         Cache hits are served without running; misses are executed (in
-        parallel when ``jobs > 1``) and written back.
+        parallel when ``jobs > 1``) and written back to the cache and the
+        journal *as they complete*, so an interrupted run keeps every
+        finished job.
         """
         start = time.perf_counter()
         results: list[SimulationResult | None] = [None] * len(sim_jobs)
         miss_indices: list[int] = []
         keys: dict[int, str] = {}
-        if self.cache is not None:
+        if self.cache is not None or self.journal is not None:
             for i, job in enumerate(sim_jobs):
                 keys[i] = key = job.key()
-                hit = self.cache.get(key)
+                hit = self.cache.get(key) if self.cache is not None else None
                 if hit is not None:
                     results[i] = hit
                     self.stats.cache_hits += 1
+                    if key in self.resumed_keys:
+                        self.stats.resumed_jobs += 1
+                        if self.journal is not None:
+                            self.journal.record(key, "resumed")
                 else:
                     miss_indices.append(i)
         else:
             miss_indices = list(range(len(sim_jobs)))
 
-        if miss_indices:
-            fresh = self._execute(
-                _run_sim_job, [sim_jobs[i] for i in miss_indices]
-            )
-            self.stats.jobs_run += len(miss_indices)
-            for i, result in zip(miss_indices, fresh):
-                results[i] = result
-                self.stats.absorb_counters(result.counters)
-                if self.cache is not None:
-                    self.cache.put(keys[i], result)
-        self.stats.wall_seconds += time.perf_counter() - start
+        try:
+            if miss_indices:
+                def on_result(mi: int, result, seconds: float, attempt: int) -> None:
+                    i = miss_indices[mi]
+                    results[i] = result
+                    self.stats.jobs_run += 1
+                    self.stats.absorb_counters(result.counters)
+                    if self.cache is not None:
+                        self.cache.put(keys[i], result)
+                    if self.journal is not None:
+                        self.journal.record(
+                            keys[i], "completed", attempt=attempt, seconds=seconds
+                        )
+
+                on_event = None
+                if self.journal is not None:
+                    def on_event(mi: int, status: str, attempt: int) -> None:
+                        self.journal.record(
+                            keys[miss_indices[mi]], status, attempt=attempt
+                        )
+
+                self._execute(
+                    _run_sim_job,
+                    [sim_jobs[i] for i in miss_indices],
+                    on_result=on_result,
+                    on_event=on_event,
+                )
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - start
         return results  # type: ignore[return-value] — every slot is filled
 
     # --- generic execution (uncached) --------------------------------------
@@ -243,82 +460,253 @@ class ParallelRunner:
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply a picklable callable to every item, preserving order."""
         start = time.perf_counter()
-        outputs = self._execute(fn, list(items))
-        self.stats.jobs_run += len(items)
-        self.stats.wall_seconds += time.perf_counter() - start
+        try:
+            outputs = self._execute(fn, list(items))
+            self.stats.jobs_run += len(items)
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - start
         return outputs
 
     # --- machinery ----------------------------------------------------------
 
-    def _execute(self, fn: Callable, items: list) -> list:
-        workers = min(self.jobs, len(items))
-        if workers <= 1:
-            return self._collect([_run_batch(fn, items)])
-        size = self.chunksize
-        chunks = [items[i : i + size] for i in range(0, len(items), size)]
-        outputs: list[list | None] = [None] * len(chunks)
-        pending = list(range(len(chunks)))
-        for attempt in (0, 1):
-            if not pending:
-                break
-            if attempt:
-                self.stats.worker_retries += len(pending)
-            pending = self._try_pool(fn, chunks, outputs, pending, workers)
-        if pending:
-            # Two pool generations failed (crashing workers, broken
-            # multiprocessing, timeouts): degrade to serial execution so
-            # the experiment still completes.
-            self.stats.inline_fallbacks += len(pending)
-            warnings.warn(
-                f"parallel execution failed for {len(pending)} job batch(es); "
-                "falling back to inline execution",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            for ci in pending:
-                outputs[ci] = _run_batch(fn, chunks[ci])
-        return self._collect(outputs)  # type: ignore[arg-type]
-
-    def _collect(self, batches: list[list]) -> list:
-        """Flatten ``(value, seconds)`` batch outputs, tracking the max."""
-        stats = self.stats
-        values = []
-        for batch in batches:
-            for value, seconds in batch:
-                stats.observe_job(seconds)
-                values.append(value)
-        return values
-
-    def _try_pool(
+    def _execute(
         self,
         fn: Callable,
-        chunks: list[list],
-        outputs: list,
-        pending: list[int],
-        workers: int,
-    ) -> list[int]:
-        """Run the pending chunks in one pool; returns the still-failed ones."""
-        failed: list[int] = []
-        try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                submitted = [
-                    (ci, pool.submit(_run_batch, fn, chunks[ci])) for ci in pending
-                ]
-                for ci, future in submitted:
-                    budget = (
-                        None if self.timeout is None
-                        else self.timeout * len(chunks[ci])
+        items: list,
+        on_result: Callable | None = None,
+        on_event: Callable | None = None,
+    ) -> list:
+        """Run ``fn`` over ``items``, returning values in item order.
+
+        ``on_result(index, value, seconds, attempt)`` streams each
+        completion the moment it lands (the cache/journal write-back
+        path); ``on_event(index, status, attempt)`` reports per-job
+        failure lifecycle (``timeout``/``crash``/``error``, then
+        ``retry`` or ``failed``).
+        """
+        results: list = [None] * len(items)
+        done = [False] * len(items)
+
+        def record(job: _Job, value, seconds: float) -> None:
+            if done[job.index]:
+                return
+            done[job.index] = True
+            results[job.index] = value
+            self.stats.observe_job(seconds)
+            if on_result is not None:
+                on_result(job.index, value, seconds, job.attempt)
+
+        job_states = [_Job(i, item) for i, item in enumerate(items)]
+        workers = min(self.jobs, len(items))
+        if workers <= 1:
+            for job in job_states:
+                ((value, seconds),) = _run_batch(fn, [(job.index, 0, job.item)])
+                record(job, value, seconds)
+            return results
+
+        size = self.chunksize
+        pending: deque[list[_Job]] = deque(
+            job_states[i : i + size] for i in range(0, len(job_states), size)
+        )
+        exhausted: list[_Job] = []
+        pool_failures = 0
+        while pending:
+            generation = list(pending)
+            pending.clear()
+            failures = self._run_generation(fn, generation, workers, record)
+            if failures is None:
+                # The pool itself could not be built (broken
+                # multiprocessing stack): nothing ran, retry whole.
+                pool_failures += 1
+                if pool_failures > max(1, self.max_retries):
+                    for chunk in generation:
+                        exhausted.extend(j for j in chunk if not done[j.index])
+                else:
+                    pending.extend(generation)
+                continue
+            backoff_delay = 0.0
+            for chunk, kind, error in failures:
+                if kind == "interrupted":
+                    # Collateral of killing another chunk's hung worker
+                    # (or of a pool break before the chunk started): it
+                    # never ran to completion, so re-running it is a
+                    # continuation, not a duplicate — and not the chunk's
+                    # own failure, so its retry budget is untouched.
+                    pending.append(chunk)
+                    continue
+                if len(chunk) > 1:
+                    # Crash isolation: bisect to fence off the poisoned
+                    # job instead of failing (or inlining) its chunk-mates.
+                    mid = len(chunk) // 2
+                    pending.append(chunk[:mid])
+                    pending.append(chunk[mid:])
+                    self.stats.chunk_bisections += 1
+                    continue
+                job = chunk[0]
+                job.attempt += 1
+                job.timed_out = kind == "timeout"
+                job.error = error
+                if on_event is not None:
+                    on_event(job.index, kind, job.attempt)
+                if job.attempt > self.max_retries:
+                    if on_event is not None:
+                        on_event(job.index, "failed", job.attempt)
+                    exhausted.append(job)
+                else:
+                    self.stats.worker_retries += 1
+                    if on_event is not None:
+                        on_event(job.index, "retry", job.attempt)
+                    pending.append(chunk)
+                    backoff_delay = max(
+                        backoff_delay, self._backoff_delay(job.attempt)
                     )
-                    try:
-                        outputs[ci] = future.result(timeout=budget)
-                    except Exception:
-                        # Worker crash (BrokenProcessPool), job exception,
-                        # or timeout: mark for retry/inline.
-                        failed.append(ci)
+            if backoff_delay > 0.0 and pending:
+                time.sleep(backoff_delay)
+        if exhausted:
+            self._finish_inline(fn, exhausted, record)
+        return results
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff before retry ``attempt`` (1-based)."""
+        if self.backoff <= 0.0:
+            return 0.0
+        return min(BACKOFF_CAP_SECONDS, self.backoff * (2.0 ** (attempt - 1)))
+
+    def _run_generation(
+        self,
+        fn: Callable,
+        chunks: list[list[_Job]],
+        workers: int,
+        record: Callable,
+    ) -> list[tuple[list[_Job], str, BaseException | None]] | None:
+        """Run one pool generation over ``chunks``.
+
+        Completed chunks stream through ``record`` as they finish
+        (``as_completed`` collection, not submission order).  Returns
+        ``(chunk, kind, error)`` for every chunk that did not complete:
+        ``"timeout"`` (blew its budget; its workers were killed),
+        ``"crash"`` (worker died), ``"error"`` (the job raised), or
+        ``"interrupted"`` (collateral of a kill/crash elsewhere).
+        Returns ``None`` when the pool could not be constructed at all.
+        """
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
         except Exception:
-            # Pool construction/teardown itself failed.
-            return [ci for ci in pending if outputs[ci] is None]
-        return failed
+            return None
+        failures: list[tuple[list[_Job], str, BaseException | None]] = []
+        futures: dict = {}
+        killed = False
+        try:
+            for chunk in chunks:
+                payload = [(j.index, j.attempt, j.item) for j in chunk]
+                try:
+                    futures[pool.submit(_run_batch, fn, payload)] = chunk
+                except Exception:
+                    # The pool broke while submitting (a worker of an
+                    # earlier chunk died instantly).
+                    failures.append((chunk, "crash", None))
+            waiting = set(futures)
+            deadlines: dict = {}
+            while waiting:
+                tick = None
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for future in waiting:
+                        if future not in deadlines and future.running():
+                            # The budget clock starts when a worker picks
+                            # the chunk up, not while it sits in the queue.
+                            deadlines[future] = (
+                                now + self.timeout * len(futures[future])
+                            )
+                    live = [deadlines[f] for f in waiting if f in deadlines]
+                    tick = _POLL_TICK
+                    if live:
+                        tick = min(_POLL_TICK, max(0.0, min(live) - now))
+                ready, waiting = wait(
+                    waiting, timeout=tick, return_when=FIRST_COMPLETED
+                )
+                for future in ready:
+                    self._harvest(future, futures[future], record, failures)
+                if self.timeout is None or not waiting:
+                    continue
+                now = time.monotonic()
+                hung = [
+                    f for f in waiting if deadlines.get(f, float("inf")) <= now
+                ]
+                if not hung:
+                    continue
+                # Genuine cancellation: SIGKILL the pool's workers so the
+                # hung chunk stops consuming a core, cannot complete later
+                # as a zombie (duplicate execution), and cannot block pool
+                # shutdown.  Survivors are classified below.
+                killed = True
+                self.stats.cancellations += len(hung)
+                for future in hung:
+                    failures.append((futures[future], "timeout", None))
+                    waiting.discard(future)
+                _kill_workers(pool)
+                for future in waiting:
+                    future.cancel()
+                    if future.done() and not future.cancelled():
+                        # Finished in the instant before the kill: a
+                        # real result — harvest it, don't re-run it.
+                        self._harvest(future, futures[future], record, failures)
+                    else:
+                        failures.append((futures[future], "interrupted", None))
+                waiting = set()
+        except BaseException:
+            # Driver interrupt (SIGINT) or an internal error: kill the
+            # workers so shutdown cannot block on them, then re-raise.
+            _kill_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=not killed, cancel_futures=True)
+        return failures
+
+    @staticmethod
+    def _harvest(future, chunk: list[_Job], record, failures) -> None:
+        """File one finished future as results or a classified failure."""
+        try:
+            batch = future.result(timeout=0)
+        except CancelledError:
+            failures.append((chunk, "interrupted", None))
+        except BrokenExecutor:
+            failures.append((chunk, "crash", None))
+        except Exception as error:
+            failures.append((chunk, "error", error))
+        else:
+            for job, (value, seconds) in zip(chunk, batch):
+                record(job, value, seconds)
+
+    def _finish_inline(self, fn: Callable, exhausted: list[_Job], record) -> None:
+        """Last resort for jobs that spent their retry budget.
+
+        Crashes/errors degrade to inline (serial) execution so a broken
+        multiprocessing stack still completes the experiment; persistent
+        timeouts raise instead — an uncancellable inline hang is worse
+        than a clean failure.
+        """
+        timed_out = [job for job in exhausted if job.timed_out]
+        if timed_out:
+            indices = ", ".join(str(job.index) for job in timed_out)
+            raise JobTimeoutError(
+                f"{len(timed_out)} job(s) (index {indices}) exceeded the "
+                f"{self.timeout}s per-job budget on every attempt "
+                f"(max_retries={self.max_retries}); their workers were "
+                "killed, and a hanging job cannot be retried inline"
+            )
+        self.stats.inline_fallbacks += len(exhausted)
+        warnings.warn(
+            f"parallel execution failed for {len(exhausted)} job(s) after "
+            f"{self.max_retries} retries; falling back to inline execution",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        for job in exhausted:
+            ((value, seconds),) = _run_batch(
+                fn, [(job.index, job.attempt, job.item)]
+            )
+            record(job, value, seconds)
 
 
 def run_sim_jobs(
@@ -327,14 +715,25 @@ def run_sim_jobs(
     jobs: int | str | None = None,
     cache: ResultCache | str | None = "default",
     timeout: float | None = None,
+    max_retries: int | None = None,
     stats: ExecutionStats | None = None,
+    journal: RunJournal | None = None,
+    resumed_keys: Collection[str] = (),
 ) -> list[SimulationResult]:
     """One-call fan-out: execute ``sim_jobs`` and return ordered results.
 
     When ``stats`` is given, the runner's counters are merged into it so
-    callers can aggregate across batches.
+    callers can aggregate across batches; ``journal``/``resumed_keys``
+    thread the checkpoint journal through (see :mod:`repro.parallel.journal`).
     """
-    runner = ParallelRunner(jobs, cache=cache, timeout=timeout)
+    runner = ParallelRunner(
+        jobs,
+        cache=cache,
+        timeout=timeout,
+        max_retries=max_retries,
+        journal=journal,
+        resumed_keys=resumed_keys,
+    )
     results = runner.run(sim_jobs)
     if stats is not None:
         stats.merge(runner.stats)

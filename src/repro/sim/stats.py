@@ -82,11 +82,16 @@ class StatsCollector:
         return sum(self.latencies) / len(self.latencies)
 
     def latency_percentile(self, q: float) -> float:
-        """Latency percentile ``q`` in [0, 100] over measured packets."""
-        if not self.latencies:
-            return math.nan
+        """Latency percentile ``q`` in [0, 100] over measured packets.
+
+        An out-of-range ``q`` is a caller bug and raises ``ValueError``
+        even with no measured packets — validation must precede the
+        empty-data ``nan``, or bad percentiles silently poison plots.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.latencies:
+            return math.nan
         data = sorted(self.latencies)
         idx = min(len(data) - 1, int(round(q / 100 * (len(data) - 1))))
         return float(data[idx])

@@ -84,6 +84,19 @@ class TestLatency:
         s.open_window(0, 100)
         assert math.isnan(s.latency_percentile(50))
 
+    def test_percentile_validates_q_before_empty_data_shortcut(self):
+        """An out-of-range q raises even with no samples — a bad q is a
+        caller bug, not a "no data yet" condition."""
+        s = StatsCollector(4)
+        s.open_window(0, 100)
+        with pytest.raises(ValueError, match="percentile"):
+            s.latency_percentile(-5)
+        with pytest.raises(ValueError, match="percentile"):
+            s.latency_percentile(120)
+        # The valid-q empty-data path still reports "no data".
+        assert math.isnan(s.latency_percentile(0))
+        assert math.isnan(s.latency_percentile(100))
+
     def test_percentile_single_sample_is_that_sample(self):
         s = StatsCollector(4)
         s.open_window(0, 100)

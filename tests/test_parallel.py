@@ -112,7 +112,7 @@ class TestResultCache:
         assert cache.get(key) is None
         assert not path.exists()
 
-    def test_unknown_envelope_is_a_miss(self, tmp_path):
+    def test_unknown_envelope_is_a_miss_and_removed(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = small_job()
         cache.put(job.key(), job.run())
@@ -121,11 +121,44 @@ class TestResultCache:
         document["envelope"] = 999
         path.write_text(json.dumps(document))
         assert cache.get(job.key()) is None
+        # The stale-envelope entry must be dropped so the slot can be
+        # rewritten cleanly by the current version.
+        assert not path.exists()
 
     def test_put_survives_unwritable_root(self):
         cache = ResultCache("/proc/definitely-not-writable/repro")
         job = small_job()
         cache.put(job.key(), job.run())  # must not raise
+
+    def test_put_skips_on_readonly_root_and_cleans_temp(
+        self, monkeypatch, tmp_path
+    ):
+        # Root runs ignore permission bits, so model a read-only cache
+        # root by failing the atomic rename itself.
+        cache = ResultCache(tmp_path)
+        job = small_job()
+
+        def denied(src, dst):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(os, "replace", denied)
+        cache.put(job.key(), job.run())  # must not raise
+        assert cache.get(job.key()) is None
+        # The orphaned temp file must not accumulate.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_put_skips_when_temp_creation_fails(self, monkeypatch, tmp_path):
+        import tempfile
+
+        cache = ResultCache(tmp_path)
+        job = small_job()
+
+        def denied(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(tempfile, "mkstemp", denied)
+        cache.put(job.key(), job.run())  # must not raise
+        assert cache.get(job.key()) is None
         assert cache.get(job.key()) is None
 
     def test_default_honours_no_cache_env(self, monkeypatch):
@@ -154,6 +187,22 @@ class TestResolveJobs:
         assert resolve_jobs(None) == 5
         monkeypatch.setenv("REPRO_JOBS", "auto")
         assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_non_numeric_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "max")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_jobs(None)
+        message = str(excinfo.value)
+        assert "$REPRO_JOBS" in message
+        assert "'max'" in message
+        assert "auto" in message
+
+    def test_non_numeric_argument_error_omits_env_var(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_jobs("many")
+        message = str(excinfo.value)
+        assert "REPRO_JOBS" not in message
+        assert "auto" in message
 
 
 class TestSerialParallelEquivalence:
