@@ -60,17 +60,53 @@ def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
+def _runner_section(stats_records: list[dict]) -> str | None:
+    """Engine attribution from the sweep-level ``execution_stats`` lines:
+    which backend ran each job, and how many cycles the array kernel
+    executed (the vectorized engine's share of the stepping work)."""
+    if not stats_records:
+        return None
+    totals: dict[str, float] = defaultdict(float)
+    for rec in stats_records:
+        for name, value in rec.get("metrics", {}).items():
+            if isinstance(value, (int, float)):
+                totals[name] += value
+    lines = [f"Runner execution ({len(stats_records)} sweep(s)):"]
+    prefix = "runner_engine_jobs_"
+    engines = {
+        name[len(prefix):]: int(count)
+        for name, count in totals.items()
+        if name.startswith(prefix)
+    }
+    if engines:
+        lines.append("  jobs by engine: " + ", ".join(
+            f"{engine}={count}" for engine, count in sorted(engines.items())))
+    kernel_cycles = int(totals.get("runner_vec_kernel_cycles", 0))
+    if kernel_cycles:
+        lines.append(f"  vectorized kernel cycles: {kernel_cycles}")
+    jobs = int(totals.get("runner_jobs_run", 0))
+    hits = int(totals.get("runner_cache_hits", 0))
+    lines.append(f"  jobs run: {jobs} | cache hits: {hits} | "
+                 f"wall: {totals.get('runner_wall_seconds', 0.0):.2f}s")
+    return "\n".join(lines)
+
+
 def summarize_metrics(path: Path) -> str:
     """Aggregate metrics snapshots per allocator and render the table."""
-    # Sweep-level runner counter lines (retries/cancellations/resumes)
-    # published by execute_spec are not per-run probe snapshots.
+    # Sweep-level runner counter lines (retries/cancellations/resumes,
+    # per-engine job counts) published by execute_spec are not per-run
+    # probe snapshots; they get their own section below the table.
+    all_records = _read_jsonl(path)
+    stats_records = [
+        rec for rec in all_records if rec.get("kind") == "execution_stats"
+    ]
     records = [
-        rec
-        for rec in _read_jsonl(path)
-        if rec.get("kind") != "execution_stats"
+        rec for rec in all_records if rec.get("kind") != "execution_stats"
     ]
     if not records:
-        return f"{path}: no metrics records"
+        runner = _runner_section(stats_records)
+        header = f"{path}: no metrics records"
+        return f"{header}\n\n{runner}" if runner else header
     by_alloc: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
     runs: dict[str, int] = defaultdict(int)
     for rec in records:
@@ -110,10 +146,12 @@ def summarize_metrics(path: Path) -> str:
                 f"{kr:.4f}",
             ]
         )
-    return (
+    out = (
         f"Allocator matching telemetry ({len(records)} run(s) in {path}):\n"
         + _fmt_table(headers, rows)
     )
+    runner = _runner_section(stats_records)
+    return f"{out}\n\n{runner}" if runner else out
 
 
 def summarize_trace(path: Path) -> str:

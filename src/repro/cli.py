@@ -56,6 +56,19 @@ def _list_schemes() -> str:
     return "\n".join(lines)
 
 
+def _list_engines() -> str:
+    """The engine registry: name, aliases, and capability flags."""
+    from repro.registry import engines
+
+    lines = ["simulation engines (--engine NAME):"]
+    for info in engines.infos():
+        aliases = f" ({', '.join(info.aliases)})" if info.aliases else ""
+        flags = f" [{', '.join(sorted(info.flags))}]" if info.flags else ""
+        lines.append(f"  {info.name + aliases:<28s}{flags}")
+        lines.append(f"      {info.label} — {info.provenance}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -76,6 +89,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for simulation fan-out: a count or 'auto' "
         "(one per CPU core); default 1 / $REPRO_JOBS",
+    )
+    parser.add_argument(
+        "--engine",
+        metavar="NAME",
+        help="simulation engine backend for every fanned-out run: dense, "
+        "gated (default), or vectorized — see 'list' for aliases and "
+        "capabilities (equivalent to REPRO_ENGINE; non-vectorizable "
+        "schemes fall back to gated)",
     )
     parser.add_argument(
         "--no-cache",
@@ -171,6 +192,17 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
         os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
 
+    if args.engine is not None:
+        from repro.registry import UnknownSchemeError, engines
+
+        try:
+            canonical = engines.canonical(args.engine)
+        except UnknownSchemeError as exc:
+            parser.error(str(exc))
+        # Environment, not argument plumbing, for the same reason as the
+        # observability flags: worker processes resolve REPRO_ENGINE too.
+        os.environ["REPRO_ENGINE"] = canonical
+
     if args.jobs is not None:
         from repro.parallel import resolve_jobs
 
@@ -186,6 +218,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_list_experiments())
         print()
         print(_list_schemes())
+        print()
+        print(_list_engines())
         return 0
     targets = sorted(EXPERIMENTS) if key == "all" else [key]
     fast = not args.full

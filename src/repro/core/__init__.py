@@ -27,6 +27,8 @@ from .arbiter import (
     MatrixArbiter,
     RoundRobinArbiter,
     make_arbiter,
+    rr_rotate,
+    rr_winner,
 )
 from .augmenting import AugmentingPathAllocator
 from .matching import hopcroft_karp, kuhn_matching, matching_size
@@ -206,5 +208,7 @@ __all__ = [
     "make_arbiter",
     "make_vc_policy",
     "matching_size",
+    "rr_rotate",
+    "rr_winner",
     "validate_grants",
 ]

@@ -12,6 +12,31 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
 
+def rr_winner(pointer: int, requests: Iterable[int], n: int) -> int | None:
+    """Round-robin selection as a pure function of ``(pointer, requests)``.
+
+    The requester with the smallest offset ``(idx - pointer) mod n`` wins.
+    This is the single scalar definition of the rotating-priority grant:
+    :class:`RoundRobinArbiter` dispatches through it, and the vectorized
+    engine's batched form (an argmin over the same rolled offsets, see
+    :mod:`repro.sim.vec.kernels`) is pinned to it by tests — so the object
+    and array allocation paths cannot drift apart.
+    """
+    win = None
+    best = n
+    for idx in requests:
+        offset = (idx - pointer) % n
+        if offset < best:
+            best = offset
+            win = idx
+    return win
+
+
+def rr_rotate(winner: int, n: int) -> int:
+    """Pointer state after granting ``winner``: one past the winner."""
+    return (winner + 1) % n
+
+
 class Arbiter(ABC):
     """Base class for ``n:1`` arbiters.
 
@@ -70,20 +95,12 @@ class RoundRobinArbiter(Arbiter):
         return self._pointer
 
     def arbitrate(self, requests: Iterable[int]) -> int | None:
-        req = set(requests)
-        if not req:
-            return None
-        n = self.num_requesters
-        for offset in range(n):
-            idx = (self._pointer + offset) % n
-            if idx in req:
-                return idx
-        return None
+        return rr_winner(self._pointer, set(requests), self.num_requesters)
 
     def update(self, winner: int) -> None:
         if not 0 <= winner < self.num_requesters:
             raise ValueError(f"winner {winner} out of range 0..{self.num_requesters - 1}")
-        self._pointer = (winner + 1) % self.num_requesters
+        self._pointer = rr_rotate(winner, self.num_requesters)
 
     def reset(self) -> None:
         self._pointer = 0

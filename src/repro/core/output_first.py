@@ -105,6 +105,31 @@ class SeparableOutputFirstAllocator(SwitchAllocator):
             grants.append(Grant(p, by_out[win], win))
         return grants
 
+    def export_pointers(self) -> dict:
+        """Snapshot of every arbiter pointer (plain lists, JSON-able).
+
+        ``output[out]`` is the phase-1 pointer (over ``num_inputs * num_vcs``
+        requesters); ``input[p][g]`` is the phase-2 pointer of port ``p``'s
+        crossbar input ``g`` (over ``num_outputs`` offering outputs).  Same
+        contract as the input-first variant: this is exactly the state the
+        vectorized engine mirrors.
+        """
+        return {
+            "output": [arb.pointer for arb in self._output_arbiters],
+            "input": [
+                [arb.pointer for arb in port_arbs]
+                for port_arbs in self._input_arbiters
+            ],
+        }
+
+    def import_pointers(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_pointers`."""
+        for arb, pointer in zip(self._output_arbiters, state["output"]):
+            arb._pointer = pointer % arb.num_requesters
+        for port_arbs, pointers in zip(self._input_arbiters, state["input"]):
+            for arb, pointer in zip(port_arbs, pointers):
+                arb._pointer = pointer % arb.num_requesters
+
     def reset(self) -> None:
         for arb in self._output_arbiters:
             arb.reset()

@@ -288,6 +288,31 @@ class SeparableInputFirstAllocator(SwitchAllocator):
             )
         return grants
 
+    def export_pointers(self) -> dict:
+        """Snapshot of every arbiter pointer (plain lists, JSON-able).
+
+        ``input[p][g]`` is the phase-1 pointer of port ``p``'s sub-group
+        ``g`` (over ``group_size`` local slots); ``output[out]`` is the
+        phase-2 pointer (over ``k * num_inputs`` crossbar inputs).  This is
+        the grant-relevant state the vectorized engine mirrors into its
+        pointer tensors, and the round-trip contract both paths share.
+        """
+        return {
+            "input": [
+                [arb.pointer for arb in port_arbs]
+                for port_arbs in self._input_arbiters
+            ],
+            "output": [arb.pointer for arb in self._output_arbiters],
+        }
+
+    def import_pointers(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_pointers`."""
+        for port_arbs, pointers in zip(self._input_arbiters, state["input"]):
+            for arb, pointer in zip(port_arbs, pointers):
+                arb._pointer = pointer % arb.num_requesters
+        for arb, pointer in zip(self._output_arbiters, state["output"]):
+            arb._pointer = pointer % arb.num_requesters
+
     def reset(self) -> None:
         for port_arbs in self._input_arbiters:
             for arb in port_arbs:

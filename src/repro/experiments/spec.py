@@ -31,7 +31,7 @@ from typing import Any, Mapping
 
 from repro.network.config import NetworkConfig, RouterConfig
 from repro.parallel import SimJob
-from repro.registry import allocators, patterns, topologies, vc_policies
+from repro.registry import allocators, engines, patterns, topologies, vc_policies
 
 #: The run shapes a scenario can take.
 SCENARIO_KINDS = ("network", "single_router", "manycore", "analytic")
@@ -107,6 +107,9 @@ class ScenarioSpec:
     #: Kind-specific options: allocator-constructor keywords for
     #: single_router scenarios, model keywords for analytic scenarios.
     options: tuple[tuple[str, Any], ...] = ()
+    #: Simulation engine backend (registry name or alias) — network kind.
+    #: "" defers to the runtime default (``REPRO_ENGINE`` or gated).
+    engine: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "key", _freeze(self.key))
@@ -132,6 +135,8 @@ class ScenarioSpec:
             object.__setattr__(self, "topology", topologies.canonical(self.topology))
         if self.kind == "network":
             object.__setattr__(self, "pattern", patterns.canonical(self.pattern))
+        if self.engine:
+            object.__setattr__(self, "engine", engines.canonical(self.engine))
 
     # --- realization -------------------------------------------------------
 
@@ -183,6 +188,7 @@ class ScenarioSpec:
             measure=measure,
             drain_limit=self.drain_limit,
             burst_length=self.burst_length,
+            engine=self.engine or None,
         )
 
     # --- serialization -----------------------------------------------------

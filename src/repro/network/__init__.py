@@ -6,9 +6,12 @@ from .flit import Flit, FlitType, Packet
 from .interface import NetworkInterface
 from .network import Network
 from .router import OutputPort, Router
+from .state import export_flow_state, import_flow_state
 
 __all__ = [
     "Flit",
+    "export_flow_state",
+    "import_flow_state",
     "FlitType",
     "InputVC",
     "Network",

@@ -1,0 +1,143 @@
+"""Flow-control state snapshots, shared by the object and array engines.
+
+:func:`export_flow_state` captures the *grant-relevant* dynamic state of a
+network — downstream credit counts, output-VC allocation flags, VC- and
+switch-allocator round-robin pointers, NI injection-channel credit state —
+as plain JSON-able data, and :func:`import_flow_state` restores it onto an
+object network.
+
+This is deliberately **not** a full checkpoint: flits and packets in
+flight stay with their owning engine (resumable execution is the sweep
+journal's job, see :mod:`repro.parallel`).  The snapshot exists for three
+consumers:
+
+* the **engine drift guard** — :meth:`repro.sim.vec.state.SoAState.export_flow_state`
+  emits the same schema from its tensors, so a test can assert the object
+  and vectorized engines agree on every pointer and credit after identical
+  runs (byte-identical results could in principle hide compensating
+  state errors; the state comparison cannot);
+* the **obs layer** — a dump of where credits/allocations sit is the
+  natural debugging artifact for allocator work;
+* **tests** — seeding a mid-traffic flow-control state without replaying
+  the traffic that produced it.
+
+Schema (``version`` 1)::
+
+    {
+      "version": 1,
+      "cycle": int,
+      "routers": [            # one entry per router id
+        {
+          "credits":   [[int per VC] | None per port],   # None: ejection/dead
+          "allocated": [[bool per VC] | None per port],
+          "va_pointers": [int per output port],
+          "sa_pointers": allocator.export_pointers() | None,
+        }, ...
+      ],
+      "interfaces": [          # one entry per terminal
+        {"credits": [int per VC], "allocated": [bool per VC]}, ...
+      ],
+    }
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .network import Network
+
+#: Schema version of the snapshot dicts produced here.
+FLOW_STATE_VERSION = 1
+
+
+def export_flow_state(network: "Network") -> dict:
+    """Snapshot the network's flow-control state as plain JSON-able data."""
+    routers = []
+    for router in network.routers:
+        credits: list[list[int] | None] = []
+        allocated: list[list[bool] | None] = []
+        for out in router.outputs:
+            if out is None or out.is_ejection:
+                # Ejection ports sink unconditionally (no credit state);
+                # dead-edge ports are never wired.
+                credits.append(None)
+                allocated.append(None)
+            else:
+                credits.append([ovc.credits for ovc in out.out_vcs])
+                allocated.append([ovc.allocated for ovc in out.out_vcs])
+        allocator = router.allocator
+        routers.append(
+            {
+                "credits": credits,
+                "allocated": allocated,
+                "va_pointers": [arb.pointer for arb in router._va_arbiters],
+                "sa_pointers": (
+                    allocator.export_pointers()
+                    if hasattr(allocator, "export_pointers")
+                    else None
+                ),
+            }
+        )
+    interfaces = [
+        {
+            "credits": [ovc.credits for ovc in ni.out_vcs],
+            "allocated": [ovc.allocated for ovc in ni.out_vcs],
+        }
+        for ni in network.interfaces
+    ]
+    return {
+        "version": FLOW_STATE_VERSION,
+        "cycle": network.cycle,
+        "routers": routers,
+        "interfaces": interfaces,
+    }
+
+
+def import_flow_state(network: "Network", state: dict) -> None:
+    """Restore a snapshot produced by :func:`export_flow_state`.
+
+    Credits, allocation flags, and arbiter pointers are written back onto
+    the object network; ``cycle`` is restored too.  Shape mismatches (a
+    snapshot from a differently configured network) raise ``ValueError``.
+    """
+    version = state.get("version")
+    if version != FLOW_STATE_VERSION:
+        raise ValueError(
+            f"unsupported flow-state version {version!r} "
+            f"(expected {FLOW_STATE_VERSION})"
+        )
+    if len(state["routers"]) != len(network.routers):
+        raise ValueError(
+            f"snapshot has {len(state['routers'])} routers, "
+            f"network has {len(network.routers)}"
+        )
+    if len(state["interfaces"]) != len(network.interfaces):
+        raise ValueError(
+            f"snapshot has {len(state['interfaces'])} interfaces, "
+            f"network has {len(network.interfaces)}"
+        )
+    for router, rstate in zip(network.routers, state["routers"]):
+        for out, creds, alloc in zip(
+            router.outputs, rstate["credits"], rstate["allocated"]
+        ):
+            if out is None or out.is_ejection:
+                continue
+            if creds is None or len(creds) != len(out.out_vcs):
+                raise ValueError(
+                    f"router {router.rid}: credit row does not match "
+                    f"{len(out.out_vcs)} output VCs"
+                )
+            for ovc, c, a in zip(out.out_vcs, creds, alloc):
+                ovc.credits = c
+                ovc.allocated = a
+        for arb, pointer in zip(router._va_arbiters, rstate["va_pointers"]):
+            arb._pointer = pointer % arb.num_requesters
+        sa = rstate["sa_pointers"]
+        if sa is not None and hasattr(router.allocator, "import_pointers"):
+            router.allocator.import_pointers(sa)
+    for ni, nstate in zip(network.interfaces, state["interfaces"]):
+        for ovc, c, a in zip(ni.out_vcs, nstate["credits"], nstate["allocated"]):
+            ovc.credits = c
+            ovc.allocated = a
+    network.cycle = state["cycle"]

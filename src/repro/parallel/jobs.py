@@ -91,6 +91,15 @@ class SimJob:
     drain_limit: int | None = None
     burst_length: float = 1.0
     fast_injection: bool = False
+    engine: str | None = None
+
+    def canonical_engine(self) -> str | None:
+        """Registry-canonical engine name (``None`` = environment default)."""
+        if self.engine is None:
+            return None
+        from repro.registry import engines
+
+        return engines.canonical(self.engine)
 
     def run(self) -> "SimulationResult":
         """Execute the simulation this job describes."""
@@ -107,10 +116,17 @@ class SimJob:
             drain_limit=self.drain_limit,
             burst_length=self.burst_length,
             fast_injection=self.fast_injection,
+            engine=self.engine,
         )
 
     def spec(self) -> dict:
-        """The job's semantic content as plain JSON-able data."""
+        """The job's semantic content as plain JSON-able data.
+
+        ``engine`` is part of the content (canonicalized, so aliases like
+        ``vec`` and ``vectorized`` share a key): engines are byte-identical
+        by contract, but keying results per engine keeps the cache able to
+        *prove* that — a stale entry can never mask an engine divergence.
+        """
         return {
             "config": dataclasses.asdict(self.config),
             "pattern": _pattern_spec(self.pattern),
@@ -122,6 +138,7 @@ class SimJob:
             "drain_limit": self.drain_limit,
             "burst_length": self.burst_length,
             "fast_injection": self.fast_injection,
+            "engine": self.canonical_engine(),
         }
 
     def key(self) -> str:

@@ -176,7 +176,15 @@ class ExecutionStats:
     max_job_seconds: float = 0.0
     #: Per-phase (warmup/measure/drain) wall time summed over the fresh
     #: runs; only populated when profiling is on (``REPRO_PROFILE``).
+    #: The vectorized engine adds a ``kernel`` phase (array-kernel time),
+    #: which is how ``report_metrics.py`` attributes time to the SoA core.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Fresh jobs per resolved engine backend (cache hits excluded).
+    engine_jobs: dict[str, int] = field(default_factory=dict)
+    #: Cycles executed through the SoA array kernel across the fresh runs
+    #: (the vectorized counterpart of ``router_wakeups``; low-load runs
+    #: that delegated to the gated engine contribute nothing).
+    vec_kernel_cycles: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats block into this one."""
@@ -190,15 +198,21 @@ class ExecutionStats:
         self.chunk_bisections += other.chunk_bisections
         self.router_wakeups += other.router_wakeups
         self.cycles_skipped += other.cycles_skipped
+        self.vec_kernel_cycles += other.vec_kernel_cycles
         if other.max_job_seconds > self.max_job_seconds:
             self.max_job_seconds = other.max_job_seconds
         for phase, seconds in other.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        for engine, count in other.engine_jobs.items():
+            self.engine_jobs[engine] = self.engine_jobs.get(engine, 0) + count
 
-    def absorb_counters(self, counters: dict) -> None:
+    def absorb_counters(self, counters: dict, engine: str | None = None) -> None:
         """Fold one simulation's activity counters into the batch view."""
         self.router_wakeups += counters.get("router_wakeups", 0)
         self.cycles_skipped += counters.get("cycles_skipped", 0)
+        self.vec_kernel_cycles += counters.get("vec_kernel_cycles", 0)
+        if engine is not None:
+            self.engine_jobs[engine] = self.engine_jobs.get(engine, 0) + 1
         for phase, seconds in spans_from_counters(counters).items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
@@ -220,8 +234,11 @@ class ExecutionStats:
             "chunk_bisections": self.chunk_bisections,
             "router_wakeups": self.router_wakeups,
             "cycles_skipped": self.cycles_skipped,
+            "vec_kernel_cycles": self.vec_kernel_cycles,
             "max_job_seconds": round(self.max_job_seconds, 3),
         }
+        if self.engine_jobs:
+            data["engine_jobs"] = dict(sorted(self.engine_jobs.items()))
         if self.phase_seconds:
             data["phase_seconds"] = {
                 phase: round(seconds, 3)
@@ -244,6 +261,9 @@ class ExecutionStats:
         registry.counter("runner_chunk_bisections").inc(self.chunk_bisections)
         registry.gauge("runner_wall_seconds").set(round(self.wall_seconds, 3))
         registry.gauge("runner_max_job_seconds").set(round(self.max_job_seconds, 3))
+        registry.counter("runner_vec_kernel_cycles").inc(self.vec_kernel_cycles)
+        for engine, count in sorted(self.engine_jobs.items()):
+            registry.counter(f"runner_engine_jobs_{engine}").inc(count)
 
     def summary(self) -> str:
         """One-line human-readable form for table footers."""
@@ -262,6 +282,14 @@ class ExecutionStats:
             line += f" | resumed: {self.resumed_jobs}"
         if self.chunk_bisections:
             line += f" | chunk bisections: {self.chunk_bisections}"
+        if self.engine_jobs:
+            mix = " ".join(
+                f"{engine}={count}"
+                for engine, count in sorted(self.engine_jobs.items())
+            )
+            line += f" | engines: {mix}"
+        if self.vec_kernel_cycles:
+            line += f" | vec kernel cycles: {self.vec_kernel_cycles}"
         if self.phase_seconds:
             spans = " ".join(
                 f"{phase}={seconds:.2f}s"
@@ -269,6 +297,16 @@ class ExecutionStats:
             )
             line += f" | phases: {spans}"
         return line
+
+
+def _resolved_engine(job: SimJob) -> str:
+    """The engine a job actually runs on: its own, or the runtime default."""
+    name = job.canonical_engine()
+    if name is not None:
+        return name
+    from repro.sim.engines import default_engine
+
+    return default_engine() or "gated"
 
 
 def _run_sim_job(job: SimJob) -> SimulationResult:
@@ -430,7 +468,9 @@ class ParallelRunner:
                     i = miss_indices[mi]
                     results[i] = result
                     self.stats.jobs_run += 1
-                    self.stats.absorb_counters(result.counters)
+                    self.stats.absorb_counters(
+                        result.counters, engine=_resolved_engine(sim_jobs[i])
+                    )
                     if self.cache is not None:
                         self.cache.put(keys[i], result)
                     if self.journal is not None:

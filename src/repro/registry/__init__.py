@@ -7,7 +7,8 @@ one of the registries below:
 * :data:`vc_policies` — output-VC assignment policies (:mod:`repro.core.vc_policy`);
 * :data:`topologies` — network topologies (:mod:`repro.topology`);
 * :data:`patterns` — synthetic traffic patterns (:mod:`repro.traffic.patterns`);
-* :data:`experiments` — table/figure drivers (:mod:`repro.experiments`).
+* :data:`experiments` — table/figure drivers (:mod:`repro.experiments`);
+* :data:`engines` — simulation engine backends (:mod:`repro.sim.engines`).
 
 Each registry lazily imports its providing module on first lookup, so this
 package stays import-light (stdlib only) and cycle-free: providers import
@@ -41,6 +42,8 @@ topologies = Registry("topology", provider="repro.topology")
 patterns = Registry("traffic pattern", provider="repro.traffic.patterns")
 #: Experiment drivers (one per paper table/figure plus extensions).
 experiments = Registry("experiment", provider="repro.experiments")
+#: Simulation engine backends (dense / gated object stepping, numpy SoA).
+engines = Registry("engine", provider="repro.sim.engines")
 
 #: Every registry, for ``list`` output and completeness checks.
 ALL_REGISTRIES: tuple[Registry, ...] = (
@@ -49,6 +52,7 @@ ALL_REGISTRIES: tuple[Registry, ...] = (
     topologies,
     patterns,
     experiments,
+    engines,
 )
 
 __all__ = [
@@ -60,6 +64,7 @@ __all__ = [
     "UnknownSchemeError",
     "VIRTUAL_INPUT_PER_VC",
     "allocators",
+    "engines",
     "experiments",
     "patterns",
     "topologies",

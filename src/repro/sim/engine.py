@@ -116,6 +116,16 @@ class Simulation:
         self.injector.tick(self.network.cycle)
         self.network.step()
 
+    def flow_state(self) -> dict:
+        """Flow-control snapshot (see :mod:`repro.network.state`).
+
+        Same schema as ``VectorizedSimulation.flow_state()``; byte-equal
+        dicts after identical runs are the engines' no-drift contract.
+        """
+        from repro.network.state import export_flow_state
+
+        return export_flow_state(self.network)
+
     def _maybe_skip(self, budget: int) -> int:
         """Fast-forward up to ``budget`` quiescent cycles; returns how many.
 
@@ -237,6 +247,7 @@ def run_simulation(
     fast_injection: bool = False,
     activity_gating: bool = True,
     obs: ObservabilityConfig | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulation`.
 
@@ -245,18 +256,44 @@ def run_simulation(
     ``activity_gating=False`` restores the dense every-component scan —
     useful only as the equivalence/benchmark baseline.  ``obs`` defaults
     to the environment-resolved observability config (off by default).
+
+    ``engine`` picks the execution backend by registry name (``dense``,
+    ``gated``, ``vectorized``; see :mod:`repro.sim.engines`).  An explicit
+    name is strict — an unsupported scheme on the vectorized engine
+    raises.  ``None`` consults the ``REPRO_ENGINE`` environment default
+    *leniently*: a non-vectorizable configuration falls back to the gated
+    object engine instead of failing, so a sweep mixing VIX with
+    wavefront jobs can still run under ``REPRO_ENGINE=vectorized``.
+    When neither names an engine, ``activity_gating`` selects between the
+    two object engines exactly as before.
     """
-    sim = Simulation(
-        config,
+    sim_kwargs = dict(
         pattern=pattern,
         injection_rate=injection_rate,
         packet_length=packet_length,
         seed=seed,
         burst_length=burst_length,
         fast_injection=fast_injection,
-        activity_gating=activity_gating,
         obs=obs,
     )
+    from repro.sim.engines import default_engine, make_engine
+
+    chosen = engine
+    if chosen is None:
+        chosen = default_engine()
+        if chosen is not None:
+            from repro.sim.vec.support import vectorization_unsupported_reason
+
+            from repro.registry import engines as engine_registry
+
+            if engine_registry.canonical(chosen) == "vectorized" and (
+                vectorization_unsupported_reason(config) is not None
+            ):
+                chosen = "gated"
+    if chosen is not None:
+        sim = make_engine(chosen, config, **sim_kwargs)
+    else:
+        sim = Simulation(config, activity_gating=activity_gating, **sim_kwargs)
     return sim.run(warmup=warmup, measure=measure, drain_limit=drain_limit)
 
 

@@ -1,0 +1,114 @@
+"""Simulation engine backends, registered like every other scheme axis.
+
+Three engines share one semantic contract — byte-identical
+:class:`~repro.sim.engine.SimulationResult` values for the same
+configuration and seed — and differ only in how the per-cycle work is
+executed:
+
+* ``dense`` — object stepping visiting every router and NI every cycle
+  (the original reference loop; equivalence/benchmark baseline);
+* ``gated`` — object stepping visiting only active components (the
+  default: fastest at low load, ~parity with dense at saturation);
+* ``vectorized`` — a struct-of-arrays numpy kernel batching VC and switch
+  allocation across every router per cycle (:mod:`repro.sim.vec`); wins at
+  and past saturation.  Only schemes whose grant semantics have an array
+  formulation are supported (separable IF/OF and the VIX family); anything
+  else fails loudly through :func:`repro.sim.vec.require_vectorizable`.
+
+The registry keeps this a normal scheme axis: ``--engine`` on the CLI,
+``engine=`` on :func:`~repro.sim.engine.run_simulation`,
+:class:`~repro.parallel.SimJob`, and :class:`~repro.experiments.spec.ScenarioSpec`
+all canonicalize through :data:`repro.registry.engines`, and ``python -m
+repro list`` prints the table below.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.registry import engines as engine_registry
+
+if TYPE_CHECKING:
+    from repro.network.config import NetworkConfig
+
+#: Capability flag: per-object Python stepping (Router/Arbiter instances).
+OBJECT_STEPPING = "object_stepping"
+#: Capability flag: skips idle routers/NIs (activity-gated stepping).
+ACTIVITY_GATED = "activity_gated"
+#: Capability flag: struct-of-arrays numpy cycle kernel.
+SOA_KERNEL = "soa_kernel"
+#: Capability flag: needs the optional numpy dependency at run time.
+REQUIRES_NUMPY = "requires_numpy"
+#: Capability flag: restricted scheme support (non-vectorizable allocators
+#: and topologies are rejected with the registry-style error).
+CAPABILITY_GATED = "capability_gated"
+
+#: Environment variable naming the default engine (set by ``--engine``).
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def _object_engine(activity_gating: bool):
+    def build(config: "NetworkConfig", **sim_kwargs):
+        from repro.sim.engine import Simulation
+
+        return Simulation(config, activity_gating=activity_gating, **sim_kwargs)
+
+    build.__name__ = "make_gated" if activity_gating else "make_dense"
+    return build
+
+
+def _vectorized_engine(config: "NetworkConfig", **sim_kwargs):
+    try:
+        from repro.sim.vec import VectorizedSimulation
+    except ImportError as exc:
+        raise ImportError(
+            "the 'vectorized' engine needs numpy, which is not installed; "
+            "install it (pip install 'numpy>=1.24') or pick one of the "
+            "object engines ('dense', 'gated')"
+        ) from exc
+    return VectorizedSimulation(config, **sim_kwargs)
+
+
+engine_registry.register(
+    "dense",
+    _object_engine(False),
+    aliases=("object",),
+    label="dense object stepping",
+    provenance="reference loop; every router and NI visited every cycle",
+    flags=(OBJECT_STEPPING,),
+)
+engine_registry.register(
+    "gated",
+    _object_engine(True),
+    aliases=("fast",),
+    label="activity-gated object stepping",
+    provenance="default; byte-identical to dense, skips idle components",
+    flags=(OBJECT_STEPPING, ACTIVITY_GATED),
+)
+engine_registry.register(
+    "vectorized",
+    _vectorized_engine,
+    aliases=("vec", "numpy", "soa"),
+    label="struct-of-arrays numpy kernel",
+    provenance="batched per-cycle array ops; byte-identical to dense "
+    "for separable IF/OF and the VIX family",
+    flags=(SOA_KERNEL, REQUIRES_NUMPY, CAPABILITY_GATED),
+)
+
+
+def default_engine() -> str | None:
+    """The environment-selected default engine, or ``None`` when unset."""
+    name = os.environ.get(ENGINE_ENV, "").strip()
+    return engine_registry.canonical(name) if name else None
+
+
+def make_engine(name: str, config: "NetworkConfig", **sim_kwargs):
+    """Build a simulation object for ``config`` on the named engine.
+
+    ``sim_kwargs`` are the :class:`~repro.sim.engine.Simulation` keyword
+    arguments minus ``activity_gating`` (each engine fixes its own stepping
+    mode).  The returned object exposes ``run(warmup, measure,
+    drain_limit)`` returning a :class:`~repro.sim.engine.SimulationResult`.
+    """
+    return engine_registry.create(name, config, **sim_kwargs)

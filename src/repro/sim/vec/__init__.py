@@ -1,0 +1,33 @@
+"""Struct-of-arrays (numpy) simulation engine — the ``vectorized`` backend.
+
+The capability checks (:mod:`~repro.sim.vec.support`) are numpy-free and
+import eagerly — callers probe vectorizability without the dependency.
+:class:`VectorizedSimulation` loads lazily on first attribute access and
+is what actually needs numpy; the engine registry
+(:mod:`repro.sim.engines`) catches the ImportError and re-raises it with
+install guidance, so numpy-less environments keep the object engines fully
+working.
+"""
+
+from .support import (
+    SUPPORTED_ALLOCATORS,
+    SUPPORTED_VC_POLICIES,
+    require_vectorizable,
+    vectorization_unsupported_reason,
+)
+
+
+def __getattr__(name: str):
+    if name == "VectorizedSimulation":
+        from .engine import VectorizedSimulation
+
+        return VectorizedSimulation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "SUPPORTED_ALLOCATORS",
+    "SUPPORTED_VC_POLICIES",
+    "VectorizedSimulation",
+    "require_vectorizable",
+    "vectorization_unsupported_reason",
+]

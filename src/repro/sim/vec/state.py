@@ -1,0 +1,364 @@
+"""Struct-of-arrays state for the vectorized engine.
+
+The object engine scatters router state across ``Router``/``InputVC``/
+``OutputPort`` instances; the SoA kernel keeps the same information as a
+handful of dense numpy tensors indexed ``[router, port, vc]`` so one array
+op touches every router per cycle:
+
+====================  =========  ==================================================
+array                 shape      object-engine equivalent
+====================  =========  ==================================================
+``st``                (R, P, V)  ``InputVC.state`` (IDLE / VA_WAIT / ACTIVE)
+``occ``               (R, P, V)  ``len(InputVC.queue)``
+``hseq``              (R, P, V)  seq number of the head-of-line flit
+``pkt``               (R, P, V)  interned index of the packet owning the VC
+``dst``               (R, P, V)  destination terminal of that packet
+``outp`` / ``outv``   (R, P, V)  ``InputVC.out_port`` / ``InputVC.out_vc``
+``ocred``             (R, P, V)  ``OutputPort.out_vcs[v].credits``
+``oalloc``            (R, P, V)  ``OutputPort.out_vcs[v].allocated``
+====================  =========  ==================================================
+
+Buffered flits are not stored individually: wormhole links deliver a
+packet's flits in seq order into an atomically-allocated VC, so a VC's
+queue is always the contiguous seq range ``[hseq, hseq + occ)`` of one
+packet — occupancy plus head seq reconstruct it exactly.
+
+Arbiter pointers live in integer tensors (one per arbitration point) with
+the same power-on value (0) and rotation rule as
+:class:`~repro.core.arbiter.RoundRobinArbiter`.  Static topology facts
+(routing, lookahead, link endpoints) are precomputed once into lookup
+tables so the per-cycle kernels are pure array arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.registry import allocators, vc_policies
+
+#: VC states, numerically identical to :class:`repro.network.buffer.VCState`.
+IDLE = 0
+VA_WAIT = 1
+ACTIVE = 2
+
+
+class SoAState:
+    """Dense tensors mirroring one :class:`~repro.network.network.Network`.
+
+    Built from a freshly-constructed network (power-on state: everything
+    idle, every credit at ``buffer_depth``, every pointer at 0).
+    """
+
+    def __init__(self, network) -> None:
+        topo = network.topology
+        config = network.config
+        rc = config.router
+        R = topo.num_routers
+        P = topo.radix
+        V = rc.num_vcs
+        C = topo.concentration
+        T = topo.num_terminals
+        self.R, self.P, self.V, self.C, self.T = R, P, V, C, T
+        self.depth = rc.buffer_depth
+
+        # --- static topology tables ------------------------------------------
+        # Output port toward each destination terminal (Router._route_table).
+        self.route_tab = np.array(
+            [[topo.route(r, t) for t in range(T)] for r in range(R)], dtype=np.int64
+        )
+        # Direction class per (non-local) port; -1 stands in for "ejects
+        # downstream" (the policy's downstream_direction=None).
+        cls_of_port = [
+            -1 if topo.is_local_port(p) else topo.port_direction_class(p)
+            for p in range(P)
+        ]
+        # Link endpoint tables.  down_* follow an output port to the
+        # downstream (router, input port); up_* follow an input port back to
+        # the upstream output port.  -1 marks dead edges / local ports (an
+        # NI, not a router, sits upstream of a local input port).
+        self.down_r = np.full((R, P), -1, dtype=np.int64)
+        self.down_p = np.full((R, P), -1, dtype=np.int64)
+        self.up_r = np.full((R, P), -1, dtype=np.int64)
+        self.up_p = np.full((R, P), -1, dtype=np.int64)
+        for spec in topo.links():
+            self.down_r[spec.src_router, spec.src_port] = spec.dst_router
+            self.down_p[spec.src_router, spec.src_port] = spec.dst_port
+            self.up_r[spec.dst_router, spec.dst_port] = spec.src_router
+            self.up_p[spec.dst_router, spec.dst_port] = spec.src_port
+        # Terminal attached to each local port.
+        self.term_tab = np.array(
+            [[topo.terminal_of(r, p) for p in range(C)] for r in range(R)],
+            dtype=np.int64,
+        )
+        # Lookahead table: Topology.lookahead_direction(r, p, t) with None
+        # encoded as -1.  Only consulted for VA winners, whose out ports are
+        # always wired and non-local.
+        cls_arr = np.array(cls_of_port, dtype=np.int64)
+        self.la_tab = np.full((R, P, T), -1, dtype=np.int64)
+        for r in range(R):
+            for p in range(C, P):
+                nb = topo.neighbor(r, p)
+                if nb is None:
+                    continue
+                nxt = self.route_tab[nb[0]]
+                self.la_tab[r, p] = np.where(nxt < C, -1, cls_arr[nxt])
+
+        # --- allocation-scheme shape -----------------------------------------
+        allocator = allocators.canonical(rc.allocator)
+        self.output_first = allocator == "output_first"
+        # Crossbar inputs per port (phase-1/phase-2 arbiter shape).  OF is
+        # registered as a conventional scheme (its registry factory drops
+        # the configured virtual_inputs), so k is 1 there too, but keep the
+        # distinction explicit: the OF kernel mirrors different phases.
+        self.k = 1 if self.output_first else max(1, rc.effective_virtual_inputs)
+        self.gs = V // self.k
+        policy = vc_policies.canonical(rc.vc_policy)
+        self.policy_vix = policy == "vix_dimension"
+        # VC-policy sub-group shape (the policy sees the same effective k
+        # the router hands it: 1 for conventional allocators).
+        self.k_pol = max(1, rc.effective_virtual_inputs)
+        self.gs_pol = max(1, V // self.k_pol)
+        # Rank credits sums below candidate counts (policy key (count, sum)).
+        self.sumcap = V * rc.buffer_depth + 1
+
+        # --- dynamic per-VC state --------------------------------------------
+        shape = (R, P, V)
+        self.st = np.zeros(shape, dtype=np.int64)
+        self.occ = np.zeros(shape, dtype=np.int64)
+        self.hseq = np.zeros(shape, dtype=np.int64)
+        self.pkt = np.full(shape, -1, dtype=np.int64)
+        self.dst = np.full(shape, -1, dtype=np.int64)
+        self.outp = np.full(shape, -1, dtype=np.int64)
+        self.outv = np.full(shape, -1, dtype=np.int64)
+        self.ocred = np.full(shape, rc.buffer_depth, dtype=np.int64)
+        self.oalloc = np.zeros(shape, dtype=bool)
+
+        # --- arbiter pointers -------------------------------------------------
+        # VA: one radix*V arbiter per output port (Router._va_arbiters).
+        self.va_ptr = np.zeros((R, P), dtype=np.int64)
+        if self.output_first:
+            # SA phase 1: one (P*V):1 arbiter per output port; phase 2: one
+            # P:1 arbiter per input port (k is always 1 for OF).
+            self.of_out_ptr = np.zeros((R, P), dtype=np.int64)
+            self.of_in_ptr = np.zeros((R, P), dtype=np.int64)
+        else:
+            # SA phase 1: one gs:1 arbiter per crossbar input (P*k of them);
+            # phase 2: one (P*k):1 arbiter per output port.
+            self.in_ptr = np.zeros((R, P * self.k), dtype=np.int64)
+            self.out_ptr = np.zeros((R, P), dtype=np.int64)
+
+        # --- round-robin roll / increment tables ------------------------------
+        # roll_*[ptr, slot] = (slot - ptr) % n and inc_*[slot] = (slot + 1) % n,
+        # precomputed per arbiter width so the kernels' winner argmin and
+        # pointer rotation are single gathers instead of arange/sub/mod chains.
+        def _roll(n: int) -> np.ndarray:
+            return (np.arange(n) - np.arange(n)[:, None]) % n
+
+        def _inc(n: int) -> np.ndarray:
+            return (np.arange(n) + 1) % n
+
+        self.roll_va = _roll(P * V)
+        self.inc_va = _inc(P * V)
+        if self.output_first:
+            self.roll_of1 = _roll(P * V)
+            self.inc_of1 = _inc(P * V)
+            self.roll_of2 = _roll(P)
+            self.inc_of2 = _inc(P)
+        else:
+            self.roll_p1 = _roll(self.gs)
+            self.inc_p1 = _inc(self.gs)
+            self.roll_p2 = _roll(P * self.k)
+            self.inc_p2 = _inc(P * self.k)
+            # VC-id base of each crossbar input: input p*k + j serves the
+            # contiguous VC group [j*gs, (j+1)*gs).
+            self.g_base = (np.arange(P * self.k) % self.k) * self.gs
+
+        # --- flat aliases and index tables ------------------------------------
+        # Kernels address every tensor through 1-D raveled views with
+        # precomputed flat indices: single-array fancy indexing is several
+        # times cheaper than multi-axis advanced indexing at these sizes
+        # (dispatch overhead, not element count, dominates).  All views share
+        # memory with the 3-D tensors above.
+        self.PV = P * V
+        self.RP = R * P
+        self.Pk = P * self.k
+        self.st1 = self.st.reshape(-1)
+        self.occ1 = self.occ.reshape(-1)
+        self.hseq1 = self.hseq.reshape(-1)
+        self.pkt1 = self.pkt.reshape(-1)
+        self.dst1 = self.dst.reshape(-1)
+        self.outp1 = self.outp.reshape(-1)
+        self.outv1 = self.outv.reshape(-1)
+        self.ocred1 = self.ocred.reshape(-1)
+        self.oalloc1 = self.oalloc.reshape(-1)
+        self.ocred2d = self.ocred.reshape(R * P, V)
+        self.oalloc2d = self.oalloc.reshape(R * P, V)
+        self.va_ptr1 = self.va_ptr.reshape(-1)
+        if self.output_first:
+            self.of_out_ptr1 = self.of_out_ptr.reshape(-1)
+            self.of_in_ptr1 = self.of_in_ptr.reshape(-1)
+            self.roll_of1_1 = self.roll_of1.reshape(-1)
+            self.roll_of2_1 = self.roll_of2.reshape(-1)
+        else:
+            self.in_ptr1 = self.in_ptr.reshape(-1)
+            self.out_ptr1 = self.out_ptr.reshape(-1)
+            self.roll_p1_1 = self.roll_p1.reshape(-1)
+            self.roll_p2_1 = self.roll_p2.reshape(-1)
+        self.roll_va1 = self.roll_va.reshape(-1)
+        self.route1 = self.route_tab.reshape(-1)
+        self.la1 = self.la_tab.reshape(-1)
+        self.term1 = self.term_tab.reshape(-1)
+        # Flat flit-arrival index of the VC fed by output port (r, p):
+        # (down_r * P + down_p) * V, ready to add the VC id; -1 where unwired.
+        self.down_fi1 = np.where(
+            self.down_r >= 0, (self.down_r * P + self.down_p) * V, -1
+        ).reshape(-1)
+        # Flat credit index base of the upstream output VC behind input port
+        # (r, p): (up_r * P + up_p) * V; -1 for local/unwired ports.
+        self.up_cfi1 = np.where(
+            self.up_r >= 0, (self.up_r * P + self.up_p) * V, -1
+        ).reshape(-1)
+        # Free (unallocated) output-VC count per (router, port), maintained
+        # incrementally by the VA kernel (-1 per grant) and credit release
+        # (+1) — replaces a per-cycle oalloc reduction.
+        self.nfree = np.full(R * P, V, dtype=np.int64)
+        # Group-membership matrix for the vix_dimension score matmul:
+        # grp_mat[v, j] = 1 iff VC v belongs to policy sub-group j.
+        self.grp_mat = np.zeros((V, self.k_pol), dtype=np.int64)
+        for j in range(self.k_pol):
+            self.grp_mat[j * self.gs_pol : (j + 1) * self.gs_pol, j] = 1
+        self._arV = np.arange(V)
+        self._args = np.arange(self.gs_pol)
+        # Cached arange (and its row strides) covering any kernel row count;
+        # slicing a precomputed array beats per-call np.arange allocation.
+        self._arN = np.arange(max(R * P * V, T))
+        self._arNk = self._arN * self.k_pol
+        self._arNV = self._arN * V
+        # dirmap[d + 1] = max(d, 0) % k_pol for the policy's preferred-group
+        # lookup (direction classes are bounded by the topology's dimensions,
+        # well under T; -1 means "ejects downstream").
+        self.dirmap = np.maximum(np.arange(-1, T + 1), 0) % self.k_pol
+        # Fused vix_dimension sort key (see kernels.select_vix_dimension):
+        # lexicographic (forced-group, group score, -group id, local value)
+        # packed into one int64 per VC.  m1 exceeds any per-VC value
+        # (creds + sumcap), m2 any group-id term, the bonus any group score
+        # term; vix_bonus[d + 1, v] pre-resolves direction d to its forced
+        # bonus row (all-zero for d = -1, "ejects downstream").
+        gof = self._arV // self.gs_pol  # group of each VC
+        m1 = self.sumcap + self.depth + 1
+        self._m2 = self.k_pol * m1
+        self.gtb = (self.k_pol - 1 - gof) * m1
+        bonus = (V * (self.sumcap + self.depth) + 1) * self._m2
+        self.vix_bonus = np.zeros((T + 2, V), dtype=np.int64)
+        for d in range(T + 1):
+            self.vix_bonus[d + 1] = (gof == self.dirmap[d + 1]) * bonus
+        self.gof = gof
+
+        # --- vectorized NI state ----------------------------------------------
+        # Mirrors NetworkInterface: per-terminal output VCs (credits +
+        # allocation) and the packet currently streaming onto the injection
+        # channel.  The object NIs keep owning the source queues (the
+        # injector enqueues into them); only allocation/streaming vectorize.
+        self.ni_cred1 = np.full(T * V, rc.buffer_depth, dtype=np.int64)
+        self.ni_alloc1 = np.zeros(T * V, dtype=bool)
+        self.ni_vc = np.full(T, -1, dtype=np.int64)
+        self.ni_rem = np.zeros(T, dtype=np.int64)
+        self.ni_seq = np.zeros(T, dtype=np.int64)
+        self.ni_pk = np.full(T, -1, dtype=np.int64)
+        rof = [topo.router_of(t) for t in range(T)]
+        # Flat flit-arrival base of each terminal's injection channel.
+        self.ni_fi1 = np.array(
+            [(r * P + p) * V for r, p in rof], dtype=np.int64
+        )
+        # First-hop direction class per (source terminal, destination):
+        # port_direction_class(route(router, dst)), None encoded as -1
+        # (cls_arr already carries -1 for local ports).
+        self.ni_dir1 = cls_arr[self.route_tab][
+            np.array([r for r, _ in rof], dtype=np.int64)
+        ].reshape(-1)
+
+        # Per-link flit counts, flushed into Network._link_counts at run end.
+        self.links = np.zeros((R, P), dtype=np.int64)
+        self.links1 = self.links.reshape(-1)
+
+        # --- packet interning -------------------------------------------------
+        # Flits are not objects in the kernel: events carry (packet index,
+        # seq) and the arrays above carry the rest.  The real Packet objects
+        # are kept (stats need ``ejected_cycle`` and ``created_cycle``).
+        self.packets: list = []
+        cap = 4096
+        self.pk_dst = np.zeros(cap, dtype=np.int64)
+        self.pk_last = np.zeros(cap, dtype=np.int64)
+
+    def export_flow_state(self, cycle: int) -> dict:
+        """Flow-control snapshot in the object engine's schema.
+
+        Emits exactly what :func:`repro.network.state.export_flow_state`
+        produces for an object network in the same dynamic state — the
+        cross-engine drift guard: after identical runs the two dicts must
+        compare equal, credit by credit and pointer by pointer.
+        """
+        from repro.network.state import FLOW_STATE_VERSION
+
+        routers = []
+        for r in range(self.R):
+            credits: list[list[int] | None] = []
+            allocated: list[list[bool] | None] = []
+            for p in range(self.P):
+                if p < self.C or self.down_r[r, p] < 0:
+                    # Ejection/dead ports: no credit state (matches the
+                    # object engine's unwired outputs).
+                    credits.append(None)
+                    allocated.append(None)
+                else:
+                    credits.append([int(c) for c in self.ocred[r, p]])
+                    allocated.append([bool(a) for a in self.oalloc[r, p]])
+            if self.output_first:
+                sa = {
+                    "output": [int(x) for x in self.of_out_ptr[r]],
+                    "input": [[int(self.of_in_ptr[r, p])] for p in range(self.P)],
+                }
+            else:
+                sa = {
+                    "input": [
+                        [int(self.in_ptr[r, p * self.k + g]) for g in range(self.k)]
+                        for p in range(self.P)
+                    ],
+                    "output": [int(x) for x in self.out_ptr[r]],
+                }
+            routers.append(
+                {
+                    "credits": credits,
+                    "allocated": allocated,
+                    "va_pointers": [int(x) for x in self.va_ptr[r]],
+                    "sa_pointers": sa,
+                }
+            )
+        interfaces = [
+            {
+                "credits": [
+                    int(c) for c in self.ni_cred1[t * self.V : (t + 1) * self.V]
+                ],
+                "allocated": [
+                    bool(a) for a in self.ni_alloc1[t * self.V : (t + 1) * self.V]
+                ],
+            }
+            for t in range(self.T)
+        ]
+        return {
+            "version": FLOW_STATE_VERSION,
+            "cycle": cycle,
+            "routers": routers,
+            "interfaces": interfaces,
+        }
+
+    def intern(self, packet) -> int:
+        """Register a packet; returns its dense index for the event arrays."""
+        idx = len(self.packets)
+        if idx == self.pk_dst.size:
+            self.pk_dst = np.concatenate([self.pk_dst, np.zeros_like(self.pk_dst)])
+            self.pk_last = np.concatenate([self.pk_last, np.zeros_like(self.pk_last)])
+        self.packets.append(packet)
+        self.pk_dst[idx] = packet.dst
+        self.pk_last[idx] = packet.num_flits - 1
+        return idx

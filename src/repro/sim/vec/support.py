@@ -1,0 +1,89 @@
+"""Which configurations the vectorized engine can execute.
+
+The struct-of-arrays kernel batches *separable* round-robin arbitration:
+phase-1/phase-2 pointer updates are data-parallel across routers because
+each arbiter's decision depends only on its own pointer and request lines.
+Schemes whose grant rule is inherently sequential or graph-shaped have no
+such formulation and stay on the object engines:
+
+* ``wavefront`` — diagonal-sweep priority couples every (input, output)
+  cell; the sweep order *is* the algorithm.
+* ``augmenting_path`` — maximum matching via path search over the request
+  graph.
+* ``packet_chaining`` — reuses last cycle's matching with chained holds.
+* ``sparoflo`` — multi-request iterative rounds with inter-round coupling.
+
+VC-selection policies and topologies are gated the same way: the kernel
+implements ``max_credit`` and ``vix_dimension`` arithmetic directly, and it
+precomputes routing/lookahead tables from the topology, which is only valid
+when the topology does not override dateline VC masking
+(:meth:`~repro.topology.base.Topology.allowed_vcs`, e.g. the torus).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.registry import UnknownSchemeError, allocators, vc_policies
+from repro.topology import make_topology
+from repro.topology.base import Topology
+
+if TYPE_CHECKING:
+    from repro.network.config import NetworkConfig
+
+#: Allocator schemes (canonical names) with an array formulation.
+SUPPORTED_ALLOCATORS = ("input_first", "output_first", "vix", "ideal_vix")
+#: VC-selection policies the VA kernel implements.
+SUPPORTED_VC_POLICIES = ("max_credit", "vix_dimension")
+
+
+def vectorization_unsupported_reason(config: "NetworkConfig") -> str | None:
+    """Why ``config`` cannot run on the SoA kernel, or ``None`` if it can.
+
+    Checks the allocator family, the VC-selection policy, and whether the
+    topology keeps the base (permissive) ``allowed_vcs`` rule.  Returns a
+    human-readable reason suitable for an error message or a fallback log.
+    """
+    allocator = allocators.canonical(config.router.allocator)
+    if allocator not in SUPPORTED_ALLOCATORS:
+        return (
+            f"allocator {allocator!r} has no struct-of-arrays formulation "
+            f"(vectorizable allocators: {list(SUPPORTED_ALLOCATORS)})"
+        )
+    policy = vc_policies.canonical(config.router.vc_policy)
+    if policy not in SUPPORTED_VC_POLICIES:
+        return (
+            f"vc_policy {policy!r} is not implemented by the VA kernel "
+            f"(vectorizable policies: {list(SUPPORTED_VC_POLICIES)})"
+        )
+    topo = make_topology(config.topology, config.num_terminals)
+    if type(topo).allowed_vcs is not Topology.allowed_vcs:
+        return (
+            f"topology {config.topology!r} overrides allowed_vcs (dateline VC "
+            "masking), which the VA kernel does not model"
+        )
+    k = config.router.effective_virtual_inputs
+    if config.router.num_vcs % max(1, k) != 0:
+        # Unreachable through the allocator constructors (they validate the
+        # same divisibility), kept as a defensive invariant for the reshape.
+        return (
+            f"num_vcs ({config.router.num_vcs}) is not divisible by the "
+            f"effective virtual inputs ({k})"
+        )
+    return None
+
+
+def require_vectorizable(config: "NetworkConfig") -> None:
+    """Raise the registry-style error when ``config`` cannot vectorize.
+
+    Mirrors :class:`~repro.registry.UnknownSchemeError` phrasing so callers
+    see the same shape of message as for an unknown scheme name, including
+    which engines *can* run the configuration.
+    """
+    reason = vectorization_unsupported_reason(config)
+    if reason is not None:
+        raise UnknownSchemeError(
+            f"configuration not supported by engine 'vectorized': {reason}; "
+            "use engine 'dense' or 'gated' (object stepping) for this "
+            "configuration"
+        )
