@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs fault-smoke examples all clean
+.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs fault-smoke telemetry-smoke bench-trajectory examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,16 @@ bench-obs:
 # reported number, and the run journal must record the kills/retries.
 fault-smoke:
 	$(PYTHON) scripts/check_fault_smoke.py
+
+# Telemetry smoke: monitor + HTTP server + chrome export on a reduced
+# sweep; report byte-identical to a plain run, endpoints live mid-run.
+telemetry-smoke:
+	$(PYTHON) scripts/check_telemetry_smoke.py
+
+# Merge every committed BENCH_*.json into one table and check each perf
+# PR's headline ratio against its regression guard.
+bench-trajectory:
+	$(PYTHON) scripts/bench_report.py --check
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Read the repo's perf trajectory (every BENCH_*.json) and guard it.
+
+Each perf PR leaves a ``BENCH_<tag>.json`` behind — activity-gated
+stepping (PR 2), observability overhead (PR 3), the vectorized engine
+(PR 7) — and together they form the repo's performance *trajectory*.
+This script is the one reader of that trajectory:
+
+* ``python scripts/bench_report.py`` — merge every BENCH file into one
+  aligned table (benchmark x allocator x load, all recorded metrics);
+* ``--json`` — the same merged view as a JSON document (for tooling);
+* ``--check`` — evaluate the regression guards below and exit nonzero
+  (``EXIT_REGRESSION``) if any recorded value has slipped past its
+  floor/ceiling, so CI fails the moment a perf PR regresses a prior
+  PR's headline number instead of whenever someone happens to re-run
+  the benchmark by hand.
+
+Guards are *floors*, not equalities: benchmarks re-recorded on faster
+or slower machines shift absolute seconds, but the recorded ratios
+(speedups, overheads) must stay on the right side of the line each PR
+claimed.  Exit codes are named: 0 ok, ``EXIT_NO_BENCH_FILES`` (3) when
+no BENCH_*.json exists, ``EXIT_BAD_FILE`` (4) for unreadable/invalid
+files, ``EXIT_REGRESSION`` (5) for a tripped guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+EXIT_OK = 0
+#: No BENCH_*.json files found at the repo root.
+EXIT_NO_BENCH_FILES = 3
+#: A BENCH file exists but cannot be parsed into the expected shape.
+EXIT_BAD_FILE = 4
+#: At least one trajectory guard tripped (--check).
+EXIT_REGRESSION = 5
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One trajectory invariant: a recorded metric vs its floor/ceiling."""
+
+    file: str  # BENCH file stem, e.g. "BENCH_PR2"
+    allocator: str
+    load: str
+    metric: str
+    #: "min" = value must stay >= threshold (a speedup floor);
+    #: "max" = value must stay <= threshold (an overhead ceiling).
+    mode: str
+    threshold: float
+    claim: str  # what the PR claimed, for the failure message
+
+
+#: The trajectory guards, one per perf PR's headline claim.  Thresholds
+#: deliberately sit well below the recorded values (speedups) or above
+#: them (overheads): they catch *regressions*, not benchmark noise.
+GUARDS = (
+    Guard(
+        "BENCH_PR2", "input_first", "0.05", "speedup", "min", 1.1,
+        "activity-gated stepping speeds up low-load runs (recorded 1.351x)",
+    ),
+    Guard(
+        "BENCH_PR3", "input_first", "0.05", "off_overhead_vs_pre_pr", "max", 0.05,
+        "observability off costs <= 5% vs pre-obs baseline (recorded 2.2%)",
+    ),
+    Guard(
+        "BENCH_PR3", "vix", "0.05", "off_overhead_vs_pre_pr", "max", 0.05,
+        "observability off costs <= 5% vs pre-obs baseline (recorded 0.9%)",
+    ),
+    Guard(
+        "BENCH_PR7", "input_first", "1.0", "vectorized_speedup_vs_dense", "min", 2.0,
+        "vectorized engine >= 2x dense at saturation (recorded 5.268x)",
+    ),
+    Guard(
+        "BENCH_PR7", "vix", "1.0", "vectorized_speedup_vs_dense", "min", 2.0,
+        "vectorized engine >= 2x dense at saturation (recorded 4.664x)",
+    ),
+)
+
+
+def find_bench_files(root: Path) -> list[Path]:
+    """Every BENCH_*.json at the repo root, sorted by name (PR order)."""
+    return sorted(root.glob("BENCH_*.json"))
+
+
+def load_bench(path: Path) -> dict:
+    """Parse one BENCH file, validating the shared trajectory shape."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if not isinstance(data, dict) or not isinstance(data.get("results"), dict):
+        raise SystemExit(
+            f"error: {path} has no 'results' section "
+            f"(exit {EXIT_BAD_FILE}: not a trajectory benchmark file)"
+        )
+    return data
+
+
+def merge_trajectory(files: list[Path]) -> dict:
+    """One document: BENCH stem -> {meta, rows: [..flat rows..]}."""
+    merged: dict = {}
+    for path in files:
+        data = load_bench(path)
+        rows = []
+        for allocator, loads in sorted(data["results"].items()):
+            if not isinstance(loads, dict):
+                continue
+            for load, metrics in sorted(loads.items(), key=lambda kv: float(kv[0])):
+                if not isinstance(metrics, dict):
+                    continue
+                row = {"allocator": allocator, "load": load}
+                row.update(
+                    {
+                        k: v
+                        for k, v in metrics.items()
+                        if isinstance(v, (int, float))
+                    }
+                )
+                rows.append(row)
+        merged[path.stem] = {
+            "benchmark": data.get("benchmark", ""),
+            "python": data.get("python", ""),
+            "repeats": data.get("repeats"),
+            "rows": rows,
+        }
+    return merged
+
+
+def format_trajectory(merged: dict) -> str:
+    """The merged trajectory as aligned per-file tables."""
+    blocks = []
+    for stem, entry in merged.items():
+        rows = entry["rows"]
+        if not rows:
+            blocks.append(f"{stem}: no result rows")
+            continue
+        metrics = sorted({k for row in rows for k in row} - {"allocator", "load"})
+        headers = ["allocator", "load"] + metrics
+        cells = [headers]
+        for row in rows:
+            cells.append(
+                [str(row["allocator"]), str(row["load"])]
+                + [
+                    f"{row[m]:.3f}" if isinstance(row.get(m), float) else str(row.get(m, "-"))
+                    for m in metrics
+                ]
+            )
+        widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+        lines = [f"{stem}  ({entry['benchmark']})"]
+        for i, row in enumerate(cells):
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip()
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def check_guards(merged: dict) -> list[str]:
+    """Evaluate every guard; returns the failure messages (empty = pass)."""
+    failures = []
+    for guard in GUARDS:
+        entry = merged.get(guard.file)
+        if entry is None:
+            # A deleted benchmark is a trajectory regression too: the
+            # guard's claim can no longer be verified.
+            failures.append(
+                f"{guard.file}.json is missing (guards: {guard.claim})"
+            )
+            continue
+        value = None
+        for row in entry["rows"]:
+            if row["allocator"] == guard.allocator and row["load"] == guard.load:
+                value = row.get(guard.metric)
+                break
+        if not isinstance(value, (int, float)):
+            failures.append(
+                f"{guard.file}: no {guard.metric} recorded for "
+                f"{guard.allocator}@{guard.load} (guards: {guard.claim})"
+            )
+            continue
+        ok = value >= guard.threshold if guard.mode == "min" else value <= guard.threshold
+        if not ok:
+            op = ">=" if guard.mode == "min" else "<="
+            failures.append(
+                f"{guard.file}: {guard.allocator}@{guard.load} "
+                f"{guard.metric}={value} violates {op} {guard.threshold} "
+                f"({guard.claim})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="directory holding the BENCH_*.json files (default: repo root)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the merged trajectory as JSON"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="evaluate the regression guards; nonzero exit on any violation",
+    )
+    args = parser.parse_args(argv)
+
+    files = find_bench_files(Path(args.root))
+    if not files:
+        print(
+            f"error: no BENCH_*.json files under {args.root} "
+            f"(exit {EXIT_NO_BENCH_FILES})",
+            file=sys.stderr,
+        )
+        return EXIT_NO_BENCH_FILES
+    try:
+        merged = merge_trajectory(files)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_BAD_FILE
+
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+    else:
+        print(format_trajectory(merged))
+
+    if args.check:
+        failures = check_guards(merged)
+        if failures:
+            print(
+                f"\ntrajectory check FAILED ({len(failures)} guard(s)):",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return EXIT_REGRESSION
+        print(f"\ntrajectory check passed ({len(GUARDS)} guard(s))")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

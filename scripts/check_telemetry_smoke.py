@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""Telemetry smoke check: live endpoints mid-run, zero result drift, overhead.
+
+Runs a reduced Figure-8 sweep twice — once plain, once with the full
+telemetry stack on (``REPRO_MONITOR`` + ``REPRO_SERVE`` + Chrome trace
+export) — and requires:
+
+* the telemetry report to be byte-identical to the plain one after
+  stripping the ``[perf_counters]`` footer (telemetry observes the run,
+  it may never change a reported number);
+* ``/status`` and ``/metrics`` to answer *while the sweep is running*
+  (the server URL is scraped from the ``[telemetry] serving ...`` stderr
+  line), with ``/metrics`` parsing as Prometheus exposition text;
+* the JSONL event stream to exist next to the journal with ``run_start``
+  first, ``run_finish`` last, and every job's start/finish present;
+* the exported Chrome trace to be a loadable trace-event document with
+  one complete slice per executed job;
+* telemetry wall time within ``OVERHEAD_FACTOR`` x plain + slack —
+  streaming events must stay cheap relative to the simulations.
+
+Usage::
+
+    python scripts/check_telemetry_smoke.py
+
+Each scenario runs in a subprocess with an isolated cache root, so the
+check never touches the user's real cache.
+"""
+
+from __future__ import annotations
+
+import difflib
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+#: The reduced sweep: 2 allocators x (2 curve rates + 1 saturation) = 6 jobs.
+_DRIVER = (
+    "from repro.experiments import fig8_mesh as f8; "
+    "print(f8.report(f8.run(rates=(0.02, 0.06), "
+    "allocators=('input_first', 'vix'), jobs=2)))"
+)
+
+_JOB_COUNT = 6
+
+#: Telemetry wall time must stay under factor * plain + slack seconds.
+OVERHEAD_FACTOR = 1.5
+OVERHEAD_SLACK_SECONDS = 5.0
+
+
+def _base_env(cache_dir: str) -> dict:
+    env = {
+        name: value
+        for name, value in os.environ.items()
+        if not name.startswith("REPRO_")
+    }
+    env["PYTHONPATH"] = "src"
+    env["REPRO_CACHE_DIR"] = cache_dir
+    return env
+
+
+def _strip_counters(stdout: str) -> str:
+    lines = [
+        line
+        for line in stdout.splitlines()
+        if not line.startswith("[perf_counters]")
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def _run_plain(env: dict) -> tuple[str, float]:
+    start = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, "-c", _DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    seconds = time.perf_counter() - start
+    if result.returncode != 0:
+        raise SystemExit(
+            f"[telemetry-smoke] plain run failed "
+            f"(exit {result.returncode}):\n{result.stderr}"
+        )
+    return _strip_counters(result.stdout), seconds
+
+
+def _get(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode()
+
+
+def _check_prometheus(text: str) -> list[str]:
+    """Every sample line must be '<name or name{labels}> <value>'."""
+    problems = []
+    samples = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        try:
+            _, value = line.rsplit(" ", 1)
+            float(value)
+            samples += 1
+        except ValueError:
+            problems.append(f"unparseable /metrics line: {line!r}")
+    if samples == 0:
+        problems.append("/metrics carried no samples")
+    if "repro_jobs_total" not in text:
+        problems.append("/metrics is missing repro_jobs_total")
+    return problems
+
+
+def _run_telemetry(env: dict, trace_out: str) -> tuple[str, float, list[str]]:
+    """Run the driver with the stack on; poll the endpoints mid-run."""
+    env = dict(env)
+    env.update(
+        REPRO_MONITOR="1",
+        REPRO_SERVE="0",  # any free port; scraped from stderr below
+        REPRO_TRACE_EXPORT="chrome",
+        REPRO_TRACE_EXPORT_OUT=trace_out,
+    )
+    problems: list[str] = []
+    start = time.perf_counter()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _DRIVER],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    # The serving line is printed before the first scenario executes, so
+    # everything after it is genuinely mid-run.
+    url = None
+    stderr_tail = []
+    assert proc.stderr is not None
+    while True:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        stderr_tail.append(line)
+        # The live \r-progress renderer shares stderr, so the serving
+        # line may sit after a carriage-returned segment — search in it.
+        marker = "[telemetry] serving "
+        if marker in line:
+            url = line.split(marker, 1)[1].split()[0].strip()
+            break
+    if url is None:
+        proc.kill()
+        raise SystemExit(
+            "[telemetry-smoke] no '[telemetry] serving' line on stderr:\n"
+            + "".join(stderr_tail)
+        )
+
+    status_doc = None
+    metrics_text = None
+    while proc.poll() is None:
+        try:
+            doc = json.loads(_get(url + "/status", timeout=2))
+        except (OSError, ValueError):
+            break  # server already gone: the sweep finished
+        if doc.get("jobs_total", 0) > 0 and not doc.get("finished"):
+            # Keep the first live snapshot; prefer one that caught a
+            # job actually in flight in a worker.
+            if status_doc is None or doc.get("in_flight_count", 0) > 0:
+                status_doc = doc
+                metrics_text = _get(url + "/metrics", timeout=2)
+            if doc.get("in_flight_count", 0) > 0:
+                break
+        time.sleep(0.05)
+
+    stdout, stderr = proc.communicate(timeout=600)
+    seconds = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"[telemetry-smoke] telemetry run failed "
+            f"(exit {proc.returncode}):\n{stderr}"
+        )
+
+    if status_doc is None:
+        problems.append("/status never reflected an in-progress sweep")
+    else:
+        print(
+            f"[telemetry-smoke] mid-run /status: "
+            f"{status_doc['completed']}/{status_doc['jobs_total']} jobs, "
+            f"{status_doc['in_flight_count']} in flight"
+        )
+        if status_doc.get("finished"):
+            problems.append("mid-run /status already claims finished")
+    if metrics_text is None:
+        problems.append("/metrics was never scraped mid-run")
+    else:
+        problems.extend(_check_prometheus(metrics_text))
+    return _strip_counters(stdout), seconds, problems
+
+
+def _check_event_stream(cache_dir: str) -> list[str]:
+    streams = glob.glob(os.path.join(cache_dir, "events", "*.jsonl"))
+    if len(streams) != 1:
+        return [f"expected 1 event stream, found {streams}"]
+    events = []
+    with open(streams[0]) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    problems = []
+    kinds = [event["kind"] for event in events]
+    seqs = [event["seq"] for event in events]
+    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+        problems.append("event seqs are not strictly increasing")
+    if not kinds or kinds[0] != "run_start":
+        problems.append(f"stream does not open with run_start: {kinds[:3]}")
+    if not kinds or kinds[-1] != "run_finish":
+        problems.append(f"stream does not close with run_finish: {kinds[-3:]}")
+    for kind in ("job_start", "job_finish"):
+        if kinds.count(kind) != _JOB_COUNT:
+            problems.append(
+                f"expected {_JOB_COUNT} {kind} events, got {kinds.count(kind)}"
+            )
+    if not problems:
+        print(
+            f"[telemetry-smoke] event stream: {len(events)} events, "
+            f"{kinds.count('job_finish')} jobs finished"
+        )
+    return problems
+
+
+def _check_chrome_trace(path: str) -> list[str]:
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"chrome trace unreadable: {exc}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["chrome trace has no traceEvents"]
+    slices = [e for e in events if e.get("ph") == "X" and e.get("cat") == "job"]
+    problems = []
+    if len(slices) != _JOB_COUNT:
+        problems.append(
+            f"expected {_JOB_COUNT} job slices in the trace, got {len(slices)}"
+        )
+    if not any(e.get("ph") == "M" for e in events):
+        problems.append("chrome trace has no process metadata")
+    if not problems:
+        print(
+            f"[telemetry-smoke] chrome trace: {len(events)} trace events, "
+            f"{len(slices)} job slices"
+        )
+    return problems
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="telemetry-smoke-") as tmp:
+        plain_env = _base_env(os.path.join(tmp, "plain"))
+        telemetry_cache = os.path.join(tmp, "telemetry")
+        telemetry_env = _base_env(telemetry_cache)
+        trace_out = os.path.join(tmp, "trace.json")
+
+        plain, plain_seconds = _run_plain(plain_env)
+        telemetry, telemetry_seconds, problems = _run_telemetry(
+            telemetry_env, trace_out
+        )
+
+        if plain != telemetry:
+            print("[telemetry-smoke] MISMATCH between plain and telemetry reports")
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    plain.splitlines(keepends=True),
+                    telemetry.splitlines(keepends=True),
+                    fromfile="plain",
+                    tofile="telemetry",
+                )
+            )
+            return 1
+        print("[telemetry-smoke] plain and telemetry reports identical")
+
+        problems.extend(_check_event_stream(telemetry_cache))
+        problems.extend(_check_chrome_trace(trace_out))
+
+        budget = OVERHEAD_FACTOR * plain_seconds + OVERHEAD_SLACK_SECONDS
+        print(
+            f"[telemetry-smoke] wall: plain {plain_seconds:.2f}s, "
+            f"telemetry {telemetry_seconds:.2f}s "
+            f"(budget {budget:.2f}s)"
+        )
+        if telemetry_seconds > budget:
+            problems.append(
+                f"telemetry run took {telemetry_seconds:.2f}s, over the "
+                f"{budget:.2f}s overhead budget"
+            )
+
+        if problems:
+            for problem in problems:
+                print(f"[telemetry-smoke] FAIL: {problem}")
+            return 1
+    print("[telemetry-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

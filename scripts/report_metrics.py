@@ -18,6 +18,14 @@ Section 2 story straight from measured counters.
 line: cycle, pid, flit, router, stage, vc, vin) and reports per-stage event
 counts plus the distribution of per-packet inject-to-eject latency over
 fully traced packets.
+
+Degraded inputs degrade the report, never crash it, and every partial
+outcome has a *named* nonzero exit code so callers can branch on it:
+``EXIT_MISSING_FILE`` (3) for an absent/unreadable input,
+``EXIT_EMPTY`` (4) for a file with no records, and
+``EXIT_NO_RUNNER_SECTION`` (5) for a metrics JSONL written before
+``execute_spec`` published sweep-level runner/engine counters (the table
+still prints; the exit code flags the missing section).
 """
 
 from __future__ import annotations
@@ -34,10 +42,37 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.obs.probes import FIELDS  # noqa: E402
 from repro.obs.trace import STAGES  # noqa: E402
 
+#: Named exit codes (beyond 0 = full report): callers branch on these
+#: instead of parsing stderr.
+EXIT_OK = 0
+#: An input file does not exist or cannot be read.
+EXIT_MISSING_FILE = 3
+#: An input file was read but held no records.
+EXIT_EMPTY = 4
+#: Metrics records exist but the sweep-level runner/engine section
+#: (``kind == "execution_stats"`` lines from ``execute_spec``) is absent
+#: — an older metrics JSONL.  The probe table still prints.
+EXIT_NO_RUNNER_SECTION = 5
+
+
+class ReportError(Exception):
+    """A degraded-input condition with its named exit code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
 
 def _read_jsonl(path: Path) -> list[dict]:
     records = []
-    with open(path) as handle:
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise ReportError(
+            EXIT_MISSING_FILE,
+            f"cannot read {path}: {exc.strerror or exc}",
+        ) from None
+    with handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
@@ -91,12 +126,20 @@ def _runner_section(stats_records: list[dict]) -> str | None:
     return "\n".join(lines)
 
 
-def summarize_metrics(path: Path) -> str:
-    """Aggregate metrics snapshots per allocator and render the table."""
+def summarize_metrics(path: Path) -> tuple[str, int]:
+    """Aggregate metrics snapshots per allocator and render the table.
+
+    Returns the report text plus a named exit status: ``EXIT_EMPTY`` for
+    a file with no records, ``EXIT_NO_RUNNER_SECTION`` when the probe
+    table prints but the sweep-level runner/engine lines are absent
+    (older metrics file), ``EXIT_OK`` otherwise.
+    """
     # Sweep-level runner counter lines (retries/cancellations/resumes,
     # per-engine job counts) published by execute_spec are not per-run
     # probe snapshots; they get their own section below the table.
     all_records = _read_jsonl(path)
+    if not all_records:
+        return f"{path}: no metrics records", EXIT_EMPTY
     stats_records = [
         rec for rec in all_records if rec.get("kind") == "execution_stats"
     ]
@@ -105,8 +148,8 @@ def summarize_metrics(path: Path) -> str:
     ]
     if not records:
         runner = _runner_section(stats_records)
-        header = f"{path}: no metrics records"
-        return f"{header}\n\n{runner}" if runner else header
+        header = f"{path}: no per-run metrics records"
+        return (f"{header}\n\n{runner}" if runner else header), EXIT_OK
     by_alloc: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
     runs: dict[str, int] = defaultdict(int)
     for rec in records:
@@ -151,14 +194,21 @@ def summarize_metrics(path: Path) -> str:
         + _fmt_table(headers, rows)
     )
     runner = _runner_section(stats_records)
-    return f"{out}\n\n{runner}" if runner else out
+    if runner is None:
+        out += (
+            f"\n\n{path}: no runner/engine section (no execution_stats "
+            "lines — written before sweep-level counters existed?); "
+            "matching table above is complete"
+        )
+        return out, EXIT_NO_RUNNER_SECTION
+    return f"{out}\n\n{runner}", EXIT_OK
 
 
-def summarize_trace(path: Path) -> str:
+def summarize_trace(path: Path) -> tuple[str, int]:
     """Per-stage event counts and end-to-end latency over traced packets."""
     events = _read_jsonl(path)
     if not events:
-        return f"{path}: no trace events"
+        return f"{path}: no trace events", EXIT_EMPTY
     stage_counts: dict[str, int] = defaultdict(int)
     inject_cycle: dict[int, int] = {}
     eject_cycle: dict[int, int] = {}
@@ -197,7 +247,7 @@ def summarize_trace(path: Path) -> str:
             f"inject->eject latency p50/p95/p99: "
             f"{pct(50)}/{pct(95)}/{pct(99)} cycles"
         )
-    return "\n".join(lines)
+    return "\n".join(lines), EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -208,12 +258,23 @@ def main(argv: list[str] | None = None) -> int:
     if not args.metrics and not args.trace:
         parser.error("give --metrics and/or --trace")
     sections = []
-    if args.metrics:
-        sections.append(summarize_metrics(Path(args.metrics)))
-    if args.trace:
-        sections.append(summarize_trace(Path(args.trace)))
+    status = EXIT_OK
+    try:
+        if args.metrics:
+            text, code = summarize_metrics(Path(args.metrics))
+            sections.append(text)
+            status = max(status, code)
+        if args.trace:
+            text, code = summarize_trace(Path(args.trace))
+            sections.append(text)
+            status = max(status, code)
+    except ReportError as exc:
+        if sections:
+            print("\n\n".join(sections))
+        print(f"error: {exc} (exit {exc.code})", file=sys.stderr)
+        return exc.code
     print("\n\n".join(sections))
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -163,6 +163,32 @@ def main(argv: list[str] | None = None) -> int:
         "footer; with DIR, also dump one cProfile .pstats file per "
         "simulation job into DIR",
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="stream run telemetry with a live progress line on stderr; "
+        "events are appended as JSONL next to the run journal "
+        "(equivalent to REPRO_MONITOR=1)",
+    )
+    parser.add_argument(
+        "--serve",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="serve live run telemetry over HTTP on 127.0.0.1:PORT "
+        "(/status JSON, /metrics Prometheus text, /events SSE); "
+        "0 picks a free port (equivalent to REPRO_SERVE)",
+    )
+    parser.add_argument(
+        "--trace-export",
+        metavar="FORMAT[:PATH]",
+        default=None,
+        help="export the run's job timeline after each experiment; "
+        "currently 'chrome' (Chrome trace-event JSON, loadable in "
+        "Perfetto / chrome://tracing), optionally with an output "
+        "path like chrome:f8_trace.json (equivalent to "
+        "REPRO_TRACE_EXPORT / REPRO_TRACE_EXPORT_OUT)",
+    )
     args = parser.parse_args(argv)
 
     if args.trace_sample is not None and not 0.0 < args.trace_sample <= 1.0:
@@ -180,6 +206,26 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_PROFILE"] = "1"
         if args.profile:
             os.environ["REPRO_PROFILE_DIR"] = args.profile
+
+    # Run telemetry rides the environment too (worker processes and the
+    # spec executor resolve TelemetryConfig.from_env()).  Unlike the
+    # observability flags above it never bypasses the result cache:
+    # telemetry watches the sweep's execution, not simulation results.
+    if args.monitor:
+        os.environ["REPRO_MONITOR"] = "1"
+    if args.serve is not None:
+        if args.serve < 0 or args.serve > 65535:
+            parser.error(f"--serve expects a TCP port (0-65535), got {args.serve}")
+        os.environ["REPRO_SERVE"] = str(args.serve)
+    if args.trace_export is not None:
+        fmt, _, out = args.trace_export.partition(":")
+        if fmt != "chrome":
+            parser.error(
+                f"--trace-export supports 'chrome', got {args.trace_export!r}"
+            )
+        os.environ["REPRO_TRACE_EXPORT"] = fmt
+        if out:
+            os.environ["REPRO_TRACE_EXPORT_OUT"] = out
 
     if args.resume:
         os.environ["REPRO_RESUME"] = "1"

@@ -18,12 +18,13 @@ returns the results keyed by scenario slot plus merged execution counters.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.experiments.spec import ExperimentSpec, ScenarioSpec
-from repro.obs import ObservabilityConfig
+from repro.obs import ObservabilityConfig, TelemetryConfig
 from repro.parallel import (
     ExecutionStats,
     ParallelRunner,
@@ -207,79 +208,146 @@ def execute_spec(
     ``--resume`` flag), jobs journaled complete by an interrupted earlier
     run are served from the result cache instead of re-executed;
     otherwise the journal restarts fresh.
+
+    Run telemetry (:class:`~repro.obs.TelemetryConfig`, the ``--monitor``
+    / ``--serve`` / ``--trace-export`` flags) attaches a
+    :class:`~repro.obs.RunMonitor` to every runner this spec fans out:
+    events stream to a JSONL file next to the journal, optionally to a
+    live terminal line, an HTTP server, and a Chrome trace export after
+    the run.  All of it observes execution only — with telemetry off (the
+    default) every code path and every result byte is unchanged.
     """
     if resume is None:
         resume = resume_requested()
     lengths = run_lengths(spec.fast)
     run = SpecRun(spec=spec)
 
-    network = [s for s in spec.scenarios if s.kind == "network"]
-    if network:
-        sim_jobs = [
-            s.sim_job(lengths.warmup, lengths.measure, spec.seed) for s in network
-        ]
-        path = journal_path(spec.content_key())
-        resumed_keys = RunJournal.completed_keys(path) if resume else frozenset()
-        journal = RunJournal(path, fresh=not resume)
-        for scenario, res in zip(
-            network,
-            run_sim_jobs(
-                sim_jobs,
-                jobs=jobs,
-                stats=run.stats,
-                journal=journal,
-                resumed_keys=resumed_keys,
-            ),
-        ):
-            run.values[scenario.key] = res
-
-    single = [s for s in spec.scenarios if s.kind == "single_router"]
-    if single:
-        runner = ParallelRunner(jobs)
-        items = [
-            (
-                s.allocator,
-                s.radix,
-                s.num_vcs,
-                s.virtual_inputs,
-                s.packet_length,
-                spec.seed,
-                s.cycles if s.cycles is not None else lengths.single_router_cycles,
-                s.options,
-            )
-            for s in single
-        ]
-        for scenario, value in zip(single, runner.map(_single_router_point, items)):
-            run.values[scenario.key] = value
-        run.stats.merge(runner.stats)
-
-    manycore = [s for s in spec.scenarios if s.kind == "manycore"]
-    if manycore:
-        runner = ParallelRunner(jobs)
-        items = [
-            (
-                s.network_config(),
-                s.mix,
-                spec.seed,
-                lengths.manycore_warmup,
-                lengths.manycore_measure,
-            )
-            for s in manycore
-        ]
-        for scenario, value in zip(manycore, runner.map(_manycore_point, items)):
-            run.values[scenario.key] = value
-        run.stats.merge(runner.stats)
-
-    analytic = [s for s in spec.scenarios if s.kind == "analytic"]
-    if analytic:
-        start = time.perf_counter()
-        for scenario in analytic:
-            run.values[scenario.key] = _analytic_value(scenario)
-        run.stats.merge(
-            ExecutionStats(
-                jobs_run=len(analytic), wall_seconds=time.perf_counter() - start
-            )
+    telemetry = TelemetryConfig.from_env()
+    monitor = server = None
+    if telemetry.enabled:
+        from repro.obs import (
+            EventStream,
+            RunMonitor,
+            TelemetryServer,
+            event_stream_path,
         )
+
+        run_key = spec.content_key()
+        stream = EventStream(
+            telemetry.events_out or event_stream_path(run_key)
+        )
+        monitor = RunMonitor(
+            stream=stream,
+            live=telemetry.monitor,
+            label=spec.name,
+            run_key=run_key,
+        )
+        monitor.emit(
+            "run_start", experiment=spec.name, scenarios=len(spec.scenarios)
+        )
+        if telemetry.serve is not None:
+            server = TelemetryServer(monitor, port=telemetry.serve).start()
+            print(f"[telemetry] serving {server.url}", file=sys.stderr)
+
+    try:
+        network = [s for s in spec.scenarios if s.kind == "network"]
+        if network:
+            sim_jobs = [
+                s.sim_job(lengths.warmup, lengths.measure, spec.seed)
+                for s in network
+            ]
+            path = journal_path(spec.content_key())
+            resumed_keys = (
+                RunJournal.completed_keys(path) if resume else frozenset()
+            )
+            journal = RunJournal(path, fresh=not resume)
+            for scenario, res in zip(
+                network,
+                run_sim_jobs(
+                    sim_jobs,
+                    jobs=jobs,
+                    stats=run.stats,
+                    journal=journal,
+                    resumed_keys=resumed_keys,
+                    monitor=monitor,
+                ),
+            ):
+                run.values[scenario.key] = res
+
+        single = [s for s in spec.scenarios if s.kind == "single_router"]
+        if single:
+            runner = ParallelRunner(jobs, monitor=monitor)
+            items = [
+                (
+                    s.allocator,
+                    s.radix,
+                    s.num_vcs,
+                    s.virtual_inputs,
+                    s.packet_length,
+                    spec.seed,
+                    s.cycles
+                    if s.cycles is not None
+                    else lengths.single_router_cycles,
+                    s.options,
+                )
+                for s in single
+            ]
+            for scenario, value in zip(
+                single, runner.map(_single_router_point, items)
+            ):
+                run.values[scenario.key] = value
+            run.stats.merge(runner.stats)
+
+        manycore = [s for s in spec.scenarios if s.kind == "manycore"]
+        if manycore:
+            runner = ParallelRunner(jobs, monitor=monitor)
+            items = [
+                (
+                    s.network_config(),
+                    s.mix,
+                    spec.seed,
+                    lengths.manycore_warmup,
+                    lengths.manycore_measure,
+                )
+                for s in manycore
+            ]
+            for scenario, value in zip(
+                manycore, runner.map(_manycore_point, items)
+            ):
+                run.values[scenario.key] = value
+            run.stats.merge(runner.stats)
+
+        analytic = [s for s in spec.scenarios if s.kind == "analytic"]
+        if analytic:
+            start = time.perf_counter()
+            for scenario in analytic:
+                run.values[scenario.key] = _analytic_value(scenario)
+            run.stats.merge(
+                ExecutionStats(
+                    jobs_run=len(analytic),
+                    wall_seconds=time.perf_counter() - start,
+                )
+            )
+    finally:
+        if monitor is not None:
+            # Sequence run_finish after every worker event still in flight.
+            monitor.flush()
+            monitor.emit(
+                "run_finish", experiment=spec.name, stats=run.stats.as_dict()
+            )
+            if server is not None:
+                server.close()
+            monitor.close()
+            if telemetry.trace_export == "chrome":
+                from repro.obs import export_chrome_trace
+
+                out = telemetry.trace_export_out or f"{spec.name}_trace.json"
+                export_chrome_trace(
+                    monitor.stream.events(), out, experiment=spec.name
+                )
+                print(
+                    f"[telemetry] chrome trace written to {out}", file=sys.stderr
+                )
 
     obs = ObservabilityConfig.from_env()
     if obs.metrics and obs.metrics_path:

@@ -15,6 +15,21 @@ The package is organised producer-side vs sink-side:
   the ``REPRO_TRACE`` / ``REPRO_METRICS_OUT`` / ``REPRO_PROFILE``
   environment (the CLI's ``--trace`` / ``--metrics-out`` / ``--profile``).
 
+A second, execution-level telemetry plane streams what the *sweep* is
+doing (jobs, workers, retries, progress) rather than what the simulated
+network did:
+
+* :mod:`repro.obs.events` — :class:`RunEvent` / :class:`EventStream`,
+  the ordered JSONL-backed event bus;
+* :mod:`repro.obs.monitor` — :class:`RunMonitor`, the coordinator-side
+  aggregator draining worker events off a multiprocessing queue;
+* :mod:`repro.obs.exporters` — Prometheus exposition text and Chrome
+  trace-event (Perfetto) export;
+* :mod:`repro.obs.server` — :class:`TelemetryServer`, the stdlib HTTP
+  server behind ``--serve`` (``/status``, ``/metrics``, ``/events`` SSE);
+* :class:`TelemetryConfig` (in :mod:`repro.obs.config`) — the
+  ``REPRO_MONITOR`` / ``REPRO_SERVE`` / ``REPRO_TRACE_EXPORT`` knobs.
+
 :class:`Observability` below is the per-simulation orchestrator: it
 builds the enabled collectors, attaches them to a network (probe on every
 router's allocator, tracer on routers/NIs/the network), and finalises the
@@ -25,10 +40,14 @@ exact pre-observability code paths.
 
 from __future__ import annotations
 
-from .config import ObservabilityConfig, env_observability_enabled
+from .config import ObservabilityConfig, TelemetryConfig, env_observability_enabled
+from .events import EVENT_KINDS, EventStream, RunEvent, event_stream_path
+from .exporters import chrome_trace_events, export_chrome_trace, prometheus_text
+from .monitor import RunMonitor, emit_worker_event
 from .probes import AllocatorProbe, maximum_matching_size
 from .profiling import PhaseTimer, profiled_call, spans_from_counters
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .server import TelemetryServer
 from .trace import FlitTracer
 
 
@@ -99,6 +118,8 @@ class Observability:
 __all__ = [
     "AllocatorProbe",
     "Counter",
+    "EVENT_KINDS",
+    "EventStream",
     "FlitTracer",
     "Gauge",
     "Histogram",
@@ -106,8 +127,17 @@ __all__ = [
     "Observability",
     "ObservabilityConfig",
     "PhaseTimer",
+    "RunEvent",
+    "RunMonitor",
+    "TelemetryConfig",
+    "TelemetryServer",
+    "chrome_trace_events",
+    "emit_worker_event",
     "env_observability_enabled",
+    "event_stream_path",
+    "export_chrome_trace",
     "maximum_matching_size",
     "profiled_call",
+    "prometheus_text",
     "spans_from_counters",
 ]

@@ -31,6 +31,27 @@ Environment variables
 ``REPRO_PROFILE_DIR``
     Directory for per-job ``cProfile`` dumps written by the parallel
     runner's worker entry point; setting it implies ``REPRO_PROFILE``.
+
+Run *telemetry* (the streaming event bus of :mod:`repro.obs.events`) has
+its own knobs, resolved into :class:`TelemetryConfig` by the experiment
+layer.  Telemetry observes the **execution** layer (jobs, workers, wall
+clock), not simulation results, so — unlike the variables above — it does
+NOT bypass the result cache and cannot change a single result byte:
+
+``REPRO_MONITOR``
+    Any truthy value enables the run monitor with its live terminal
+    progress line (the CLI's ``--monitor``).
+``REPRO_SERVE``
+    TCP port for the telemetry HTTP server (``/status``, ``/metrics``,
+    ``/events``); ``0`` picks a free port (the CLI's ``--serve``).
+``REPRO_TRACE_EXPORT``
+    Trace-export format; currently only ``chrome`` (Chrome trace-event
+    JSON, Perfetto-loadable) — the CLI's ``--trace-export``.
+``REPRO_TRACE_EXPORT_OUT``
+    Output path for the exported trace (default ``<spec name>_trace.json``).
+``REPRO_EVENTS_OUT``
+    Override path for the run's JSONL event stream (default
+    ``<cache root>/events/<run key>.jsonl``).
 """
 
 from __future__ import annotations
@@ -120,6 +141,81 @@ class ObservabilityConfig:
             env["REPRO_PROFILE"] = "1"
         if self.profile_dir:
             env["REPRO_PROFILE_DIR"] = self.profile_dir
+        return env
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Run-telemetry settings: monitor, HTTP server, trace export.
+
+    Deliberately separate from :class:`ObservabilityConfig`: telemetry
+    watches the sweep's execution (jobs/workers/retries), never the
+    simulation, so enabling it must not flip
+    :func:`env_observability_enabled` — results stay cacheable and
+    byte-identical with telemetry on or off.
+    """
+
+    #: Aggregate events in a RunMonitor with a live terminal progress line.
+    monitor: bool = False
+    #: HTTP server port (``/status``, ``/metrics``, ``/events``); 0 = any
+    #: free port; ``None`` = no server.
+    serve: int | None = None
+    #: Trace-export format after the run (``"chrome"``) or ``None``.
+    trace_export: str | None = None
+    #: Output path for the exported trace (``None`` = derive from spec name).
+    trace_export_out: str | None = None
+    #: Override path for the JSONL event stream (``None`` = next to journal).
+    events_out: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_export is not None and self.trace_export != "chrome":
+            raise ValueError(
+                f"unknown trace export format: {self.trace_export!r}"
+                " (supported: chrome)"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any telemetry sink is requested."""
+        return (
+            self.monitor
+            or self.serve is not None
+            or self.trace_export is not None
+            or self.events_out is not None
+        )
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    @classmethod
+    def from_env(cls) -> "TelemetryConfig":
+        """Resolve the environment-configured telemetry settings."""
+        env = os.environ
+        monitor = env.get("REPRO_MONITOR", "").strip().lower() not in _TRUTHY_OFF
+        serve_raw = env.get("REPRO_SERVE", "").strip()
+        serve = int(serve_raw) if serve_raw else None
+        trace_export = env.get("REPRO_TRACE_EXPORT", "").strip() or None
+        return cls(
+            monitor=monitor,
+            serve=serve,
+            trace_export=trace_export,
+            trace_export_out=env.get("REPRO_TRACE_EXPORT_OUT", "").strip() or None,
+            events_out=env.get("REPRO_EVENTS_OUT", "").strip() or None,
+        )
+
+    def to_env(self) -> dict[str, str]:
+        """The environment-variable form of this config (for the CLI)."""
+        env: dict[str, str] = {}
+        if self.monitor:
+            env["REPRO_MONITOR"] = "1"
+        if self.serve is not None:
+            env["REPRO_SERVE"] = str(self.serve)
+        if self.trace_export:
+            env["REPRO_TRACE_EXPORT"] = self.trace_export
+        if self.trace_export_out:
+            env["REPRO_TRACE_EXPORT_OUT"] = self.trace_export_out
+        if self.events_out:
+            env["REPRO_EVENTS_OUT"] = self.events_out
         return env
 
 

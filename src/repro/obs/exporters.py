@@ -1,0 +1,234 @@
+"""Telemetry exporters: Prometheus text format and Chrome trace events.
+
+Two wire formats, both stdlib-only:
+
+* :func:`prometheus_text` renders a :class:`MetricsRegistry` in the
+  Prometheus exposition format (version 0.0.4, the ``/metrics`` content
+  type).  Counters and gauges are one sample each; histograms expand to
+  *cumulative* ``_bucket{le="..."}`` samples including the mandatory
+  ``le="+Inf"`` bucket, plus ``_sum`` and ``_count`` — so a Prometheus
+  ``histogram_quantile`` over the endpoint and a
+  :meth:`~repro.obs.registry.Histogram.quantile` over the JSONL snapshot
+  compute the same percentile from the same buckets.
+* :func:`export_chrome_trace` lays out the run's event stream as a Chrome
+  trace-event JSON file (the ``chrome://tracing`` / Perfetto format): one
+  trace *process* per worker pid, one complete (``"X"``) slice per
+  executed job, nested slices for the warmup/measure/drain phase spans
+  when profiling was on, and an ``in_flight`` counter track from the
+  periodic progress samples.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .events import RunEvent, ordered
+from .registry import MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a metric name into the Prometheus grammar."""
+    name = _NAME_RE.sub("_", name)
+    if not name or not (name[0].isalpha() or name[0] in "_:"):
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus exposition text format (0.0.4).
+
+    Samples are emitted in sorted-name order, each preceded by its
+    ``# TYPE`` line, and the payload ends with the spec's trailing
+    newline — `promtool check metrics` clean.
+    """
+    lines: list[str] = []
+    for name in sorted(registry._counters):
+        metric = registry._counters[name]
+        pname = _metric_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_format_value(metric.value)}")
+    for name in sorted(registry._gauges):
+        metric = registry._gauges[name]
+        pname = _metric_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_format_value(metric.value)}")
+    for name in sorted(registry._histograms):
+        h = registry._histograms[name]
+        pname = _metric_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(h.bounds, h.counts):
+            cumulative += count
+            lines.append(f'{pname}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {h.total}')
+        lines.append(f"{pname}_sum {repr(float(h.sum))}")
+        lines.append(f"{pname}_count {h.total}")
+    return "\n".join(lines) + "\n"
+
+
+# --- Chrome trace-event export ----------------------------------------------
+
+#: Phase-span display order inside a job slice (simulation phases first).
+_SPAN_ORDER = ("warmup", "measure", "drain", "kernel")
+
+
+def chrome_trace_events(events: Iterable[RunEvent]) -> list[dict]:
+    """Convert a run event stream into Chrome trace-event dicts.
+
+    Timestamps are microseconds relative to the earliest event, so the
+    trace opens at t=0 regardless of wall-clock epoch.  Workers become
+    trace processes named ``worker-<pid>`` (the coordinator is pid 0,
+    labeled ``coordinator``); every job attempt that both started and
+    finished becomes one complete slice with its engine, attempt, and
+    wall seconds in ``args``, phase spans (when profiled) as nested
+    slices, and ``progress`` samples become an ``in_flight`` counter.
+    """
+    events = ordered(events)
+    if not events:
+        return []
+    t0 = min(event.t for event in events)
+
+    def us(t: float) -> int:
+        return int(round((t - t0) * 1e6))
+
+    trace: list[dict] = []
+    pids: dict[int, str] = {0: "coordinator"}
+    # (index, attempt) -> start event, to pair starts with finishes.
+    starts: dict[tuple, RunEvent] = {}
+
+    for event in events:
+        data = event.data
+        index = data.get("index")
+        attempt = data.get("attempt", 0)
+        if event.kind == "job_start":
+            starts[(index, attempt)] = event
+            pid = int(data.get("pid") or 0)
+            pids.setdefault(pid, f"worker-{pid}")
+        elif event.kind == "job_finish":
+            start = starts.pop((index, attempt), None)
+            pid = int(data.get("pid") or 0)
+            pids.setdefault(pid, f"worker-{pid}")
+            seconds = data.get("seconds")
+            if start is not None:
+                begin = start.t
+                dur = event.t - begin
+            elif isinstance(seconds, (int, float)):
+                # Start event lost (ring drop): reconstruct from duration.
+                begin = event.t - float(seconds)
+                dur = float(seconds)
+            else:
+                continue
+            args = {"attempt": attempt}
+            if isinstance(seconds, (int, float)):
+                args["seconds"] = seconds
+            for key in ("engine", "vec_kernel_cycles", "key"):
+                if key in data:
+                    args[key] = data[key]
+            trace.append(
+                {
+                    "name": f"job {index}",
+                    "cat": "job",
+                    "ph": "X",
+                    "ts": us(begin),
+                    "dur": max(1, int(round(dur * 1e6))),
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+            spans = data.get("spans")
+            if isinstance(spans, dict):
+                cursor = begin
+                keys = [k for k in _SPAN_ORDER if k in spans]
+                keys += sorted(k for k in spans if k not in _SPAN_ORDER)
+                for phase in keys:
+                    seconds_in_phase = spans[phase]
+                    if not isinstance(seconds_in_phase, (int, float)):
+                        continue
+                    trace.append(
+                        {
+                            "name": phase,
+                            "cat": "phase",
+                            "ph": "X",
+                            "ts": us(cursor),
+                            "dur": max(1, int(round(seconds_in_phase * 1e6))),
+                            "pid": pid,
+                            "tid": 1,
+                            "args": {"job": index},
+                        }
+                    )
+                    cursor += seconds_in_phase
+        elif event.kind == "progress":
+            trace.append(
+                {
+                    "name": "in_flight",
+                    "ph": "C",
+                    "ts": us(event.t),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"in_flight": data.get("in_flight", 0)},
+                }
+            )
+        elif event.kind in ("run_start", "run_finish", "job_cancel", "job_failed"):
+            trace.append(
+                {
+                    "name": event.kind,
+                    "cat": "run",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": us(event.t),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        k: v for k, v in data.items() if isinstance(v, (int, float, str))
+                    },
+                }
+            )
+
+    for pid, name in sorted(pids.items()):
+        trace.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        trace.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": 0 if pid == 0 else pid},
+            }
+        )
+    return trace
+
+
+def export_chrome_trace(
+    events: Iterable[RunEvent], path: str | Path, **metadata: object
+) -> Path:
+    """Write the event stream as a Perfetto-loadable Chrome trace file."""
+    path = Path(path)
+    document = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {str(k): v for k, v in metadata.items()},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return path

@@ -83,6 +83,32 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the buckets (Prometheus rules).
+
+        Linear interpolation inside the bucket the quantile rank lands in,
+        with the first bucket's lower edge taken as 0 — exactly how
+        ``histogram_quantile()`` reads the same buckets off the
+        ``/metrics`` endpoint, so a JSONL/CSV consumer calling this and a
+        Prometheus query compute the same percentile.  A rank landing in
+        the overflow (+Inf) bucket clamps to the largest finite bound;
+        an empty histogram returns ``nan``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return float("nan")
+        rank = q * self.total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                below = cumulative - count
+                return lower + (bound - lower) * ((rank - below) / count)
+            lower = bound
+        return self.bounds[-1]
+
 
 class _NullMetric:
     """Shared no-op stand-in handed out by a disabled registry."""
@@ -107,6 +133,9 @@ class _NullMetric:
 
     def mean(self) -> float:
         return 0.0
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
 
 
 NULL_METRIC = _NullMetric()
@@ -246,13 +275,23 @@ class MetricsRegistry:
         return path
 
     def export_csv(self, path: str | Path) -> Path:
-        """Write a ``name,value`` table (histograms expand per bucket)."""
+        """Write a ``name,value`` table (histograms expand per bucket).
+
+        Histogram rows are *cumulative* ``le`` counts ending with the
+        explicit ``_le_+Inf`` (= total) row — the same shape the
+        Prometheus endpoint exports, so percentiles computed from either
+        agree (the non-cumulative overflow count is kept as
+        ``_overflow`` for ring-style consumers).
+        """
         path = Path(path)
         rows: list[tuple[str, object]] = []
         for name, value in self.as_dict().items():
             if isinstance(value, dict) and value.get("kind") == "histogram":
+                cumulative = 0
                 for bound, count in zip(value["bounds"], value["counts"]):
-                    rows.append((f"{name}_le_{bound:g}", count))
+                    cumulative += count
+                    rows.append((f"{name}_le_{bound:g}", cumulative))
+                rows.append((f"{name}_le_+Inf", value["total"]))
                 rows.append((f"{name}_overflow", value["overflow"]))
                 rows.append((f"{name}_total", value["total"]))
                 rows.append((f"{name}_sum", value["sum"]))

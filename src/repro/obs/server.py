@@ -1,0 +1,192 @@
+"""Stdlib-only HTTP telemetry server: ``/status``, ``/metrics``, ``/events``.
+
+One :class:`TelemetryServer` wraps a :class:`~repro.obs.monitor.RunMonitor`
+and serves its three sink views over plain ``http.server``:
+
+* ``GET /status`` — the monitor's :meth:`~RunMonitor.snapshot` as JSON
+  (totals, per-job in-flight list, recent events);
+* ``GET /metrics`` — the monitor's :meth:`~RunMonitor.registry` rendered
+  in Prometheus exposition text format;
+* ``GET /events`` — Server-Sent Events: replays the buffered stream tail,
+  then pushes each new event live as a ``data:`` line, with periodic
+  comment keep-alives so idle proxies don't cut the connection;
+* ``GET /`` — a small JSON index of the above.
+
+The server is a ``ThreadingHTTPServer`` with daemon threads bound to
+localhost by default, so it disappears with the sweep and never outlives
+or blocks it.  ``port=0`` asks the OS for a free port — read ``url``
+after :meth:`start` for the resolved address.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .exporters import prometheus_text
+from .monitor import RunMonitor
+
+#: Seconds between SSE keep-alive comments when no events arrive.
+_SSE_KEEPALIVE = 1.0
+
+#: Replayed tail size on a new ``/events`` connection.
+_SSE_REPLAY = 100
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request against ``self.server.monitor``."""
+
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default per-request stderr logging — the monitor owns
+    # the terminal line and logging here would shred it.
+    def log_message(self, format: str, *args: object) -> None:
+        pass
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        monitor: RunMonitor = self.server.monitor
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/":
+                self._send_json(
+                    {
+                        "endpoints": ["/status", "/metrics", "/events"],
+                        "label": monitor.label,
+                        "run_key": monitor.run_key,
+                    }
+                )
+            elif path == "/status":
+                self._send_json(monitor.snapshot())
+            elif path == "/metrics":
+                self._send_text(
+                    prometheus_text(monitor.registry()),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/events":
+                self._serve_events(monitor)
+            else:
+                self._send_json({"error": f"no such endpoint: {path}"}, status=404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _serve_events(self, monitor: RunMonitor) -> None:
+        """SSE: replay the buffered tail, then stream live events."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # SSE is an unbounded stream: no Content-Length, close delimits.
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        def write_event(event) -> None:
+            line = json.dumps(event.to_dict(), sort_keys=True)
+            self.wfile.write(f"id: {event.seq}\ndata: {line}\n\n".encode())
+            self.wfile.flush()
+
+        subscriber = monitor.subscribe()
+        try:
+            last_seq = -1
+            for event in monitor.stream.tail(_SSE_REPLAY):
+                write_event(event)
+                last_seq = event.seq
+            while not self.server.stopping:
+                try:
+                    event = subscriber.get(timeout=_SSE_KEEPALIVE)
+                except queue_module.Empty:
+                    if monitor.closed:
+                        break
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                if event is None:  # monitor closed: final wake-up
+                    break
+                if event.seq <= last_seq:  # already sent during replay
+                    continue
+                write_event(event)
+        finally:
+            monitor.unsubscribe(subscriber)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # The sweep must never wait on a slow telemetry client at shutdown.
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple, monitor: RunMonitor) -> None:
+        super().__init__(address, _Handler)
+        self.monitor = monitor
+        self.stopping = False
+
+
+class TelemetryServer:
+    """Lifecycle wrapper: bind, serve from a daemon thread, close cleanly.
+
+    >>> server = TelemetryServer(monitor, port=0)
+    >>> server.start()      # binds; server.url is now concrete
+    >>> ...                 # sweep runs; clients poll /status, tail /events
+    >>> server.close()
+    """
+
+    def __init__(
+        self, monitor: RunMonitor, *, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.monitor = monitor
+        self.host = host
+        self.port = port
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "TelemetryServer":
+        """Bind the socket and start serving from a daemon thread."""
+        if self._server is not None:
+            return self
+        self._server = _Server((self.host, self.port), self.monitor)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="telemetry-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.stopping = True
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

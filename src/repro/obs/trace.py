@@ -137,9 +137,16 @@ class FlitTracer:
         return path
 
     def stats(self) -> dict[str, int]:
-        """Recorder bookkeeping for the metrics snapshot."""
+        """Recorder bookkeeping for the metrics snapshot.
+
+        ``trace_dropped_events`` is the loud-truncation signal: nonzero
+        means the ring wrapped and the trace file is a suffix of the run,
+        not the whole run.  The same name flows into the simulation's
+        counters (and from there the ``[perf_counters]`` footer), so a
+        truncated trace is visible wherever the run is summarized.
+        """
         return {
             "trace_events_recorded": self.recorded,
             "trace_events_buffered": len(self._events),
-            "trace_events_dropped": self.dropped,
+            "trace_dropped_events": self.dropped,
         }

@@ -38,7 +38,15 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Collection, Sequence
 
-from repro.obs import env_observability_enabled, profiled_call, spans_from_counters
+from repro.obs import (
+    emit_worker_event,
+    env_observability_enabled,
+    profiled_call,
+    spans_from_counters,
+)
+
+if TYPE_CHECKING:
+    from repro.obs import RunMonitor
 
 from .cache import ResultCache
 from .faults import inject_fault
@@ -56,7 +64,25 @@ BACKOFF_CAP_SECONDS = 2.0
 #: started future's deadline assignment can be.
 _POLL_TICK = 0.05
 
+#: Poll granularity when only the telemetry monitor needs servicing (no
+#: per-job timeout): coarse enough to stay invisible in profiles, fine
+#: enough for sub-second progress events.
+_MONITOR_TICK = 0.25
+
 _TRUTHY_OFF = ("", "0", "false")
+
+#: The telemetry queue of the current process, when a monitor is active.
+#: Set in worker processes by the pool initializer (the queue rides the
+#: process-creation channel) and in the coordinator by ``_execute`` so
+#: the serial and inline-fallback paths emit through the same channel.
+#: ``None`` (the default) keeps ``_run_batch`` on its pre-telemetry path.
+_WORKER_EVENT_QUEUE = None
+
+
+def _init_worker_events(queue) -> None:
+    """Pool initializer: adopt the monitor's worker event queue."""
+    global _WORKER_EVENT_QUEUE
+    _WORKER_EVENT_QUEUE = queue
 
 
 class JobTimeoutError(TimeoutError):
@@ -185,6 +211,10 @@ class ExecutionStats:
     #: (the vectorized counterpart of ``router_wakeups``; low-load runs
     #: that delegated to the gated engine contribute nothing).
     vec_kernel_cycles: int = 0
+    #: Flit-trace events lost to ring-buffer wraps across the fresh runs
+    #: (nonzero only with tracing on and ``REPRO_TRACE_BUFFER`` too small
+    #: — the signal that the trace file is a truncated view).
+    trace_dropped_events: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats block into this one."""
@@ -199,6 +229,7 @@ class ExecutionStats:
         self.router_wakeups += other.router_wakeups
         self.cycles_skipped += other.cycles_skipped
         self.vec_kernel_cycles += other.vec_kernel_cycles
+        self.trace_dropped_events += other.trace_dropped_events
         if other.max_job_seconds > self.max_job_seconds:
             self.max_job_seconds = other.max_job_seconds
         for phase, seconds in other.phase_seconds.items():
@@ -211,6 +242,7 @@ class ExecutionStats:
         self.router_wakeups += counters.get("router_wakeups", 0)
         self.cycles_skipped += counters.get("cycles_skipped", 0)
         self.vec_kernel_cycles += counters.get("vec_kernel_cycles", 0)
+        self.trace_dropped_events += counters.get("trace_dropped_events", 0)
         if engine is not None:
             self.engine_jobs[engine] = self.engine_jobs.get(engine, 0) + 1
         for phase, seconds in spans_from_counters(counters).items():
@@ -235,6 +267,7 @@ class ExecutionStats:
             "router_wakeups": self.router_wakeups,
             "cycles_skipped": self.cycles_skipped,
             "vec_kernel_cycles": self.vec_kernel_cycles,
+            "trace_dropped_events": self.trace_dropped_events,
             "max_job_seconds": round(self.max_job_seconds, 3),
         }
         if self.engine_jobs:
@@ -262,6 +295,7 @@ class ExecutionStats:
         registry.gauge("runner_wall_seconds").set(round(self.wall_seconds, 3))
         registry.gauge("runner_max_job_seconds").set(round(self.max_job_seconds, 3))
         registry.counter("runner_vec_kernel_cycles").inc(self.vec_kernel_cycles)
+        registry.counter("runner_trace_dropped_events").inc(self.trace_dropped_events)
         for engine, count in sorted(self.engine_jobs.items()):
             registry.counter(f"runner_engine_jobs_{engine}").inc(count)
 
@@ -290,6 +324,8 @@ class ExecutionStats:
             line += f" | engines: {mix}"
         if self.vec_kernel_cycles:
             line += f" | vec kernel cycles: {self.vec_kernel_cycles}"
+        if self.trace_dropped_events:
+            line += f" | trace dropped events: {self.trace_dropped_events}"
         if self.phase_seconds:
             spans = " ".join(
                 f"{phase}={seconds:.2f}s"
@@ -322,20 +358,57 @@ def _run_sim_job(job: SimJob) -> SimulationResult:
     return job.run()
 
 
+def _job_event_data(item, value) -> dict:
+    """Telemetry payload extras for one finished job (best-effort)."""
+    data: dict = {}
+    try:
+        if isinstance(item, SimJob):
+            data["engine"] = _resolved_engine(item)
+            data["key"] = item.key()[:16]
+        counters = getattr(value, "counters", None)
+        if isinstance(counters, dict):
+            spans = spans_from_counters(counters)
+            if spans:
+                data["spans"] = {
+                    phase: round(seconds, 6) for phase, seconds in spans.items()
+                }
+            if counters.get("vec_kernel_cycles"):
+                data["vec_kernel_cycles"] = counters["vec_kernel_cycles"]
+    except Exception:
+        pass  # telemetry decoration must never fail the job
+    return data
+
+
 def _run_batch(fn: Callable, batch: list) -> list:
     """Execute one chunk of ``(job_index, attempt, item)`` triples.
 
     Returns ``(value, wall_seconds)`` pairs aligned with ``batch`` so the
     parent can track the slowest individual job without a second round
     trip.  With ``$REPRO_FAULTS`` set, the deterministic fault hooks fire
-    before each item (see :mod:`repro.parallel.faults`).
+    before each item (see :mod:`repro.parallel.faults`).  With a run
+    monitor active, each job brackets itself in ``job_start``/
+    ``job_finish`` events on the telemetry queue (best-effort puts that
+    can never fail the job).
     """
+    queue = _WORKER_EVENT_QUEUE
     out = []
     for index, attempt, item in batch:
         inject_fault(index, attempt)
+        if queue is not None:
+            emit_worker_event(queue, "job_start", index=index, attempt=attempt)
         start = time.perf_counter()
         value = fn(item)
-        out.append((value, time.perf_counter() - start))
+        seconds = time.perf_counter() - start
+        out.append((value, seconds))
+        if queue is not None:
+            emit_worker_event(
+                queue,
+                "job_finish",
+                index=index,
+                attempt=attempt,
+                seconds=round(seconds, 6),
+                **_job_event_data(item, value),
+            )
     return out
 
 
@@ -402,6 +475,11 @@ class ParallelRunner:
     resumed_keys:
         Job keys a previous interrupted run journaled complete; cache
         hits on them count as ``resumed_jobs``.
+    monitor:
+        Optional :class:`~repro.obs.monitor.RunMonitor` receiving the
+        run's streaming telemetry (job/cache/retry lifecycle events from
+        the coordinator, ``job_start``/``job_finish`` from the workers).
+        ``None`` (the default) executes the exact pre-telemetry paths.
     """
 
     def __init__(
@@ -415,6 +493,7 @@ class ParallelRunner:
         backoff: float | None = None,
         journal: RunJournal | None = None,
         resumed_keys: Collection[str] = (),
+        monitor: "RunMonitor | None" = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if cache == "default":
@@ -430,6 +509,7 @@ class ParallelRunner:
         self.backoff = resolve_backoff(backoff)
         self.journal = journal
         self.resumed_keys = frozenset(resumed_keys)
+        self.monitor = monitor
         self.stats = ExecutionStats()
 
     # --- SimJob execution (cached) ----------------------------------------
@@ -443,6 +523,9 @@ class ParallelRunner:
         finished job.
         """
         start = time.perf_counter()
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.emit("batch_start", jobs=len(sim_jobs))
         results: list[SimulationResult | None] = [None] * len(sim_jobs)
         miss_indices: list[int] = []
         keys: dict[int, str] = {}
@@ -453,8 +536,12 @@ class ParallelRunner:
                 if hit is not None:
                     results[i] = hit
                     self.stats.cache_hits += 1
+                    if monitor is not None:
+                        monitor.emit("cache_hit", index=i, key=key[:16])
                     if key in self.resumed_keys:
                         self.stats.resumed_jobs += 1
+                        if monitor is not None:
+                            monitor.emit("job_resumed", index=i, key=key[:16])
                         if self.journal is not None:
                             self.journal.record(key, "resumed")
                 else:
@@ -500,6 +587,8 @@ class ParallelRunner:
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply a picklable callable to every item, preserving order."""
         start = time.perf_counter()
+        if self.monitor is not None:
+            self.monitor.emit("batch_start", jobs=len(items))
         try:
             outputs = self._execute(fn, list(items))
             self.stats.jobs_run += len(items)
@@ -538,73 +627,127 @@ class ParallelRunner:
 
         job_states = [_Job(i, item) for i, item in enumerate(items)]
         workers = min(self.jobs, len(items))
-        if workers <= 1:
-            for job in job_states:
-                ((value, seconds),) = _run_batch(fn, [(job.index, 0, job.item)])
-                record(job, value, seconds)
-            return results
-
-        size = self.chunksize
-        pending: deque[list[_Job]] = deque(
-            job_states[i : i + size] for i in range(0, len(job_states), size)
-        )
-        exhausted: list[_Job] = []
-        pool_failures = 0
-        while pending:
-            generation = list(pending)
-            pending.clear()
-            failures = self._run_generation(fn, generation, workers, record)
-            if failures is None:
-                # The pool itself could not be built (broken
-                # multiprocessing stack): nothing ran, retry whole.
-                pool_failures += 1
-                if pool_failures > max(1, self.max_retries):
-                    for chunk in generation:
-                        exhausted.extend(j for j in chunk if not done[j.index])
-                else:
-                    pending.extend(generation)
-                continue
-            backoff_delay = 0.0
-            for chunk, kind, error in failures:
-                if kind == "interrupted":
-                    # Collateral of killing another chunk's hung worker
-                    # (or of a pool break before the chunk started): it
-                    # never ran to completion, so re-running it is a
-                    # continuation, not a duplicate — and not the chunk's
-                    # own failure, so its retry budget is untouched.
-                    pending.append(chunk)
-                    continue
-                if len(chunk) > 1:
-                    # Crash isolation: bisect to fence off the poisoned
-                    # job instead of failing (or inlining) its chunk-mates.
-                    mid = len(chunk) // 2
-                    pending.append(chunk[:mid])
-                    pending.append(chunk[mid:])
-                    self.stats.chunk_bisections += 1
-                    continue
-                job = chunk[0]
-                job.attempt += 1
-                job.timed_out = kind == "timeout"
-                job.error = error
-                if on_event is not None:
-                    on_event(job.index, kind, job.attempt)
-                if job.attempt > self.max_retries:
-                    if on_event is not None:
-                        on_event(job.index, "failed", job.attempt)
-                    exhausted.append(job)
-                else:
-                    self.stats.worker_retries += 1
-                    if on_event is not None:
-                        on_event(job.index, "retry", job.attempt)
-                    pending.append(chunk)
-                    backoff_delay = max(
-                        backoff_delay, self._backoff_delay(job.attempt)
+        monitor = self.monitor
+        global _WORKER_EVENT_QUEUE
+        saved_queue = _WORKER_EVENT_QUEUE
+        if monitor is not None:
+            # Coordinator-side paths (serial and inline fallback) emit
+            # through the same queue the pool initializer hands workers.
+            _WORKER_EVENT_QUEUE = monitor.worker_queue()
+        try:
+            if workers <= 1:
+                for job in job_states:
+                    ((value, seconds),) = _run_batch(
+                        fn, [(job.index, 0, job.item)]
                     )
-            if backoff_delay > 0.0 and pending:
-                time.sleep(backoff_delay)
-        if exhausted:
-            self._finish_inline(fn, exhausted, record)
-        return results
+                    record(job, value, seconds)
+                    if monitor is not None:
+                        monitor.tick()
+                return results
+
+            size = self.chunksize
+            pending: deque[list[_Job]] = deque(
+                job_states[i : i + size] for i in range(0, len(job_states), size)
+            )
+            exhausted: list[_Job] = []
+            pool_failures = 0
+            while pending:
+                generation = list(pending)
+                pending.clear()
+                failures = self._run_generation(fn, generation, workers, record)
+                if failures is None:
+                    # The pool itself could not be built (broken
+                    # multiprocessing stack): nothing ran, retry whole.
+                    pool_failures += 1
+                    if pool_failures > max(1, self.max_retries):
+                        for chunk in generation:
+                            exhausted.extend(
+                                j for j in chunk if not done[j.index]
+                            )
+                    else:
+                        pending.extend(generation)
+                    continue
+                backoff_delay = 0.0
+                for chunk, kind, error in failures:
+                    if kind == "interrupted":
+                        # Collateral of killing another chunk's hung worker
+                        # (or of a pool break before the chunk started): it
+                        # never ran to completion, so re-running it is a
+                        # continuation, not a duplicate — and not the chunk's
+                        # own failure, so its retry budget is untouched.
+                        if monitor is not None:
+                            for j in chunk:
+                                if not done[j.index]:
+                                    monitor.emit(
+                                        "job_interrupted",
+                                        index=j.index,
+                                        attempt=j.attempt,
+                                    )
+                        pending.append(chunk)
+                        continue
+                    if len(chunk) > 1:
+                        # Crash isolation: bisect to fence off the poisoned
+                        # job instead of failing (or inlining) its chunk-mates.
+                        mid = len(chunk) // 2
+                        pending.append(chunk[:mid])
+                        pending.append(chunk[mid:])
+                        self.stats.chunk_bisections += 1
+                        if monitor is not None:
+                            monitor.emit(
+                                "chunk_bisect",
+                                jobs=len(chunk),
+                                indices=[j.index for j in chunk],
+                            )
+                        continue
+                    job = chunk[0]
+                    job.attempt += 1
+                    job.timed_out = kind == "timeout"
+                    job.error = error
+                    if on_event is not None:
+                        on_event(job.index, kind, job.attempt)
+                    if monitor is not None:
+                        if kind == "timeout":
+                            monitor.emit(
+                                "job_cancel", index=job.index, attempt=job.attempt
+                            )
+                        else:
+                            monitor.emit(
+                                "job_error",
+                                index=job.index,
+                                attempt=job.attempt,
+                                reason=kind,
+                                error=str(error) if error is not None else None,
+                            )
+                    if job.attempt > self.max_retries:
+                        if on_event is not None:
+                            on_event(job.index, "failed", job.attempt)
+                        if monitor is not None:
+                            monitor.emit(
+                                "job_failed",
+                                index=job.index,
+                                attempt=job.attempt,
+                                reason=kind,
+                            )
+                        exhausted.append(job)
+                    else:
+                        self.stats.worker_retries += 1
+                        if on_event is not None:
+                            on_event(job.index, "retry", job.attempt)
+                        if monitor is not None:
+                            monitor.emit(
+                                "job_retry", index=job.index, attempt=job.attempt
+                            )
+                        pending.append(chunk)
+                        backoff_delay = max(
+                            backoff_delay, self._backoff_delay(job.attempt)
+                        )
+                if backoff_delay > 0.0 and pending:
+                    time.sleep(backoff_delay)
+            if exhausted:
+                self._finish_inline(fn, exhausted, record)
+            return results
+        finally:
+            _WORKER_EVENT_QUEUE = saved_queue
 
     def _backoff_delay(self, attempt: int) -> float:
         """Capped exponential backoff before retry ``attempt`` (1-based)."""
@@ -629,8 +772,18 @@ class ParallelRunner:
         ``"interrupted"`` (collateral of a kill/crash elsewhere).
         Returns ``None`` when the pool could not be constructed at all.
         """
+        init_kwargs: dict = {}
+        if self.monitor is not None:
+            # The queue rides the process-creation channel (initargs), the
+            # only place a multiprocessing.Queue may legally cross.
+            init_kwargs = {
+                "initializer": _init_worker_events,
+                "initargs": (self.monitor.worker_queue(),),
+            }
         try:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)), **init_kwargs
+            )
         except Exception:
             return None
         failures: list[tuple[list[_Job], str, BaseException | None]] = []
@@ -649,6 +802,11 @@ class ParallelRunner:
             deadlines: dict = {}
             while waiting:
                 tick = None
+                if self.monitor is not None:
+                    # Without a timeout the wait would otherwise block
+                    # until a chunk lands; a finite tick keeps progress
+                    # events flowing while jobs are long-running.
+                    tick = _MONITOR_TICK
                 if self.timeout is not None:
                     now = time.monotonic()
                     for future in waiting:
@@ -667,6 +825,8 @@ class ParallelRunner:
                 )
                 for future in ready:
                     self._harvest(future, futures[future], record, failures)
+                if self.monitor is not None:
+                    self.monitor.tick()
                 if self.timeout is None or not waiting:
                     continue
                 now = time.monotonic()
@@ -759,12 +919,14 @@ def run_sim_jobs(
     stats: ExecutionStats | None = None,
     journal: RunJournal | None = None,
     resumed_keys: Collection[str] = (),
+    monitor: "RunMonitor | None" = None,
 ) -> list[SimulationResult]:
     """One-call fan-out: execute ``sim_jobs`` and return ordered results.
 
     When ``stats`` is given, the runner's counters are merged into it so
     callers can aggregate across batches; ``journal``/``resumed_keys``
-    thread the checkpoint journal through (see :mod:`repro.parallel.journal`).
+    thread the checkpoint journal through (see :mod:`repro.parallel.journal`);
+    ``monitor`` streams the run's telemetry events (see :mod:`repro.obs`).
     """
     runner = ParallelRunner(
         jobs,
@@ -773,6 +935,7 @@ def run_sim_jobs(
         max_retries=max_retries,
         journal=journal,
         resumed_keys=resumed_keys,
+        monitor=monitor,
     )
     results = runner.run(sim_jobs)
     if stats is not None:

@@ -201,6 +201,12 @@ class Simulation:
             # Spans only appear when profiling is on, so the default
             # counters dict stays byte-identical to pre-observability runs.
             counters.update(timer.counter_items())
+        tracer = self._obs.tracer if self._obs is not None else None
+        if tracer is not None and tracer.dropped:
+            # Loud truncation: a wrapped trace ring surfaces in the
+            # counters (and from there the [perf_counters] footer).  Only
+            # with tracing on, so the default counters stay unchanged.
+            counters["trace_dropped_events"] = tracer.dropped
         metrics = None
         if self._obs is not None:
             metrics = self._obs.finalize(

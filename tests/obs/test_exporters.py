@@ -1,0 +1,154 @@
+"""Exporters: Prometheus exposition text and Chrome trace-event layout."""
+
+import json
+
+from repro.obs import MetricsRegistry, RunEvent, chrome_trace_events, export_chrome_trace
+from repro.obs.exporters import prometheus_text
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_with_type_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total").inc(6)
+        reg.gauge("repro_jobs_in_flight").set(2.0)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_jobs_total counter\nrepro_jobs_total 6\n" in text
+        assert "# TYPE repro_jobs_in_flight gauge\nrepro_jobs_in_flight 2\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_job_seconds", (0.1, 1.0))
+        for v in (0.05, 0.05, 0.5, 99.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert '# TYPE repro_job_seconds histogram' in text
+        assert 'repro_job_seconds_bucket{le="0.1"} 2' in text
+        # Cumulative: the 1.0 bucket includes the 0.1 bucket's samples.
+        assert 'repro_job_seconds_bucket{le="1"} 3' in text
+        # +Inf is the mandatory total (overflow included).
+        assert 'repro_job_seconds_bucket{le="+Inf"} 4' in text
+        assert 'repro_job_seconds_count 4' in text
+        assert 'repro_job_seconds_sum 99.6' in text
+
+    def test_invalid_name_characters_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs.by-engine/gated").inc(1)
+        text = prometheus_text(reg)
+        assert "jobs_by_engine_gated 1" in text
+
+    def test_format_is_line_parseable(self):
+        # Every non-comment line is exactly "<name or name{labels}> <value>".
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h", (1.0,)).observe(0.5)
+        for line in prometheus_text(reg).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)  # parseable sample value
+
+
+def make_events(*specs):
+    return [RunEvent(seq=i, t=t, kind=kind, data=data)
+            for i, (t, kind, data) in enumerate(specs)]
+
+
+class TestChromeTrace:
+    def test_paired_start_finish_becomes_complete_slice(self):
+        events = make_events(
+            (100.0, "job_start", {"index": 0, "attempt": 0, "pid": 42}),
+            (100.5, "job_finish", {"index": 0, "attempt": 0, "pid": 42,
+                                   "seconds": 0.5, "engine": "gated"}),
+        )
+        (slice_,) = [e for e in chrome_trace_events(events) if e["ph"] == "X"]
+        assert slice_["name"] == "job 0"
+        assert slice_["pid"] == 42
+        assert slice_["ts"] == 0  # relative to earliest event
+        assert slice_["dur"] == 500_000  # microseconds
+        assert slice_["args"]["engine"] == "gated"
+        assert slice_["args"]["seconds"] == 0.5
+
+    def test_starts_pair_per_attempt(self):
+        # Attempt 0 died (no finish); attempt 1 completed. Only the
+        # completed attempt becomes a slice, paired with its own start.
+        events = make_events(
+            (10.0, "job_start", {"index": 3, "attempt": 0, "pid": 1}),
+            (11.0, "job_start", {"index": 3, "attempt": 1, "pid": 2}),
+            (11.25, "job_finish", {"index": 3, "attempt": 1, "pid": 2,
+                                   "seconds": 0.25}),
+        )
+        slices = [e for e in chrome_trace_events(events) if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["ts"] == 1_000_000
+        assert slices[0]["args"]["attempt"] == 1
+
+    def test_lost_start_reconstructed_from_seconds(self):
+        events = make_events(
+            (50.0, "job_finish", {"index": 0, "attempt": 0, "pid": 7,
+                                  "seconds": 2.0}),
+        )
+        (slice_,) = [e for e in chrome_trace_events(events) if e["ph"] == "X"]
+        assert slice_["dur"] == 2_000_000
+
+    def test_phase_spans_become_nested_slices(self):
+        events = make_events(
+            (0.0, "job_start", {"index": 0, "attempt": 0, "pid": 5}),
+            (1.0, "job_finish", {"index": 0, "attempt": 0, "pid": 5,
+                                 "seconds": 1.0,
+                                 "spans": {"measure": 0.6, "warmup": 0.3}}),
+        )
+        trace = chrome_trace_events(events)
+        phases = [e for e in trace if e.get("cat") == "phase"]
+        assert [p["name"] for p in phases] == ["warmup", "measure"]
+        assert all(p["tid"] == 1 and p["pid"] == 5 for p in phases)
+        # Laid out cursor-sequentially from the job start.
+        assert phases[0]["ts"] == 0
+        assert phases[1]["ts"] == 300_000
+
+    def test_progress_becomes_counter_track(self):
+        events = make_events(
+            (0.0, "progress", {"in_flight": 3, "completed": 1, "total": 6}),
+        )
+        (counter,) = chrome_trace_events(events)[:1]
+        assert counter["ph"] == "C"
+        assert counter["name"] == "in_flight"
+        assert counter["args"] == {"in_flight": 3}
+
+    def test_run_markers_are_instant_events(self):
+        events = make_events(
+            (0.0, "run_start", {"experiment": "fig8"}),
+            (5.0, "job_cancel", {"index": 2, "attempt": 1}),
+            (9.0, "run_finish", {"experiment": "fig8"}),
+        )
+        instants = [e for e in chrome_trace_events(events) if e["ph"] == "i"]
+        assert [i["name"] for i in instants] == ["run_start", "job_cancel", "run_finish"]
+
+    def test_worker_process_metadata(self):
+        events = make_events(
+            (0.0, "job_start", {"index": 0, "attempt": 0, "pid": 11}),
+            (1.0, "job_finish", {"index": 0, "attempt": 0, "pid": 11,
+                                 "seconds": 1.0}),
+        )
+        meta = [e for e in chrome_trace_events(events) if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert names == {0: "coordinator", 11: "worker-11"}
+
+    def test_empty_stream_is_empty_trace(self):
+        assert chrome_trace_events([]) == []
+
+    def test_export_writes_loadable_document(self, tmp_path):
+        events = make_events(
+            (0.0, "job_start", {"index": 0, "attempt": 0, "pid": 1}),
+            (0.5, "job_finish", {"index": 0, "attempt": 0, "pid": 1,
+                                 "seconds": 0.5}),
+        )
+        path = export_chrome_trace(events, tmp_path / "trace.json",
+                                   experiment="fig8")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"experiment": "fig8"}
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])

@@ -157,7 +157,7 @@ class TestTraceIntegration:
         assert m["trace_events_buffered"] <= 50
         assert (
             m["trace_events_recorded"]
-            == m["trace_events_buffered"] + m["trace_events_dropped"]
+            == m["trace_events_buffered"] + m["trace_dropped_events"]
         )
 
 

@@ -104,6 +104,56 @@ class TestMerge:
             }})
 
 
+class TestQuantile:
+    def test_interpolates_within_landing_bucket(self):
+        h = Histogram("lat", (10.0, 20.0))
+        for _ in range(10):
+            h.observe(5)  # all ten samples in the first bucket
+        # Rank q*10 interpolated across [0, 10] (first lower edge is 0).
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_crosses_buckets_cumulatively(self):
+        h = Histogram("lat", (10.0, 20.0))
+        for _ in range(5):
+            h.observe(5)
+        for _ in range(5):
+            h.observe(15)
+        assert h.quantile(0.5) == pytest.approx(10.0)
+        assert h.quantile(0.75) == pytest.approx(15.0)
+
+    def test_overflow_rank_clamps_to_largest_finite_bound(self):
+        h = Histogram("lat", (10.0,))
+        h.observe(5)
+        h.observe(999)  # overflow (+Inf) bucket
+        assert h.quantile(0.99) == 10.0
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram("lat", (10.0,)).quantile(0.5))
+        assert math.isnan(NULL_METRIC.quantile(0.5))
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("lat", (10.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_agrees_with_prometheus_endpoint_buckets(self):
+        # The quantile read off the registry and the one a Prometheus
+        # histogram_quantile computes from /metrics share the same
+        # cumulative-bucket math; spot-check through the text exporter.
+        from repro.obs.exporters import prometheus_text
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert 'lat_bucket{le="2"} 3' in text  # cumulative, like quantile()
+        assert h.quantile(0.75) == pytest.approx(2.0)
+
+
 class TestExport:
     def test_jsonl_appends_context_stamped_lines(self, tmp_path):
         path = tmp_path / "m.jsonl"
@@ -125,3 +175,17 @@ class TestExport:
         assert "n,2" in text
         assert "lat_le_10,1" in text
         assert "lat_total,1" in text
+
+    def test_csv_histogram_rows_are_cumulative_with_inf(self, tmp_path):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (10, 20))
+        for v in (5, 5, 15, 99):
+            h.observe(v)
+        text = reg.export_csv(tmp_path / "m.csv").read_text()
+        # Prometheus shape: each le row includes everything below it,
+        # +Inf is the total (overflow included), _overflow stays raw.
+        assert "lat_le_10,2" in text
+        assert "lat_le_20,3" in text
+        assert "lat_le_+Inf,4" in text
+        assert "lat_overflow,1" in text
+        assert "lat_total,4" in text

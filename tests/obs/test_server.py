@@ -1,0 +1,132 @@
+"""TelemetryServer: /status, /metrics, /events SSE over a live monitor."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import RunMonitor, TelemetryServer
+
+
+@pytest.fixture
+def served():
+    monitor = RunMonitor(label="fig8", run_key="cafe01")
+    server = TelemetryServer(monitor, port=0).start()
+    yield monitor, server
+    server.close()
+    monitor.close()
+
+
+def get(server, path, timeout=5):
+    with urllib.request.urlopen(server.url + path, timeout=timeout) as resp:
+        return resp.status, resp.headers, resp.read().decode()
+
+
+class TestEndpoints:
+    def test_index_lists_endpoints(self, served):
+        monitor, server = served
+        status, _, body = get(server, "/")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["endpoints"] == ["/status", "/metrics", "/events"]
+        assert doc["label"] == "fig8"
+
+    def test_status_reflects_monitor_mid_run(self, served):
+        monitor, server = served
+        monitor.emit("batch_start", jobs=4)
+        monitor.emit("job_start", index=0, attempt=0, pid=77)
+        _, headers, body = get(server, "/status")
+        assert headers["Content-Type"] == "application/json"
+        doc = json.loads(body)
+        assert doc["jobs_total"] == 4
+        assert doc["in_flight_count"] == 1
+        assert doc["in_flight"][0]["pid"] == 77
+        assert doc["run_key"] == "cafe01"
+
+    def test_metrics_is_prometheus_text(self, served):
+        monitor, server = served
+        monitor.emit("batch_start", jobs=2)
+        monitor.emit("cache_hit", index=0, key="ab")
+        _, headers, body = get(server, "/metrics")
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "# TYPE repro_jobs_total counter" in body
+        assert "repro_jobs_total 2" in body
+        assert "repro_cache_hits 1" in body
+        assert body.endswith("\n")
+
+    def test_unknown_path_is_json_404(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 404
+        assert json.loads(err.value.read().decode())["error"]
+
+    def test_port_zero_resolves_to_concrete_url(self, served):
+        _, server = served
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+
+class TestSSE:
+    def read_sse_events(self, server, n, emit_after):
+        """Open /events, then emit, then read ``n`` data lines."""
+        req = urllib.request.urlopen(server.url + "/events", timeout=10)
+        assert req.headers["Content-Type"] == "text/event-stream"
+        emitted = threading.Thread(target=emit_after)
+        emitted.start()
+        events = []
+        while len(events) < n:
+            line = req.readline().decode()
+            if line.startswith("data: "):
+                events.append(json.loads(line[len("data: "):]))
+        emitted.join()
+        req.close()
+        return events
+
+    def test_replays_buffered_tail_then_streams_live(self, served):
+        monitor, server = served
+        monitor.emit("run_start", experiment="fig8")
+        monitor.emit("batch_start", jobs=1)
+
+        def emit_live():
+            monitor.emit("job_start", index=0, attempt=0, pid=5)
+
+        events = self.read_sse_events(server, 3, emit_live)
+        assert [e["kind"] for e in events] == [
+            "run_start", "batch_start", "job_start",
+        ]
+        # seq ids are strictly increasing across replay + live.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 3
+
+    def test_stream_ends_when_monitor_closes(self, served):
+        monitor, server = served
+        monitor.emit("run_start")
+        req = urllib.request.urlopen(server.url + "/events", timeout=10)
+        req.readline()  # id: of the replayed event
+        closer = threading.Timer(0.1, monitor.close)
+        closer.start()
+        # The handler exits on the close sentinel; the body then ends.
+        assert b"run_start" in req.read()
+        closer.join()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_releases_port(self):
+        monitor = RunMonitor()
+        server = TelemetryServer(monitor, port=0).start()
+        port = server.port
+        server.close()
+        server.close()
+        # Port is free again: a new server can bind it immediately.
+        relisten = TelemetryServer(monitor, port=port).start()
+        relisten.close()
+        monitor.close()
+
+    def test_context_manager(self):
+        monitor = RunMonitor()
+        with TelemetryServer(monitor, port=0) as server:
+            status, _, _ = get(server, "/")
+            assert status == 200
+        monitor.close()

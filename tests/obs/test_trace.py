@@ -56,7 +56,7 @@ class TestRingBuffer:
         stats = t.stats()
         assert stats["trace_events_recorded"] == 25
         assert stats["trace_events_buffered"] == 10
-        assert stats["trace_events_dropped"] == 15
+        assert stats["trace_dropped_events"] == 15
 
 
 class TestExport:

@@ -1,0 +1,198 @@
+"""Runner x telemetry: cross-process events, metrics merge, fault lifecycle.
+
+The streaming-telemetry contract at the execution layer:
+
+* worker-side events (``job_start``/``job_finish``) cross the
+  multiprocessing queue and interleave with coordinator events into one
+  totally ordered stream (strictly increasing ``seq``);
+* a monitored run returns the exact results of an unmonitored run —
+  telemetry observes, never participates;
+* the failure lifecycle is evented exactly once per incident: a
+  fault-injected crash yields one ``job_error`` + one ``job_retry``, a
+  hung job killed on its budget yields one ``job_cancel`` — and the
+  sweep still completes.
+
+Worker-side :class:`MetricsRegistry` snapshots must also survive the
+round trip: ``as_dict()`` in the worker, ``merge()`` in the parent.
+"""
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.obs import MetricsRegistry, RunMonitor
+from repro.parallel import ParallelRunner, SimJob
+
+
+def tiny_job(seed=1, allocator="input_first"):
+    return SimJob(
+        NetworkConfig(
+            topology="mesh",
+            num_terminals=16,
+            router=RouterConfig(allocator=allocator),
+            packet_length=4,
+        ),
+        injection_rate=0.1,
+        seed=seed,
+        warmup=50,
+        measure=200,
+    )
+
+
+def worker_metrics(seed: int) -> dict:
+    """Module-level (picklable) worker: one registry snapshot per process."""
+    reg = MetricsRegistry()
+    reg.counter("jobs_seen").inc()
+    reg.gauge("last_seed").set(float(seed))
+    reg.histogram("seed_value", (2.0, 10.0)).observe(float(seed))
+    return reg.as_dict()
+
+
+def run_monitored(jobs, *, workers=2, monitor=None, **runner_kwargs):
+    runner = ParallelRunner(
+        workers, cache=None, monitor=monitor, backoff=0.0, **runner_kwargs
+    )
+    try:
+        return runner.run(jobs), runner
+    finally:
+        if monitor is not None:
+            monitor.flush()
+            monitor.close()
+
+
+def events_by_kind(monitor):
+    out = {}
+    for event in monitor.stream.events():
+        out.setdefault(event.kind, []).append(event)
+    return out
+
+
+class TestCrossProcessRegistryMerge:
+    def test_worker_snapshots_merge_in_parent(self):
+        seeds = [1, 2, 3, 4, 5]
+        runner = ParallelRunner(2, cache=None)
+        snapshots = runner.map(worker_metrics, seeds)
+        merged = MetricsRegistry()
+        # A flattened dict no longer knows metric kinds: gauges must be
+        # pre-registered in the receiver to keep last-writer-wins.
+        merged.gauge("last_seed")
+        for snap in snapshots:
+            merged.merge(snap)
+        data = merged.as_dict()
+        assert data["jobs_seen"] == len(seeds)
+        hist = data["seed_value"]
+        assert hist["total"] == len(seeds)
+        assert hist["counts"] == [2, 3]  # seeds <=2, seeds in (2, 10]
+        assert hist["sum"] == float(sum(seeds))
+        # map() returns in job order, so the last writer is the last seed.
+        assert data["last_seed"] == float(seeds[-1])
+
+
+class TestEventOrderingAcrossProcesses:
+    def test_worker_events_form_one_totally_ordered_stream(self):
+        jobs = [tiny_job(seed=s) for s in (1, 2, 3, 4)]
+        monitor = RunMonitor()
+        results, _ = run_monitored(jobs, monitor=monitor)
+        assert all(r is not None for r in results)
+
+        events = monitor.stream.events()
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+        by_kind = events_by_kind(monitor)
+        assert len(by_kind["job_start"]) == 4
+        assert len(by_kind["job_finish"]) == 4
+        # Per job: the start is sequenced before its finish.
+        start_seq = {e.data["index"]: e.seq for e in by_kind["job_start"]}
+        for finish in by_kind["job_finish"]:
+            assert start_seq[finish.data["index"]] < finish.seq
+        # Worker events carry their emitting pid; at least one worker ran.
+        assert all(e.data["pid"] > 0 for e in by_kind["job_start"])
+        assert monitor.engines and sum(monitor.engines.values()) == 4
+        assert monitor.completed == 4
+
+    def test_serial_path_emits_through_the_same_queue(self):
+        jobs = [tiny_job(seed=s) for s in (1, 2)]
+        monitor = RunMonitor()
+        results, _ = run_monitored(jobs, workers=1, monitor=monitor)
+        assert all(r is not None for r in results)
+        by_kind = events_by_kind(monitor)
+        assert len(by_kind["job_start"]) == 2
+        assert len(by_kind["job_finish"]) == 2
+        finish = by_kind["job_finish"][0].data
+        assert finish["seconds"] > 0
+        assert finish["engine"]
+
+    def test_monitored_results_identical_to_unmonitored(self):
+        jobs = [tiny_job(seed=s) for s in (1, 2, 3)]
+        plain, _ = run_monitored(jobs)
+        monitored, _ = run_monitored(jobs, monitor=RunMonitor())
+        assert plain == monitored
+
+    def test_cache_hits_are_evented(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        jobs = [tiny_job(seed=s) for s in (1, 2)]
+        warm = ParallelRunner(2, monitor=None)
+        warm.run(jobs)
+        monitor = RunMonitor()
+        runner = ParallelRunner(2, monitor=monitor)
+        cached = runner.run(jobs)
+        monitor.close()
+        assert all(r is not None for r in cached)
+        by_kind = events_by_kind(monitor)
+        assert len(by_kind["cache_hit"]) == 2
+        assert "job_start" not in by_kind
+        assert monitor.cache_hits == 2
+
+
+class TestFaultLifecycleEvents:
+    def test_injected_crash_events_error_and_retry_exactly_once(self, monkeypatch):
+        # Job 0's first attempt raises inside the worker; the retry runs
+        # clean (fault directives default to the first attempt only).
+        monkeypatch.setenv("REPRO_FAULTS", "raise@0")
+        jobs = [tiny_job(seed=s) for s in (1, 2, 3)]
+        monitor = RunMonitor()
+        results, _ = run_monitored(jobs, monitor=monitor, max_retries=2)
+        assert all(r is not None for r in results)
+
+        by_kind = events_by_kind(monitor)
+        assert len(by_kind["job_error"]) == 1
+        assert len(by_kind["job_retry"]) == 1
+        assert "job_failed" not in by_kind
+        error = by_kind["job_error"][0].data
+        assert error["index"] == 0
+        assert error["reason"] == "error"
+        assert "injected" in error["error"]
+        retry = by_kind["job_retry"][0].data
+        assert retry["index"] == 0 and retry["attempt"] == 1
+        # The retry is sequenced after the error it answers, and the
+        # job's eventual finish after both.
+        assert by_kind["job_error"][0].seq < by_kind["job_retry"][0].seq
+        finishes = {e.data["index"]: e for e in by_kind["job_finish"]}
+        assert finishes[0].seq > by_kind["job_retry"][0].seq
+        assert len(by_kind["job_finish"]) == 3
+        assert monitor.errors == 1 and monitor.retries == 1
+
+    def test_hung_job_events_cancel_exactly_once(self, monkeypatch):
+        # Job 0's first attempt hangs far past the budget; the runner
+        # kills its worker on the timeout and the retry runs clean.
+        monkeypatch.setenv("REPRO_FAULTS", "hang@0")
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "600")
+        jobs = [tiny_job(seed=s) for s in (1, 2)]
+        monitor = RunMonitor()
+        results, runner = run_monitored(
+            jobs, monitor=monitor, timeout=2.0, max_retries=2
+        )
+        assert all(r is not None for r in results)
+
+        by_kind = events_by_kind(monitor)
+        assert len(by_kind["job_cancel"]) == 1
+        cancel = by_kind["job_cancel"][0].data
+        assert cancel["index"] == 0
+        # The cancelled attempt is requeued, not failed.
+        retries = [e for e in by_kind["job_retry"] if e.data["index"] == 0]
+        assert len(retries) == 1
+        assert "job_failed" not in by_kind
+        assert len(by_kind["job_finish"]) == 2
+        assert monitor.cancellations == 1
+        assert runner.stats.cancellations >= 1
