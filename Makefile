@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs fault-smoke telemetry-smoke bench-trajectory examples all clean
+.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs bench-partition fault-smoke telemetry-smoke bench-trajectory partition-equivalence partition-invariants examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -46,6 +46,23 @@ telemetry-smoke:
 # PR's headline ratio against its regression guard.
 bench-trajectory:
 	$(PYTHON) scripts/bench_report.py --check
+
+# Golden-output gate for the chiplet-partitioned engine: f8/t1 reports
+# with a 1x1 partition and zero-latency links must be byte-identical to
+# the monolithic dense engine's (modulo the [perf_counters] footer).
+partition-equivalence:
+	$(PYTHON) scripts/check_partition.py --equivalence
+
+# Boundary-correctness smoke: a 2x2-partitioned 8x8 mesh runs with flit
+# conservation and credit accounting checked every few cycles.
+partition-invariants:
+	$(PYTHON) scripts/check_partition.py --invariants
+
+# Perf-trajectory point: chiplet-partitioned engine (serial + workers)
+# vs monolithic dense/gated on a 32x32 mesh.  The result
+# (BENCH_PR9.json) is committed; CI guards its recorded ratios.
+bench-partition:
+	$(PYTHON) scripts/bench_engines.py --partition --measure 400 --warmup 200 --repeats 2
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

@@ -27,12 +27,21 @@ point and fails (exit 1) unless ``vectorized`` beats ``dense`` by at least
 ``--threshold`` (default 2.0x — well under the ~5x recorded in the
 committed baseline, so CI tolerates slow shared runners without ever
 accepting a vectorized engine that lost its reason to exist).
+
+PR 9 additions: ``--topology``/``--size`` scale the fabric beyond the
+paper's 8x8 mesh (``--size`` is the router-grid edge; terminals follow the
+topology's concentration), ``--warmup`` exposes the warmup window, and
+``--partition`` times the chiplet-partitioned engine (serial round-robin
+and 2-worker epoch-synchronized modes) against monolithic dense/gated on
+the requested fabric, recording the headline to ``BENCH_PR9.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import platform
 import sys
 import time
@@ -40,7 +49,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.network.config import paper_config  # noqa: E402
+from repro.network.config import NetworkConfig, paper_config  # noqa: E402
+from repro.network.links import PartitionConfig  # noqa: E402
+from repro.registry import topologies  # noqa: E402
 from repro.sim.engine import run_simulation  # noqa: E402
 
 #: Uniform-traffic saturation of the paper's 8x8 mesh baseline (packets per
@@ -55,30 +66,58 @@ ALLOCATORS = ("input_first", "vix")
 ENGINES = ("dense", "gated", "vectorized")
 
 
-def _run_once(allocator: str, load: float, engine: str, measure: int) -> float:
-    cfg = paper_config(allocator)
+#: Terminals per router for the registered concentrated topologies.
+CONCENTRATION = {"cmesh": 4, "fbfly": 4}
+
+
+def _config(allocator: str, topology: str = "mesh", size: int = 8) -> NetworkConfig:
+    """The paper configuration scaled to a ``size`` x ``size`` router grid."""
+    name = topologies.canonical(topology)
+    terminals = size * size * CONCENTRATION.get(name, 1)
+    return dataclasses.replace(
+        paper_config(allocator, topology=name), num_terminals=terminals
+    )
+
+
+def _run_once(
+    allocator: str,
+    load: float,
+    engine: str | None,
+    measure: int,
+    *,
+    topology: str = "mesh",
+    size: int = 8,
+    warmup: int = 1000,
+    partition: PartitionConfig | None = None,
+    drain_limit: int | None = None,
+) -> float:
+    cfg = _config(allocator, topology, size)
     rate = round(load * SATURATION_RATE, 6)
     t0 = time.perf_counter()
     run_simulation(
         cfg,
         injection_rate=rate,
         seed=1,
-        warmup=1000,
+        warmup=warmup,
         measure=measure,
         engine=engine,
+        partition=partition,
+        drain_limit=drain_limit,
     )
     return time.perf_counter() - t0
 
 
 def _interleaved(
     allocator: str, load: float, engines: tuple[str, ...], repeats: int,
-    measure: int,
+    measure: int, **kwargs,
 ) -> dict[str, list[float]]:
     """``repeats`` timings per engine, measured round-robin."""
     times: dict[str, list[float]] = {engine: [] for engine in engines}
     for _ in range(repeats):
         for engine in engines:
-            times[engine].append(_run_once(allocator, load, engine, measure))
+            times[engine].append(
+                _run_once(allocator, load, engine, measure, **kwargs)
+            )
     return times
 
 
@@ -95,12 +134,12 @@ def _speedup(times: dict[str, list[float]], base: str, new: str) -> float:
     return _median([b / n for b, n in zip(times[base], times[new])])
 
 
-def write_baseline(path: Path, repeats: int, measure: int) -> None:
+def write_baseline(path: Path, repeats: int, measure: int, **kwargs) -> None:
     results: dict[str, dict] = {}
     for allocator in ALLOCATORS:
         results[allocator] = {}
         for load in LOADS:
-            times = _interleaved(allocator, load, ENGINES, repeats, measure)
+            times = _interleaved(allocator, load, ENGINES, repeats, measure, **kwargs)
             entry = {
                 f"{engine}_s": round(min(times[engine]), 4) for engine in ENGINES
             }
@@ -128,12 +167,87 @@ def write_baseline(path: Path, repeats: int, measure: int) -> None:
     print(f"wrote {path}")
 
 
-def check_saturation(threshold: float, repeats: int, measure: int) -> int:
+def bench_partition(
+    path: Path,
+    repeats: int,
+    measure: int,
+    *,
+    topology: str = "mesh",
+    size: int = 32,
+    warmup: int = 1000,
+    link_latency: int = 4,
+    workers: int = 2,
+) -> None:
+    """PR 9 headline: chiplet-partitioned engine vs the monolithic engines.
+
+    Times four executions of the same saturated fabric — monolithic dense,
+    monolithic gated, partitioned serial round-robin, and partitioned with
+    ``workers`` epoch-synchronized worker processes — interleaved per
+    round like the engine benchmark.  Domains are 8x8-router chiplets
+    (``size/8`` x ``size/8`` grid) joined by credit links of the given
+    latency; results are identical across all four by the equivalence
+    contract, so the timings isolate orchestration cost.
+    """
+    grid = max(2, size // 8)
+    dims = (grid, grid)
+    base = dict(topology=topology, size=size, warmup=warmup)
+    serial = PartitionConfig(dims=dims, link_latency=link_latency)
+    forked = PartitionConfig(dims=dims, link_latency=link_latency, workers=workers)
+    modes: dict[str, dict] = {
+        "dense": dict(engine="dense", partition=None),
+        "gated": dict(engine="gated", partition=None),
+        "partitioned_serial": dict(engine=None, partition=serial),
+        "partitioned_workers": dict(engine=None, partition=forked),
+    }
+    results: dict[str, dict] = {}
+    for allocator in ALLOCATORS:
+        times: dict[str, list[float]] = {mode: [] for mode in modes}
+        for _ in range(repeats):
+            for mode, sel in modes.items():
+                # Saturation probe (drain_limit=0): an oversaturated fabric
+                # never fully drains, so a drain phase would only time the
+                # drain budget, identically in every mode.
+                times[mode].append(
+                    _run_once(
+                        allocator, 1.0, sel["engine"], measure,
+                        partition=sel["partition"], drain_limit=0, **base,
+                    )
+                )
+        entry = {f"{mode}_s": round(min(times[mode]), 4) for mode in modes}
+        entry["partitioned_serial_speedup_vs_dense"] = round(
+            _speedup(times, "dense", "partitioned_serial"), 3
+        )
+        entry["partitioned_workers_speedup_vs_dense"] = round(
+            _speedup(times, "dense", "partitioned_workers"), 3
+        )
+        results[allocator] = {"1.0": entry}
+        print(f"{allocator:12s} {size}x{size} {topology}: " + " ".join(
+            f"{k}={v}" for k, v in entry.items()))
+    payload = {
+        "benchmark": f"{size}x{size} {topology}, uniform traffic at the 8x8 "
+                     f"saturation rate, seed 1, warmup {warmup}, measure "
+                     f"{measure}, {dims[0]}x{dims[1]} chiplet partition, "
+                     f"link latency {link_latency}, {workers} worker "
+                     "process(es); times are per-mode minimums over "
+                     "interleaved rounds, speedups are medians of "
+                     "per-round ratios",
+        "saturation_rate": SATURATION_RATE,
+        "loads_are_fractions_of_saturation": True,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def check_saturation(threshold: float, repeats: int, measure: int, **kwargs) -> int:
     """CI smoke: vectorized must beat dense at the saturation point."""
     failed = False
     for allocator in ALLOCATORS:
         times = _interleaved(allocator, 1.0, ("dense", "vectorized"),
-                             repeats, measure)
+                             repeats, measure, **kwargs)
         speedup = _speedup(times, "dense", "vectorized")
         status = "OK" if speedup >= threshold else "FAIL"
         print(f"{allocator:12s} load=1.0: dense={min(times['dense']):.3f}s "
@@ -160,10 +274,38 @@ def main() -> int:
                     help="interleaved best-of-N repeats per point (default 3)")
     ap.add_argument("--measure", type=int, default=3000,
                     help="measurement window in cycles (default 3000)")
+    ap.add_argument("--warmup", type=int, default=1000,
+                    help="warmup window in cycles (default 1000)")
+    ap.add_argument("--topology", default="mesh",
+                    help="fabric topology (registry name; default mesh)")
+    ap.add_argument("--size", type=int, default=None,
+                    help="router-grid edge (default 8; 32 with --partition); "
+                         "terminals follow the topology's concentration")
+    ap.add_argument("--partition", action="store_true",
+                    help="PR 9 mode: time the chiplet-partitioned engine "
+                         "(serial and worker) against monolithic dense/gated "
+                         "on the requested fabric; writes BENCH_PR9.json")
+    ap.add_argument("--link-latency", type=int, default=4,
+                    help="inter-chip link latency for --partition (default 4)")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="worker processes for --partition (default 2)")
     args = ap.parse_args()
+    scale = dict(topology=args.topology, warmup=args.warmup)
+    if args.partition:
+        bench_partition(
+            Path("BENCH_PR9.json") if args.out == Path("BENCH_PR7.json") else args.out,
+            args.repeats,
+            args.measure,
+            size=args.size if args.size is not None else 32,
+            link_latency=args.link_latency,
+            workers=args.workers,
+            **scale,
+        )
+        return 0
+    scale["size"] = args.size if args.size is not None else 8
     if args.check:
-        return check_saturation(args.threshold, args.repeats, args.measure)
-    write_baseline(args.out, args.repeats, args.measure)
+        return check_saturation(args.threshold, args.repeats, args.measure, **scale)
+    write_baseline(args.out, args.repeats, args.measure, **scale)
     return 0
 
 

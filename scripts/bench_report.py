@@ -79,6 +79,38 @@ GUARDS = (
         "BENCH_PR7", "vix", "1.0", "vectorized_speedup_vs_dense", "min", 2.0,
         "vectorized engine >= 2x dense at saturation (recorded 4.664x)",
     ),
+    # PR 9 recorded its baseline on a 1-core machine, where neither the
+    # serial round-robin nor the worker processes can win wall-clock;
+    # the claim being guarded is therefore an *overhead ceiling*: the
+    # whole partition apparatus (domain holes, cut links, quiescence
+    # reduction, epoch barriers + pickled link traffic for workers) must
+    # stay within a modest constant factor of monolithic dense stepping,
+    # so that on multi-core machines the per-domain parallelism is pure
+    # upside rather than clawing back a Python-side loss.
+    Guard(
+        "BENCH_PR9", "input_first", "1.0",
+        "partitioned_serial_speedup_vs_dense", "min", 0.7,
+        "partitioned serial stays within ~1.4x of dense on 32x32 "
+        "(recorded 0.947x on a 1-core recorder)",
+    ),
+    Guard(
+        "BENCH_PR9", "vix", "1.0",
+        "partitioned_serial_speedup_vs_dense", "min", 0.7,
+        "partitioned serial stays within ~1.4x of dense on 32x32 "
+        "(recorded 1.013x on a 1-core recorder)",
+    ),
+    Guard(
+        "BENCH_PR9", "input_first", "1.0",
+        "partitioned_workers_speedup_vs_dense", "min", 0.6,
+        "epoch-synchronized workers stay within ~1.7x of dense on 32x32 "
+        "(recorded 0.923x on a 1-core recorder, where IPC is pure cost)",
+    ),
+    Guard(
+        "BENCH_PR9", "vix", "1.0",
+        "partitioned_workers_speedup_vs_dense", "min", 0.6,
+        "epoch-synchronized workers stay within ~1.7x of dense on 32x32 "
+        "(recorded 0.990x on a 1-core recorder, where IPC is pure cost)",
+    ),
 )
 
 

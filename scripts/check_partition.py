@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""CI gates for the chiplet-partitioned engine (PR 9).
+
+Two independent checks, both run by default:
+
+* ``--equivalence`` — the golden-output gate.  The full f8 and t1
+  reports are generated twice: once on the monolithic dense engine and
+  once with ``REPRO_ENGINE=partitioned`` and a ``1x1`` partition with
+  zero-latency links (the degenerate decomposition: one domain owning
+  the whole network).  The two reports must be byte-identical modulo
+  the wall-clock ``[perf_counters]`` footer — the partition machinery
+  (domain build, link plumbing, per-domain injector paths, quiescence
+  reduction) may not change one reported number.
+
+* ``--invariants`` — the boundary-correctness smoke.  A 2x2-partitioned
+  8x8 mesh runs with the flit-conservation and credit-accounting
+  checkers executing every few cycles through the engine's ``on_cycle``
+  hook, plus once at the end.  Any flit lost/duplicated at a cut, or
+  any credit loop that does not still mirror its destination buffer
+  exactly, fails at the first bad cycle.
+
+Both checks run the simulations in subprocess-free, cache-free process
+state where possible; the equivalence reports go through the real CLI
+in subprocesses so the comparison covers the whole stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+#: Wall-clock lines excluded from the report comparison.
+VOLATILE_MARKERS = ("[perf_counters]",)
+
+
+def _report(experiment: str, extra_env: dict[str, str]) -> list[str]:
+    """One experiment report via the real CLI, volatile lines removed."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["REPRO_NO_CACHE"] = "1"
+    env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", experiment, "--seed", "1"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"error: `repro {experiment}` with {extra_env} exited "
+            f"{proc.returncode}:\n{proc.stderr}"
+        )
+    return [
+        line
+        for line in proc.stdout.splitlines()
+        if not any(marker in line for marker in VOLATILE_MARKERS)
+    ]
+
+
+def check_equivalence(experiments: tuple[str, ...] = ("f8", "t1")) -> bool:
+    """1x1-partition-zero-latency reports == monolithic dense reports."""
+    ok = True
+    for experiment in experiments:
+        print(f"[equivalence] {experiment}: monolithic dense ...", flush=True)
+        dense = _report(experiment, {"REPRO_ENGINE": "dense"})
+        print(f"[equivalence] {experiment}: partitioned 1x1 ...", flush=True)
+        part = _report(
+            experiment,
+            {
+                "REPRO_ENGINE": "partitioned",
+                "REPRO_PARTITION": "1x1",
+                "REPRO_LINK_LATENCY": "0",
+            },
+        )
+        if dense == part:
+            print(f"[equivalence] {experiment}: OK ({len(dense)} lines identical)")
+            continue
+        ok = False
+        print(f"[equivalence] {experiment}: REPORTS DIFFER")
+        for i, (a, b) in enumerate(zip(dense, part)):
+            if a != b:
+                print(f"  line {i + 1}:")
+                print(f"    dense:       {a}")
+                print(f"    partitioned: {b}")
+                break
+        if len(dense) != len(part):
+            print(f"  line counts differ: dense {len(dense)}, partitioned {len(part)}")
+    return ok
+
+
+def check_invariants() -> bool:
+    """2x2-partitioned 8x8 mesh under live invariant checking."""
+    sys.path.insert(0, SRC)
+    from repro.network.config import NetworkConfig, RouterConfig
+    from repro.network.links import PartitionConfig
+    from repro.sim.partition import PartitionedSimulation, check_invariants
+
+    cfg = NetworkConfig(
+        topology="mesh",
+        num_terminals=64,
+        router=RouterConfig(num_vcs=6, buffer_depth=5, allocator="vix",
+                            virtual_inputs=2, vc_policy="vix_dimension"),
+    )
+    sim = PartitionedSimulation(
+        cfg,
+        partition=PartitionConfig(dims=(2, 2), link_latency=4, link_width=2),
+        injection_rate=0.08,
+        seed=1,
+    )
+    checked = 0
+
+    def hook(s):
+        nonlocal checked
+        if s.cycle % 5 == 0:
+            check_invariants(s)
+            checked += 1
+
+    sim.on_cycle = hook
+    print("[invariants] 2x2-partitioned 8x8 mesh, checking every 5 cycles ...",
+          flush=True)
+    result = sim.run(warmup=300, measure=900, drain_limit=1200)
+    check_invariants(sim)
+    crossed = result.counters.get("interchip_flits", 0)
+    print(f"[invariants] OK: {checked} mid-run checks, "
+          f"{result.packets_ejected} packets ejected, "
+          f"{crossed} inter-chip flit crossings, drained={result.drained}")
+    if crossed == 0:
+        print("[invariants] FAIL: no flit ever crossed a cut link "
+              "(the smoke proved nothing)")
+        return False
+    return result.packets_ejected > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--equivalence", action="store_true",
+                        help="run only the 1x1-vs-dense golden-output gate")
+    parser.add_argument("--invariants", action="store_true",
+                        help="run only the 2x2 invariant smoke")
+    args = parser.parse_args()
+    run_eq = args.equivalence or not args.invariants
+    run_inv = args.invariants or not args.equivalence
+    ok = True
+    if run_inv:
+        ok &= check_invariants()
+    if run_eq:
+        ok &= check_equivalence()
+    print("OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

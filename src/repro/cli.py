@@ -42,10 +42,17 @@ def _list_experiments() -> str:
 
 def _list_schemes() -> str:
     """Every registered scheme, by kind, with aliases."""
-    from repro.registry import allocators, patterns, topologies, vc_policies
+    from repro.registry import (
+        allocators,
+        links,
+        partitioners,
+        patterns,
+        topologies,
+        vc_policies,
+    )
 
     lines = ["registered schemes:"]
-    for registry in (allocators, vc_policies, topologies, patterns):
+    for registry in (allocators, vc_policies, topologies, patterns, partitioners, links):
         entries = []
         for info in registry.infos():
             entry = info.name

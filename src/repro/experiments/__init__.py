@@ -34,6 +34,7 @@ from repro.registry import experiments as experiment_registry
 from . import (
     ablations,
     fig7_single_router,
+    fig_chiplet,
     radix_scaling,
     fig8_mesh,
     fig9_fairness,
@@ -70,6 +71,7 @@ for _id, _module in (
     ("abl", ablations),
     ("radix", radix_scaling),
     ("topo", topology_comparison),
+    ("chiplet", fig_chiplet),
 ):
     experiment_registry.register(_id, _module, label=_module.TITLE)
 

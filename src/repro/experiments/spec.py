@@ -110,6 +110,18 @@ class ScenarioSpec:
     #: Simulation engine backend (registry name or alias) — network kind.
     #: "" defers to the runtime default (``REPRO_ENGINE`` or gated).
     engine: str = ""
+    #: Chiplet partition scheme (partitioner registry name) — network
+    #: kind.  "" = monolithic run; naming a scheme routes the scenario
+    #: to the ``partitioned`` engine with the fields below.
+    partition: str = ""
+    #: Partition grid ``(px, py)`` (used only when ``partition`` is set).
+    partition_dims: tuple[int, int] = (2, 2)
+    #: Inter-chip link scheme (link registry name).
+    link: str = "credit"
+    link_latency: int = 0
+    link_width: int = 0
+    #: Engine stepping each domain ("gated"/"dense"; "" = gated).
+    domain_engine: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "key", _freeze(self.key))
@@ -137,6 +149,14 @@ class ScenarioSpec:
             object.__setattr__(self, "pattern", patterns.canonical(self.pattern))
         if self.engine:
             object.__setattr__(self, "engine", engines.canonical(self.engine))
+        object.__setattr__(
+            self, "partition_dims", tuple(int(d) for d in self.partition_dims)
+        )
+        if self.partition:
+            from repro.registry import links, partitioners
+
+            object.__setattr__(self, "partition", partitioners.canonical(self.partition))
+            object.__setattr__(self, "link", links.canonical(self.link))
 
     # --- realization -------------------------------------------------------
 
@@ -175,6 +195,21 @@ class ScenarioSpec:
             self.pattern, self.num_terminals, **_options_dict(self.pattern_options)
         )
 
+    def partition_config(self):
+        """The :class:`~repro.network.links.PartitionConfig`, or ``None``."""
+        if not self.partition:
+            return None
+        from repro.network.links import PartitionConfig
+
+        return PartitionConfig(
+            scheme=self.partition,
+            dims=self.partition_dims,
+            link=self.link,
+            link_latency=self.link_latency,
+            link_width=self.link_width,
+            domain_engine=self.domain_engine or "gated",
+        )
+
     def sim_job(self, warmup: int, measure: int, seed: int) -> SimJob:
         """The cached, picklable job for a ``"network"`` scenario."""
         if self.kind != "network":
@@ -189,6 +224,7 @@ class ScenarioSpec:
             drain_limit=self.drain_limit,
             burst_length=self.burst_length,
             engine=self.engine or None,
+            partition=self.partition_config(),
         )
 
     # --- serialization -----------------------------------------------------

@@ -55,21 +55,18 @@ class Network:
                 f"config wants {config.num_terminals}"
             )
         rc = config.router
-        self.routers = [
-            Router(r, rc, self.topology) for r in range(self.topology.num_routers)
-        ]
+        # Builder seams: DomainNetwork overrides these to instantiate only
+        # the routers/NIs its partition domain owns (``None`` holes keep
+        # full-length id-indexed lists, so every id-based lookup works
+        # unchanged).  The monolithic network builds everything.
+        self.routers = self._build_routers(rc)
+        #: Compact aliases skipping ``None`` holes — the per-cycle loops
+        #: and occupancy scans iterate these, never the full lists.
+        self._live_routers = [r for r in self.routers if r is not None]
         self._wire()
-        self.interfaces = [
-            NetworkInterface(
-                t,
-                *self.topology.router_of(t),
-                config=rc,
-                policy=self.routers[self.topology.router_of(t)[0]].vc_policy,
-                topology=self.topology,
-            )
-            for t in range(self.topology.num_terminals)
-        ]
-        for ni in self.interfaces:
+        self.interfaces = self._build_interfaces(rc)
+        self._live_interfaces = [ni for ni in self.interfaces if ni is not None]
+        for ni in self._live_interfaces:
             self.routers[ni.router_id].upstream[ni.local_port] = ni
         self.counters = ActivityCounters()
         # Flits carried per directed link, held as per-router arrays indexed
@@ -106,10 +103,42 @@ class Network:
         #: ``is not None`` branch.
         self.tracer = None
 
+    def _build_routers(self, rc) -> list[Router | None]:
+        """Instantiate the router list (overridable; id-indexed)."""
+        return [Router(r, rc, self.topology) for r in range(self.topology.num_routers)]
+
+    def _build_interfaces(self, rc) -> list[NetworkInterface | None]:
+        """Instantiate the NI list (overridable; terminal-id-indexed)."""
+        return [
+            NetworkInterface(
+                t,
+                *self.topology.router_of(t),
+                config=rc,
+                policy=self.routers[self.topology.router_of(t)[0]].vc_policy,
+                topology=self.topology,
+            )
+            for t in range(self.topology.num_terminals)
+        ]
+
+    def _wire_link(self, spec) -> None:
+        """Wire one topology link's upstream credit path (overridable)."""
+        src = self.routers[spec.src_router]
+        self.routers[spec.dst_router].upstream[spec.dst_port] = src.outputs[
+            spec.src_port
+        ]
+
+    def iter_routers(self) -> list[Router]:
+        """The instantiated routers (domain networks skip unowned ids)."""
+        return self._live_routers
+
+    def iter_interfaces(self) -> list[NetworkInterface]:
+        """The instantiated NIs (domain networks skip unowned terminals)."""
+        return self._live_interfaces
+
     def _wire(self) -> None:
         topo = self.topology
         rc = self.config.router
-        for router in self.routers:
+        for router in self._live_routers:
             for port in range(topo.radix):
                 if topo.is_local_port(port):
                     router.outputs[port] = OutputPort(
@@ -136,10 +165,7 @@ class Network:
                     owner=router.rid,
                 )
         for spec in topo.links():
-            src = self.routers[spec.src_router]
-            self.routers[spec.dst_router].upstream[spec.dst_port] = src.outputs[
-                spec.src_port
-            ]
+            self._wire_link(spec)
 
     @property
     def link_flits(self) -> dict[tuple[int, int], int]:
@@ -312,17 +338,17 @@ class Network:
             tracer.cycle = now
         self._deliver(now)
 
-        for ni in self.interfaces:
+        for ni in self._live_interfaces:
             sent = ni.next_flit()
             if sent is not None:
                 vc, flit = sent
                 self._schedule(now + 1, (_ARRIVAL, ni.router_id, ni.local_port, vc, flit))
                 self._in_flight_flits += 1
 
-        for router in self.routers:
+        for router in self._live_routers:
             if router._va_pending:
                 router.vc_allocate()
-        for router in self.routers:
+        for router in self._live_routers:
             grants = router.switch_allocate()
             if grants:
                 self._apply_grants(router, grants, now)
@@ -412,13 +438,23 @@ class Network:
                 ovc.credits = credits - 1
                 links += 1
                 link_counts[out_port] += 1
-                moveq.append(
-                    (_ARRIVAL, out.dest_router, out.dest_port, ivc.out_vc, flit)
-                )
+                if out.link is None:
+                    moveq.append(
+                        (_ARRIVAL, out.dest_router, out.dest_port, ivc.out_vc, flit)
+                    )
+                else:
+                    # Boundary port: the inter-chip link carries the flit
+                    # into the destination domain (credits already hold).
+                    out.link.send_flit(now, ivc.out_vc, flit)
             tail = flit.is_tail
             up = upstream[in_port]
             if up is not None:
-                creditq.append((_CREDIT, up, vc, tail))
+                if up.owner != -2:
+                    creditq.append((_CREDIT, up, vc, tail))
+                else:
+                    # LinkIngress: the freed slot's credit crosses back to
+                    # the source domain through the link.
+                    up.send_credit(now, vc, tail)
             if tail:
                 ivc.release()
         n = len(grants)
@@ -436,7 +472,7 @@ class Network:
 
     def buffered_flits(self) -> int:
         """Flits buffered in all routers right now."""
-        return sum(r.buffered_flits() for r in self.routers)
+        return sum(r.buffered_flits() for r in self._live_routers)
 
     def outstanding_flits(self) -> int:
         """Flits anywhere between source NI queue and ejection.
@@ -445,7 +481,7 @@ class Network:
         ejection (buffered flits included), so it is disjoint from the NI
         queues.
         """
-        pending = sum(ni.pending_flits() for ni in self.interfaces)
+        pending = sum(ni.pending_flits() for ni in self._live_interfaces)
         return pending + self._in_flight_flits
 
     def idle(self) -> bool:

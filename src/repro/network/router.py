@@ -39,6 +39,7 @@ class OutputPort:
         "out_vcs",
         "owner",
         "terminal",
+        "link",
     )
 
     def __init__(
@@ -62,6 +63,9 @@ class OutputPort:
         #: Ejecting terminal for ejection ports (resolved once at wiring
         #: time so the hot loop never calls ``terminal_of``), else -1.
         self.terminal = terminal
+        #: Inter-chip link carrying this port's flits when the downstream
+        #: router lives in another simulation domain; ``None`` on-chip.
+        self.link = None
         # Ejection ports sink flits directly (the NI always accepts), so they
         # carry no credit state.
         self.out_vcs: list[OutVC] = (

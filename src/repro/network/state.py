@@ -55,6 +55,10 @@ def export_flow_state(network: "Network") -> dict:
     """Snapshot the network's flow-control state as plain JSON-able data."""
     routers = []
     for router in network.routers:
+        if router is None:
+            # Partition-domain hole: the router lives in another domain.
+            routers.append(None)
+            continue
         credits: list[list[int] | None] = []
         allocated: list[list[bool] | None] = []
         for out in router.outputs:
@@ -80,7 +84,9 @@ def export_flow_state(network: "Network") -> dict:
             }
         )
     interfaces = [
-        {
+        None
+        if ni is None
+        else {
             "credits": [ovc.credits for ovc in ni.out_vcs],
             "allocated": [ovc.allocated for ovc in ni.out_vcs],
         }
@@ -118,6 +124,8 @@ def import_flow_state(network: "Network", state: dict) -> None:
             f"network has {len(network.interfaces)}"
         )
     for router, rstate in zip(network.routers, state["routers"]):
+        if router is None or rstate is None:
+            continue
         for out, creds, alloc in zip(
             router.outputs, rstate["credits"], rstate["allocated"]
         ):
@@ -137,6 +145,8 @@ def import_flow_state(network: "Network", state: dict) -> None:
         if sa is not None and hasattr(router.allocator, "import_pointers"):
             router.allocator.import_pointers(sa)
     for ni, nstate in zip(network.interfaces, state["interfaces"]):
+        if ni is None or nstate is None:
+            continue
         for ovc, c, a in zip(ni.out_vcs, nstate["credits"], nstate["allocated"]):
             ovc.credits = c
             ovc.allocated = a

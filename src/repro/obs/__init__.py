@@ -78,6 +78,8 @@ class Observability:
         if probe is not None:
             self.probe.name = network.config.router.allocator
             for router in network.routers:
+                if router is None:
+                    continue  # partition-domain hole (unowned router)
                 router.allocator.probe = probe
                 # The forced-move fast path bypasses the instrumented
                 # matrix path; its grants (and arbiter state) are
@@ -86,9 +88,11 @@ class Observability:
         if tracer is not None:
             network.tracer = tracer
             for router in network.routers:
-                router.tracer = tracer
+                if router is not None:
+                    router.tracer = tracer
             for ni in network.interfaces:
-                ni.tracer = tracer
+                if ni is not None:
+                    ni.tracer = tracer
 
     def finalize(self, network, **context) -> dict | None:
         """Close out a run: flush files, return the metrics snapshot.

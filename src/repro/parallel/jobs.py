@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.network.config import NetworkConfig
+from repro.network.links import PartitionConfig
 from repro.traffic.patterns import TrafficPattern
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.sim imports us back
@@ -92,6 +93,10 @@ class SimJob:
     burst_length: float = 1.0
     fast_injection: bool = False
     engine: str | None = None
+    #: Chiplet-domain decomposition (:class:`repro.network.links.
+    #: PartitionConfig`); ``None`` = monolithic.  Setting it routes the
+    #: job to the ``partitioned`` engine.
+    partition: "PartitionConfig | None" = None
 
     def canonical_engine(self) -> str | None:
         """Registry-canonical engine name (``None`` = environment default)."""
@@ -117,6 +122,7 @@ class SimJob:
             burst_length=self.burst_length,
             fast_injection=self.fast_injection,
             engine=self.engine,
+            partition=self.partition,
         )
 
     def spec(self) -> dict:
@@ -139,6 +145,10 @@ class SimJob:
             "burst_length": self.burst_length,
             "fast_injection": self.fast_injection,
             "engine": self.canonical_engine(),
+            # PartitionConfig.spec() excludes ``workers`` (an execution
+            # choice, not semantic content — results are identical for
+            # any worker count), so serial and parallel runs share a key.
+            "partition": self.partition.spec() if self.partition is not None else None,
         }
 
     def key(self) -> str:

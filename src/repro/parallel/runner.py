@@ -337,6 +337,10 @@ class ExecutionStats:
 
 def _resolved_engine(job: SimJob) -> str:
     """The engine a job actually runs on: its own, or the runtime default."""
+    if job.partition is not None:
+        # A partition config forces the partitioned engine regardless of
+        # the environment default (run_simulation enforces the same).
+        return "partitioned"
     name = job.canonical_engine()
     if name is not None:
         return name
@@ -374,6 +378,9 @@ def _job_event_data(item, value) -> dict:
                 }
             if counters.get("vec_kernel_cycles"):
                 data["vec_kernel_cycles"] = counters["vec_kernel_cycles"]
+            if counters.get("partition_domains"):
+                data["partition_domains"] = counters["partition_domains"]
+                data["interchip_flits"] = counters.get("interchip_flits", 0)
     except Exception:
         pass  # telemetry decoration must never fail the job
     return data

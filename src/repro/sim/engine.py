@@ -254,6 +254,7 @@ def run_simulation(
     activity_gating: bool = True,
     obs: ObservabilityConfig | None = None,
     engine: str | None = None,
+    partition=None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulation`.
 
@@ -272,6 +273,12 @@ def run_simulation(
     wavefront jobs can still run under ``REPRO_ENGINE=vectorized``.
     When neither names an engine, ``activity_gating`` selects between the
     two object engines exactly as before.
+
+    ``partition`` (a :class:`~repro.network.links.PartitionConfig`)
+    selects the ``partitioned`` engine with that domain decomposition; it
+    conflicts with any other explicit ``engine``.  Naming
+    ``engine="partitioned"`` (or ``REPRO_ENGINE=partitioned``) without a
+    config resolves one from the ``REPRO_PARTITION*`` environment.
     """
     sim_kwargs = dict(
         pattern=pattern,
@@ -282,21 +289,42 @@ def run_simulation(
         fast_injection=fast_injection,
         obs=obs,
     )
+    from repro.registry import engines as engine_registry
     from repro.sim.engines import default_engine, make_engine
 
     chosen = engine
+    if partition is not None:
+        if engine is not None and engine_registry.canonical(engine) != "partitioned":
+            raise ValueError(
+                f"partition config conflicts with explicit engine {engine!r}; "
+                f"drop one (a partitioned run must use the 'partitioned' engine)"
+            )
+        chosen = "partitioned"
     if chosen is None:
         chosen = default_engine()
         if chosen is not None:
             from repro.sim.vec.support import vectorization_unsupported_reason
 
-            from repro.registry import engines as engine_registry
+            if engine_registry.canonical(chosen) == "vectorized":
+                reason = vectorization_unsupported_reason(config)
+                if reason is not None:
+                    # Lenient environment default: fall back to the gated
+                    # object engine, but say so — a silently substituted
+                    # engine is indistinguishable from a vectorized run.
+                    import warnings
 
-            if engine_registry.canonical(chosen) == "vectorized" and (
-                vectorization_unsupported_reason(config) is not None
-            ):
-                chosen = "gated"
+                    warnings.warn(
+                        f"REPRO_ENGINE=vectorized does not support this "
+                        f"configuration (allocator "
+                        f"{config.router.allocator!r}: {reason}); running "
+                        f"on the 'gated' engine instead",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    chosen = "gated"
     if chosen is not None:
+        if engine_registry.canonical(chosen) == "partitioned":
+            sim_kwargs["partition"] = partition
         sim = make_engine(chosen, config, **sim_kwargs)
     else:
         sim = Simulation(config, activity_gating=activity_gating, **sim_kwargs)

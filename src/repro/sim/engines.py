@@ -1,6 +1,6 @@
 """Simulation engine backends, registered like every other scheme axis.
 
-Three engines share one semantic contract — byte-identical
+The engines share one semantic contract — byte-identical
 :class:`~repro.sim.engine.SimulationResult` values for the same
 configuration and seed — and differ only in how the per-cycle work is
 executed:
@@ -13,7 +13,13 @@ executed:
   allocation across every router per cycle (:mod:`repro.sim.vec`); wins at
   and past saturation.  Only schemes whose grant semantics have an array
   formulation are supported (separable IF/OF and the VIX family); anything
-  else fails loudly through :func:`repro.sim.vec.require_vectorizable`.
+  else fails loudly through :func:`repro.sim.vec.require_vectorizable`;
+* ``partitioned`` — chiplet-partitioned domain stepping
+  (:mod:`repro.sim.partition`): the topology is cut into a grid of
+  :class:`~repro.network.domain.DomainNetwork` instances joined by
+  inter-chip links, stepped round-robin or in worker processes.  A
+  ``1x1`` partition with zero-latency links is byte-identical to
+  ``dense``/``gated``; larger grids model multi-chip fabrics.
 
 The registry keeps this a normal scheme axis: ``--engine`` on the CLI,
 ``engine=`` on :func:`~repro.sim.engine.run_simulation`,
@@ -43,6 +49,9 @@ REQUIRES_NUMPY = "requires_numpy"
 #: Capability flag: restricted scheme support (non-vectorizable allocators
 #: and topologies are rejected with the registry-style error).
 CAPABILITY_GATED = "capability_gated"
+#: Capability flag: steps a grid of chiplet domains joined by inter-chip
+#: links instead of one monolithic network.
+DOMAIN_PARTITIONED = "domain_partitioned"
 
 #: Environment variable naming the default engine (set by ``--engine``).
 ENGINE_ENV = "REPRO_ENGINE"
@@ -56,6 +65,12 @@ def _object_engine(activity_gating: bool):
 
     build.__name__ = "make_gated" if activity_gating else "make_dense"
     return build
+
+
+def _partitioned_engine(config: "NetworkConfig", **sim_kwargs):
+    from repro.sim.partition import PartitionedSimulation
+
+    return PartitionedSimulation(config, **sim_kwargs)
 
 
 def _vectorized_engine(config: "NetworkConfig", **sim_kwargs):
@@ -85,6 +100,15 @@ engine_registry.register(
     label="activity-gated object stepping",
     provenance="default; byte-identical to dense, skips idle components",
     flags=(OBJECT_STEPPING, ACTIVITY_GATED),
+)
+engine_registry.register(
+    "partitioned",
+    _partitioned_engine,
+    aliases=("chiplet", "domains"),
+    label="chiplet-partitioned domain stepping",
+    provenance="grid of DomainNetworks joined by inter-chip links; "
+    "1x1 partition byte-identical to dense/gated",
+    flags=(OBJECT_STEPPING, DOMAIN_PARTITIONED),
 )
 engine_registry.register(
     "vectorized",

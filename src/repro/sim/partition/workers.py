@@ -1,0 +1,257 @@
+"""Parallel domain stepping: forked workers, epoch barriers, ferrying.
+
+The coordinator forks one process per worker (fork start method — the
+fully built :class:`~repro.sim.partition.engine.PartitionedSimulation`
+is inherited, nothing is re-constructed) and assigns each a block of
+domains.  Execution alternates:
+
+1. every worker advances its domains ``step <= E`` lockstep cycles,
+   where ``E`` is the conservative epoch (min over links of
+   ``min(pipeline + latency, credit_delay + credit_latency)``); boundary
+   messages for remote domains buffer in link outboxes;
+2. at the barrier the coordinator ferries each outbox message to the
+   worker owning its target side (flits to the destination domain,
+   credits to the source domain), which schedules it into the local
+   event wheel.
+
+Safety is the standard conservative-PDES argument: a message generated
+at cycle ``t`` in ``[T, T+step)`` is scheduled for ``t + delay >= T +
+E >= T + step``, i.e. strictly in the receiving worker's future at
+ingest time.  Links between two domains of the *same* worker keep both
+sides local and deliver directly, exactly like serial mode.
+
+Statistics: each worker runs a :class:`WindowStats` collector.  It
+differs from the shared serial collector only in bookkeeping — a packet
+may be created in one worker and ejected in another, so measured-ness
+is keyed by ``created_cycle`` (carried by the packet across the link)
+instead of a pid set, and the drain criterion becomes the coordinator's
+reduction ``sum(created) - sum(delivered)``.  The reported numbers are
+identical to serial mode: latency sums are exact integer arithmetic,
+per-source arrays add elementwise, and same-slot event order (the only
+thing barrier ferrying can reorder) is commutative for every reported
+metric.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from repro.network.links import MSG_FLIT
+from repro.sim.stats import StatsCollector
+
+
+class WindowStats(StatsCollector):
+    """Per-worker collector: window membership via ``created_cycle``.
+
+    ``_outstanding`` stays empty (drain is a coordinator-side reduction
+    over per-worker counts); a packet's latency is recorded by whichever
+    worker ejects it, using the creation window test the shared serial
+    collector implements with its pid set.
+    """
+
+    def on_packet_created(self, packet) -> None:
+        if self._in_window(packet.created_cycle):
+            self.packets_created += 1
+            self.per_source_created[packet.src] += 1
+
+    def on_packet_ejected(self, packet, cycle: int) -> None:
+        if self._in_window(cycle):
+            self.packets_ejected += 1
+            self.per_source_ejected[packet.src] += 1
+        if self._in_window(packet.created_cycle):
+            self.latencies.append(cycle - packet.created_cycle)
+
+
+def _worker_main(sim, domain_ids, conn) -> None:
+    """Child process: step owned domains, speak the barrier protocol."""
+    owned = set(domain_ids)
+    rd = sim.plan.router_domain
+    stats = WindowStats(sim.config.num_terminals)
+    domains = [sim.domains[d] for d in domain_ids]
+    injectors = [sim.injectors[d] for d in domain_ids]
+    for dom in domains:
+        dom.stats = stats
+        dom.tracer = None
+    for inj in injectors:
+        inj.stats = stats
+    # Sever the remote side of every boundary link: sends for an unowned
+    # side buffer in the outbox instead of touching a peer's wheel.
+    touched = []
+    for link in sim.links:
+        src_owned = rd[link.spec.src_router] in owned
+        dst_owned = rd[link.spec.dst_router] in owned
+        if not src_owned:
+            link.src_net = None
+        if not dst_owned:
+            link.dst_net = None
+        if src_owned or dst_owned:
+            touched.append(link)
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "advance":
+            for _ in range(msg[1]):
+                for inj, dom in zip(injectors, domains):
+                    inj.tick(dom.cycle)
+                    dom.step()
+            out = {}
+            for link in touched:
+                if link.outbox:
+                    out[link.link_id] = link.drain_outbox()
+            conn.send(out)
+        elif op == "ingest":
+            for link_id, messages in msg[1].items():
+                sim.links[link_id].ingest(messages)
+        elif op == "open_window":
+            stats.open_window(msg[1], msg[2])
+        elif op == "counts":
+            conn.send((stats.packets_created, len(stats.latencies)))
+        elif op == "finalize":
+            conn.send(
+                {
+                    "stats": {
+                        "latencies": stats.latencies,
+                        "flits_ejected": stats.flits_ejected,
+                        "packets_ejected": stats.packets_ejected,
+                        "packets_created": stats.packets_created,
+                        "per_source_ejected": stats.per_source_ejected,
+                        "per_source_created": stats.per_source_created,
+                    },
+                    "counters": {
+                        d: sim.domains[d].counters.snapshot() for d in domain_ids
+                    },
+                    "link_flits": {
+                        link.link_id: link.flits_carried
+                        for link in touched
+                        if link.src_net is not None
+                    },
+                    "link_credits": {
+                        link.link_id: link.credits_returned
+                        for link in touched
+                        if link.dst_net is not None
+                    },
+                }
+            )
+        elif op == "stop":
+            conn.close()
+            return
+
+
+def run_partitioned_workers(sim, warmup: int, measure: int, drain_limit: int):
+    """Coordinate a worker-process run; returns a SimulationResult."""
+    num_domains = sim.plan.num_domains
+    num_workers = sim._workers
+    # Block assignment: domain d -> worker d * W // N keeps blocks
+    # contiguous and sizes within one of each other.
+    owner_of = [d * num_workers // num_domains for d in range(num_domains)]
+    groups = [[] for _ in range(num_workers)]
+    for d, w in enumerate(owner_of):
+        groups[w].append(d)
+    rd = sim.plan.router_domain
+    ctx = mp.get_context("fork")
+    conns, procs = [], []
+    for group in groups:
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main, args=(sim, group, child), daemon=True
+        )
+        proc.start()
+        child.close()
+        conns.append(parent)
+        procs.append(proc)
+    cycle = sim.cycle
+    epoch = sim._epoch
+    try:
+
+        def advance(cycles: int) -> None:
+            nonlocal cycle
+            remaining = cycles
+            while remaining > 0:
+                step = min(epoch, remaining)
+                for conn in conns:
+                    conn.send(("advance", step))
+                outs = [conn.recv() for conn in conns]
+                routed = [dict() for _ in conns]
+                for out in outs:
+                    for link_id, messages in out.items():
+                        spec = sim.links[link_id].spec
+                        flit_worker = owner_of[rd[spec.dst_router]]
+                        credit_worker = owner_of[rd[spec.src_router]]
+                        for message in messages:
+                            target = (
+                                flit_worker
+                                if message[0] == MSG_FLIT
+                                else credit_worker
+                            )
+                            routed[target].setdefault(link_id, []).append(message)
+                for w, conn in enumerate(conns):
+                    if routed[w]:
+                        conn.send(("ingest", routed[w]))
+                remaining -= step
+                cycle += step
+
+        def outstanding() -> int:
+            for conn in conns:
+                conn.send(("counts",))
+            created = delivered = 0
+            for conn in conns:
+                c, d = conn.recv()
+                created += c
+                delivered += d
+            return created - delivered
+
+        advance(warmup)
+        start = cycle
+        for conn in conns:
+            conn.send(("open_window", start, start + measure))
+        advance(measure)
+        drained_cycles = 0
+        while drained_cycles < drain_limit and outstanding() > 0:
+            chunk = min(epoch, drain_limit - drained_cycles)
+            advance(chunk)
+            drained_cycles += chunk
+        for conn in conns:
+            conn.send(("finalize",))
+        payloads = [conn.recv() for conn in conns]
+        for conn in conns:
+            conn.send(("stop",))
+    finally:
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in conns:
+            conn.close()
+
+    merged = StatsCollector(sim.config.num_terminals)
+    merged.open_window(start, start + measure)
+    for payload in payloads:
+        s = payload["stats"]
+        merged.latencies.extend(s["latencies"])
+        merged.flits_ejected += s["flits_ejected"]
+        merged.packets_ejected += s["packets_ejected"]
+        merged.packets_created += s["packets_created"]
+        for i, v in enumerate(s["per_source_ejected"]):
+            merged.per_source_ejected[i] += v
+        for i, v in enumerate(s["per_source_created"]):
+            merged.per_source_created[i] += v
+    drained = merged.packets_created - len(merged.latencies) == 0
+    by_domain: dict[int, dict] = {}
+    interchip_flits = interchip_credits = 0
+    for payload in payloads:
+        by_domain.update(payload["counters"])
+        interchip_flits += sum(payload["link_flits"].values())
+        interchip_credits += sum(payload["link_credits"].values())
+    snapshots = [by_domain[d] for d in range(num_domains)]
+    counters = sim.aggregate_counters(
+        snapshots,
+        interchip_flits=interchip_flits,
+        interchip_credits=interchip_credits,
+    )
+    metrics = sim._finalize_obs(counters)
+    return sim.build_result(
+        merged, counters, cycles=cycle, drained=drained, metrics=metrics
+    )
+
+
+__all__ = ["WindowStats", "run_partitioned_workers"]

@@ -1,0 +1,63 @@
+"""The lenient REPRO_ENGINE=vectorized fallback must be audible.
+
+ISSUE 9 satellite: when the environment prefers the vectorized engine but
+the configuration cannot be vectorized, the run silently used the gated
+engine — correct, but invisible.  The fallback now emits a one-line
+``RuntimeWarning`` naming the scheme and the engine actually used, so a
+sweep's logs show exactly which points ran where.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.sim.engine import run_simulation
+
+RUN = dict(injection_rate=0.1, seed=1, warmup=50, measure=100, drain_limit=200)
+
+
+def _wavefront_config() -> NetworkConfig:
+    # wavefront is not in the vectorized kernel's supported set.
+    return NetworkConfig(
+        topology="mesh",
+        num_terminals=16,
+        router=RouterConfig(num_vcs=4, allocator="wavefront"),
+    )
+
+
+class TestFallbackWarning:
+    def test_warns_naming_scheme_and_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        with pytest.warns(RuntimeWarning, match=r"'wavefront'.*gated") as record:
+            result = run_simulation(_wavefront_config(), **RUN)
+        assert result.packets_ejected > 0
+        messages = [str(w.message) for w in record]
+        assert any("REPRO_ENGINE=vectorized" in m for m in messages)
+
+    def test_no_warning_when_vectorizable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        cfg = NetworkConfig(
+            topology="mesh",
+            num_terminals=16,
+            router=RouterConfig(num_vcs=4, allocator="input_first"),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            run_simulation(cfg, **RUN)
+
+    def test_no_warning_without_env_preference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            run_simulation(_wavefront_config(), **RUN)
+
+    def test_explicit_vectorized_still_fails_loudly(self):
+        from repro.registry import UnknownSchemeError
+
+        with pytest.raises(UnknownSchemeError):
+            run_simulation(_wavefront_config(), engine="vectorized", **RUN)

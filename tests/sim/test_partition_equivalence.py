@@ -1,0 +1,195 @@
+"""Partitioned engine: monolithic equivalence and mode invariance.
+
+The contract under test (ISSUE 9 tentpole):
+
+* a **1x1 partition with zero-latency links** is the monolithic network
+  executed through the domain machinery — its ``SimulationResult`` must
+  be *fully identical* to the gated engine's (same counters, same
+  latency percentiles, same RNG stream) and report-identical to the
+  dense engine's, and its merged flow-state snapshot must be byte-equal
+  to the monolith's;
+* **worker processes are an execution choice, not a model choice**: a
+  multi-domain run must produce the identical result at any worker
+  count, including saturation runs with no drain phase;
+* per-domain engine selection composes (gated vs dense domains agree),
+  and the vectorized engine — which has no per-cycle stepping API — is
+  rejected up front.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.links import PartitionConfig
+from repro.sim.engine import Simulation, run_simulation
+from repro.sim.partition import PartitionedSimulation
+
+#: Counters measuring the engines themselves (scheduling bookkeeping).
+ENGINE_COUNTERS = ("router_wakeups", "cycles_skipped", "vec_kernel_cycles")
+
+WINDOWS = dict(warmup=100, measure=300, drain_limit=400)
+
+
+def _config(allocator: str = "input_first", num_terminals: int = 64) -> NetworkConfig:
+    return NetworkConfig(
+        topology="mesh",
+        num_terminals=num_terminals,
+        router=RouterConfig(num_vcs=4, allocator=allocator),
+    )
+
+
+def _comparable(result, *, with_counters: bool = True) -> dict:
+    d = dataclasses.asdict(result)
+    if with_counters:
+        for key in ENGINE_COUNTERS:
+            d["counters"].pop(key, None)
+    else:
+        d.pop("counters")
+    return d
+
+
+def _partition(dims=(1, 1), **kwargs) -> PartitionConfig:
+    return PartitionConfig(dims=dims, **kwargs)
+
+
+class Test1x1Monolithic:
+    """The golden-output gate: 1x1 + zero-latency == the monolith."""
+
+    @pytest.mark.parametrize("allocator", ["input_first", "vix"])
+    def test_identical_to_gated(self, allocator):
+        cfg = _config(allocator)
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        part = run_simulation(cfg, partition=_partition((1, 1)), **kwargs)
+        gated = run_simulation(cfg, engine="gated", **kwargs)
+        assert dataclasses.asdict(part) == dataclasses.asdict(gated)
+
+    def test_report_identical_to_dense(self):
+        cfg = _config()
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        part = run_simulation(cfg, partition=_partition((1, 1)), **kwargs)
+        dense = run_simulation(cfg, engine="dense", **kwargs)
+        assert _comparable(part, with_counters=False) == _comparable(
+            dense, with_counters=False
+        )
+
+    def test_flow_state_matches_monolith(self):
+        cfg = _config()
+        mono = Simulation(cfg, injection_rate=0.1, seed=1)
+        part = PartitionedSimulation(
+            cfg, partition=_partition((1, 1)), injection_rate=0.1, seed=1
+        )
+        mono.run(warmup=50, measure=150, drain_limit=0)
+        part.run(warmup=50, measure=150, drain_limit=0)
+        from repro.network.state import export_flow_state
+
+        assert part.flow_state() == export_flow_state(mono.network)
+
+    def test_1x1_counters_carry_no_partition_keys(self):
+        cfg = _config()
+        res = run_simulation(
+            cfg, partition=_partition((1, 1)), injection_rate=0.1, seed=1, **WINDOWS
+        )
+        assert "partition_domains" not in res.counters
+        assert "interchip_flits" not in res.counters
+
+
+class TestMultiDomain:
+    def test_2x2_reports_partition_counters(self):
+        cfg = _config()
+        res = run_simulation(
+            cfg,
+            partition=_partition((2, 2), link_latency=4),
+            injection_rate=0.1,
+            seed=1,
+            **WINDOWS,
+        )
+        assert res.counters["partition_domains"] == 4
+        assert res.counters["interchip_flits"] > 0
+        assert res.counters["interchip_credits"] > 0
+        for d in range(4):
+            assert f"domain{d}_flits_ejected" in res.counters
+        assert res.packets_ejected > 0
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_match_serial(self, workers):
+        cfg = _config()
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        serial = run_simulation(
+            cfg, partition=_partition((2, 2), link_latency=4), **kwargs
+        )
+        parallel = run_simulation(
+            cfg,
+            partition=_partition((2, 2), link_latency=4, workers=workers),
+            **kwargs,
+        )
+        # cycles_skipped is the one documented serial/worker divergence
+        # (it never feeds a reported metric); everything else is equal.
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_workers_match_serial_at_saturation(self):
+        """No drain phase: the epoch-barrier path with outstanding flits."""
+        cfg = _config()
+        kwargs = dict(
+            injection_rate=1.0, seed=1, warmup=50, measure=150, drain_limit=0
+        )
+        serial = run_simulation(cfg, partition=_partition((2, 2)), **kwargs)
+        parallel = run_simulation(
+            cfg, partition=_partition((2, 2), workers=2), **kwargs
+        )
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_domain_engine_dense_matches_gated(self):
+        cfg = _config()
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        gated = run_simulation(
+            cfg, partition=_partition((2, 2), domain_engine="gated"), **kwargs
+        )
+        dense = run_simulation(
+            cfg, partition=_partition((2, 2), domain_engine="dense"), **kwargs
+        )
+        assert _comparable(gated) == _comparable(dense)
+
+
+class TestEngineSelection:
+    def test_partition_forces_partitioned_engine(self):
+        cfg = _config(num_terminals=16)
+        with pytest.raises(ValueError, match="partitioned"):
+            run_simulation(
+                cfg,
+                engine="dense",
+                partition=_partition((1, 1)),
+                injection_rate=0.1,
+                warmup=10,
+                measure=10,
+            )
+
+    def test_explicit_partitioned_engine_accepts_partition(self):
+        cfg = _config(num_terminals=16)
+        res = run_simulation(
+            cfg,
+            engine="partitioned",
+            partition=_partition((2, 2)),
+            injection_rate=0.1,
+            seed=1,
+            warmup=50,
+            measure=100,
+            drain_limit=200,
+        )
+        assert res.counters["partition_domains"] == 4
+
+    def test_vectorized_domain_engine_rejected(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            _partition((2, 2), domain_engine="vectorized")
+
+    def test_engine_env_partitioned(self, monkeypatch):
+        """REPRO_ENGINE=partitioned resolves the grid from REPRO_PARTITION."""
+        monkeypatch.setenv("REPRO_ENGINE", "partitioned")
+        monkeypatch.setenv("REPRO_PARTITION", "2x2")
+        cfg = _config()
+        res = run_simulation(
+            cfg, injection_rate=0.1, seed=1, warmup=50, measure=100, drain_limit=200
+        )
+        assert res.counters["partition_domains"] == 4

@@ -190,15 +190,17 @@ class TestCapabilityGating:
 
     def test_env_default_falls_back_leniently(self, monkeypatch):
         """REPRO_ENGINE=vectorized must not break non-vectorizable schemes:
-        the environment default is a preference, not a hard selection."""
+        the environment default is a preference, not a hard selection —
+        but the substitution is announced with a RuntimeWarning."""
         monkeypatch.setenv("REPRO_ENGINE", "vectorized")
         cfg = NetworkConfig(
             topology="mesh",
             num_terminals=16,
             router=RouterConfig(num_vcs=4, allocator="wavefront"),
         )
-        result = run_simulation(cfg, injection_rate=0.1, seed=1, warmup=50,
-                                measure=100, drain_limit=200)
+        with pytest.warns(RuntimeWarning, match="'gated' engine instead"):
+            result = run_simulation(cfg, injection_rate=0.1, seed=1, warmup=50,
+                                    measure=100, drain_limit=200)
         assert result.packets_ejected > 0
 
     def test_engine_alias_canonicalizes(self):
