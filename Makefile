@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs bench-partition fault-smoke telemetry-smoke bench-trajectory partition-equivalence partition-invariants examples all clean
+.PHONY: install test bench bench-fast bench-full bench-baseline bench-obs bench-partition bench-partition-vec fault-smoke telemetry-smoke bench-trajectory partition-equivalence partition-invariants partition-vectorized examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -54,15 +54,28 @@ partition-equivalence:
 	$(PYTHON) scripts/check_partition.py --equivalence
 
 # Boundary-correctness smoke: a 2x2-partitioned 8x8 mesh runs with flit
-# conservation and credit accounting checked every few cycles.
+# conservation and credit accounting checked every few cycles (gated
+# domains, then vectorized domains with asymmetric credit latency).
 partition-invariants:
 	$(PYTHON) scripts/check_partition.py --invariants
+
+# Vectorized-domain gates: 1x1 vec partition == monolithic vectorized
+# (f12, via the CLI), and 2x2 vectorized domains == gated domains on
+# every SoA-formulated allocator, serial and workers.
+partition-vectorized:
+	$(PYTHON) scripts/check_partition.py --vectorized
 
 # Perf-trajectory point: chiplet-partitioned engine (serial + workers)
 # vs monolithic dense/gated on a 32x32 mesh.  The result
 # (BENCH_PR9.json) is committed; CI guards its recorded ratios.
 bench-partition:
 	$(PYTHON) scripts/bench_engines.py --partition --measure 400 --warmup 200 --repeats 2
+
+# Perf-trajectory point: vectorized (SoA) domains vs gated (object)
+# domains on a 2x2-partitioned 16x16 cmesh, serial and workers.  The
+# result (BENCH_PR10.json) is committed; CI guards its recorded ratios.
+bench-partition-vec:
+	$(PYTHON) scripts/bench_engines.py --partition-vec --measure 2000 --repeats 3
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done

@@ -34,6 +34,10 @@ topology's concentration), ``--warmup`` exposes the warmup window, and
 ``--partition`` times the chiplet-partitioned engine (serial round-robin
 and 2-worker epoch-synchronized modes) against monolithic dense/gated on
 the requested fabric, recording the headline to ``BENCH_PR9.json``.
+
+PR 10 addition: ``--partition-vec`` times vectorized (SoA-kernel) domains
+against gated (object) domains on the same partitioned fabric, serial and
+worker modes alike, recording the headline to ``BENCH_PR10.json``.
 """
 
 from __future__ import annotations
@@ -242,6 +246,81 @@ def bench_partition(
     print(f"wrote {path}")
 
 
+def bench_partition_vec(
+    path: Path,
+    repeats: int,
+    measure: int,
+    *,
+    topology: str = "cmesh",
+    size: int = 16,
+    warmup: int = 1000,
+    link_latency: int = 4,
+    workers: int = 2,
+) -> None:
+    """PR 10 headline: vectorized domains vs gated domains, partitioned.
+
+    Times the same saturated 2x2-partitioned fabric with object (gated)
+    and SoA-kernel (vectorized) domains, in serial round-robin and
+    ``workers``-process epoch-synchronized modes, interleaved per round.
+    Results are identical across all four by the equivalence contract
+    (``check_partition.py --vectorized``), so the timings isolate
+    per-domain stepping cost.
+    """
+    dims = (2, 2)
+    base = dict(topology=topology, size=size, warmup=warmup)
+
+    def pc(domain_engine: str, nworkers: int) -> PartitionConfig:
+        return PartitionConfig(
+            dims=dims, link_latency=link_latency,
+            domain_engine=domain_engine, workers=nworkers,
+        )
+
+    modes: dict[str, PartitionConfig] = {
+        "gated_domains_serial": pc("gated", 1),
+        "gated_domains_workers": pc("gated", workers),
+        "vectorized_domains_serial": pc("vectorized", 1),
+        "vectorized_domains_workers": pc("vectorized", workers),
+    }
+    results: dict[str, dict] = {}
+    for allocator in ALLOCATORS:
+        times: dict[str, list[float]] = {mode: [] for mode in modes}
+        for _ in range(repeats):
+            for mode, partition in modes.items():
+                times[mode].append(
+                    _run_once(
+                        allocator, 1.0, None, measure,
+                        partition=partition, drain_limit=0, **base,
+                    )
+                )
+        entry = {f"{mode}_s": round(min(times[mode]), 4) for mode in modes}
+        entry["vectorized_domains_serial_speedup_vs_gated_domains"] = round(
+            _speedup(times, "gated_domains_serial", "vectorized_domains_serial"), 3
+        )
+        entry["vectorized_domains_workers_speedup_vs_gated_domains"] = round(
+            _speedup(times, "gated_domains_workers", "vectorized_domains_workers"), 3
+        )
+        results[allocator] = {"1.0": entry}
+        print(f"{allocator:12s} {size}x{size} {topology}: " + " ".join(
+            f"{k}={v}" for k, v in entry.items()))
+    payload = {
+        "benchmark": f"{size}x{size} {topology}, uniform traffic at the 8x8 "
+                     f"saturation rate, seed 1, warmup {warmup}, measure "
+                     f"{measure}, {dims[0]}x{dims[1]} chiplet partition, "
+                     f"link latency {link_latency}, gated vs vectorized "
+                     f"domains, serial and {workers}-worker modes; times "
+                     "are per-mode minimums over interleaved rounds, "
+                     "speedups are medians of per-round ratios",
+        "saturation_rate": SATURATION_RATE,
+        "loads_are_fractions_of_saturation": True,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def check_saturation(threshold: float, repeats: int, measure: int, **kwargs) -> int:
     """CI smoke: vectorized must beat dense at the saturation point."""
     failed = False
@@ -285,12 +364,28 @@ def main() -> int:
                     help="PR 9 mode: time the chiplet-partitioned engine "
                          "(serial and worker) against monolithic dense/gated "
                          "on the requested fabric; writes BENCH_PR9.json")
+    ap.add_argument("--partition-vec", action="store_true",
+                    help="PR 10 mode: time vectorized domains against gated "
+                         "domains on a 2x2-partitioned fabric (default 16x16 "
+                         "cmesh), serial and worker; writes BENCH_PR10.json")
     ap.add_argument("--link-latency", type=int, default=4,
                     help="inter-chip link latency for --partition (default 4)")
     ap.add_argument("--workers", type=int, default=2,
                     help="worker processes for --partition (default 2)")
     args = ap.parse_args()
     scale = dict(topology=args.topology, warmup=args.warmup)
+    if args.partition_vec:
+        bench_partition_vec(
+            Path("BENCH_PR10.json") if args.out == Path("BENCH_PR7.json") else args.out,
+            args.repeats,
+            args.measure,
+            topology="cmesh" if args.topology == "mesh" else args.topology,
+            size=args.size if args.size is not None else 16,
+            warmup=args.warmup,
+            link_latency=args.link_latency,
+            workers=args.workers,
+        )
+        return 0
     if args.partition:
         bench_partition(
             Path("BENCH_PR9.json") if args.out == Path("BENCH_PR7.json") else args.out,

@@ -111,6 +111,30 @@ GUARDS = (
         "epoch-synchronized workers stay within ~1.7x of dense on 32x32 "
         "(recorded 0.990x on a 1-core recorder, where IPC is pure cost)",
     ),
+    Guard(
+        "BENCH_PR10", "input_first", "1.0",
+        "vectorized_domains_serial_speedup_vs_gated_domains", "min", 2.0,
+        "vectorized domains >= 2x gated domains at saturation on the "
+        "2x2-partitioned 16x16 cmesh (recorded 3.021x)",
+    ),
+    Guard(
+        "BENCH_PR10", "vix", "1.0",
+        "vectorized_domains_serial_speedup_vs_gated_domains", "min", 2.0,
+        "vectorized domains >= 2x gated domains at saturation on the "
+        "2x2-partitioned 16x16 cmesh (recorded 2.935x)",
+    ),
+    Guard(
+        "BENCH_PR10", "input_first", "1.0",
+        "vectorized_domains_workers_speedup_vs_gated_domains", "min", 1.5,
+        "vectorized domains keep their edge under epoch-synchronized "
+        "workers (recorded 2.710x; the barrier IPC is engine-independent)",
+    ),
+    Guard(
+        "BENCH_PR10", "vix", "1.0",
+        "vectorized_domains_workers_speedup_vs_gated_domains", "min", 1.5,
+        "vectorized domains keep their edge under epoch-synchronized "
+        "workers (recorded 2.776x; the barrier IPC is engine-independent)",
+    ),
 )
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""CI gates for the chiplet-partitioned engine (PR 9).
+"""CI gates for the chiplet-partitioned engine (PR 9; vectorized PR 10).
 
-Two independent checks, both run by default:
+Three independent checks, all run by default:
 
 * ``--equivalence`` — the golden-output gate.  The full f8 and t1
   reports are generated twice: once on the monolithic dense engine and
@@ -17,7 +17,17 @@ Two independent checks, both run by default:
   checkers executing every few cycles through the engine's ``on_cycle``
   hook, plus once at the end.  Any flit lost/duplicated at a cut, or
   any credit loop that does not still mirror its destination buffer
-  exactly, fails at the first bad cycle.
+  exactly, fails at the first bad cycle.  A second pass runs the same
+  smoke on **vectorized domains** with an asymmetric credit latency
+  (skipped without numpy).
+
+* ``--vectorized`` — the SoA-domain gates (skipped without numpy):
+  the f12 report (all of whose allocators have an SoA formulation)
+  on ``REPRO_ENGINE=vectorized`` must be byte-identical to the
+  1x1-partitioned ``REPRO_DOMAIN_ENGINE=vectorized`` report;
+  in-process, a 2x2 partition with vectorized domains must match gated
+  domains on every supported allocator, and a workers=2 run must match
+  serial.
 
 Both checks run the simulations in subprocess-free, cache-free process
 state where possible; the equivalence reports go through the real CLI
@@ -95,9 +105,15 @@ def check_equivalence(experiments: tuple[str, ...] = ("f8", "t1")) -> bool:
     return ok
 
 
-def check_invariants() -> bool:
-    """2x2-partitioned 8x8 mesh under live invariant checking."""
-    sys.path.insert(0, SRC)
+def _have_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _invariant_run(partition_kwargs: dict, label: str) -> bool:
     from repro.network.config import NetworkConfig, RouterConfig
     from repro.network.links import PartitionConfig
     from repro.sim.partition import PartitionedSimulation, check_invariants
@@ -110,7 +126,7 @@ def check_invariants() -> bool:
     )
     sim = PartitionedSimulation(
         cfg,
-        partition=PartitionConfig(dims=(2, 2), link_latency=4, link_width=2),
+        partition=PartitionConfig(dims=(2, 2), **partition_kwargs),
         injection_rate=0.08,
         seed=1,
     )
@@ -123,19 +139,125 @@ def check_invariants() -> bool:
             checked += 1
 
     sim.on_cycle = hook
-    print("[invariants] 2x2-partitioned 8x8 mesh, checking every 5 cycles ...",
-          flush=True)
+    print(f"[invariants] {label}: 2x2-partitioned 8x8 mesh, checking every "
+          "5 cycles ...", flush=True)
     result = sim.run(warmup=300, measure=900, drain_limit=1200)
     check_invariants(sim)
     crossed = result.counters.get("interchip_flits", 0)
-    print(f"[invariants] OK: {checked} mid-run checks, "
+    print(f"[invariants] {label}: OK: {checked} mid-run checks, "
           f"{result.packets_ejected} packets ejected, "
           f"{crossed} inter-chip flit crossings, drained={result.drained}")
     if crossed == 0:
-        print("[invariants] FAIL: no flit ever crossed a cut link "
+        print(f"[invariants] {label}: FAIL: no flit ever crossed a cut link "
               "(the smoke proved nothing)")
         return False
     return result.packets_ejected > 0
+
+
+def check_invariants() -> bool:
+    """2x2-partitioned 8x8 mesh under live invariant checking."""
+    sys.path.insert(0, SRC)
+    ok = _invariant_run(dict(link_latency=4, link_width=2), "gated")
+    if _have_numpy():
+        # Asymmetric credit return exercises the separate credit-latency
+        # path through the array-side boundary machinery.
+        ok &= _invariant_run(
+            dict(link_latency=4, link_width=2, link_credit_latency=1,
+                 domain_engine="vectorized"),
+            "vectorized+asym-credit",
+        )
+    else:
+        print("[invariants] vectorized pass skipped (no numpy)")
+    return ok
+
+
+def check_vectorized() -> bool:
+    """Vectorized-domain gates: monolith identity + gated equivalence."""
+    if not _have_numpy():
+        print("[vectorized] skipped (no numpy)")
+        return True
+    sys.path.insert(0, SRC)
+    ok = True
+    # CLI-level golden gate: monolithic vectorized vs 1x1 vec partition.
+    # f12 (not f8): every f12 allocator has an SoA formulation, so the
+    # strict fail-loud domain-engine contract never trips.
+    print("[vectorized] f12: monolithic vectorized ...", flush=True)
+    mono = _report("f12", {"REPRO_ENGINE": "vectorized"})
+    print("[vectorized] f12: partitioned 1x1 vectorized domains ...", flush=True)
+    part = _report(
+        "f12",
+        {
+            "REPRO_ENGINE": "partitioned",
+            "REPRO_PARTITION": "1x1",
+            "REPRO_LINK_LATENCY": "0",
+            "REPRO_DOMAIN_ENGINE": "vectorized",
+        },
+    )
+    if mono == part:
+        print(f"[vectorized] f12: OK ({len(mono)} lines identical)")
+    else:
+        ok = False
+        print("[vectorized] f12: REPORTS DIFFER")
+        for i, (a, b) in enumerate(zip(mono, part)):
+            if a != b:
+                print(f"  line {i + 1}:")
+                print(f"    monolithic:  {a}")
+                print(f"    partitioned: {b}")
+                break
+        if len(mono) != len(part):
+            print(f"  line counts differ: monolithic {len(mono)}, "
+                  f"partitioned {len(part)}")
+    # In-process: 2x2 vectorized domains == gated domains, per allocator,
+    # plus worker-count invariance.
+    import dataclasses
+
+    from repro.network.config import NetworkConfig, RouterConfig
+    from repro.network.links import PartitionConfig
+    from repro.sim.partition import PartitionedSimulation
+
+    engine_counters = ("router_wakeups", "cycles_skipped", "vec_kernel_cycles")
+
+    def comparable(result) -> dict:
+        d = dataclasses.asdict(result)
+        for key in engine_counters:
+            d["counters"].pop(key, None)
+        return d
+
+    def run_one(allocator: str, domain_engine: str, workers: int = 1) -> dict:
+        cfg = NetworkConfig(
+            topology="mesh",
+            num_terminals=64,
+            router=RouterConfig(num_vcs=4, allocator=allocator),
+        )
+        sim = PartitionedSimulation(
+            cfg,
+            partition=PartitionConfig(
+                dims=(2, 2), link_latency=2, link_width=2,
+                domain_engine=domain_engine, workers=workers,
+            ),
+            injection_rate=0.1,
+            seed=1,
+        )
+        return comparable(sim.run(warmup=200, measure=600, drain_limit=800))
+
+    for allocator in ("input_first", "output_first", "vix", "ideal_vix"):
+        gated = run_one(allocator, "gated")
+        vec = run_one(allocator, "vectorized")
+        if gated == vec:
+            print(f"[vectorized] 2x2 {allocator}: OK (matches gated domains)")
+        else:
+            ok = False
+            diff = [k for k in gated if gated[k] != vec.get(k)]
+            print(f"[vectorized] 2x2 {allocator}: MISMATCH in {diff}")
+    serial = run_one("vix", "vectorized")
+    workers = run_one("vix", "vectorized", workers=2)
+    if serial == workers:
+        print("[vectorized] 2x2 vix workers=2: OK (matches serial)")
+    else:
+        ok = False
+        diff = [k for k in serial if serial[k] != workers.get(k)]
+        print(f"[vectorized] 2x2 vix workers=2: MISMATCH in {diff}")
+    return ok
 
 
 def main() -> int:
@@ -144,14 +266,20 @@ def main() -> int:
                         help="run only the 1x1-vs-dense golden-output gate")
     parser.add_argument("--invariants", action="store_true",
                         help="run only the 2x2 invariant smoke")
+    parser.add_argument("--vectorized", action="store_true",
+                        help="run only the vectorized-domain gates")
     args = parser.parse_args()
-    run_eq = args.equivalence or not args.invariants
-    run_inv = args.invariants or not args.equivalence
+    explicit = args.equivalence or args.invariants or args.vectorized
+    run_eq = args.equivalence or not explicit
+    run_inv = args.invariants or not explicit
+    run_vec = args.vectorized or not explicit
     ok = True
     if run_inv:
         ok &= check_invariants()
     if run_eq:
         ok &= check_equivalence()
+    if run_vec:
+        ok &= check_vectorized()
     print("OK" if ok else "FAIL")
     return 0 if ok else 1
 

@@ -39,7 +39,7 @@ from repro.traffic import TrafficInjector, make_pattern
 # handles nested containers deterministically, and jobs are derived from
 # the declarative experiment-spec layer.  The version is folded into every
 # SimJob.key(), so all pre-1.2 cache entries are invalidated wholesale.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AugmentingPathAllocator",

@@ -120,7 +120,11 @@ class ScenarioSpec:
     link: str = "credit"
     link_latency: int = 0
     link_width: int = 0
-    #: Engine stepping each domain ("gated"/"dense"; "" = gated).
+    #: Credit-return latency override for cut links (``None`` mirrors
+    #: ``link_latency``, matching on-chip symmetry).
+    link_credit_latency: int | None = None
+    #: Engine stepping each domain ("gated"/"dense"/"vectorized";
+    #: "" = gated).
     domain_engine: str = ""
 
     def __post_init__(self) -> None:
@@ -207,6 +211,7 @@ class ScenarioSpec:
             link=self.link,
             link_latency=self.link_latency,
             link_width=self.link_width,
+            link_credit_latency=self.link_credit_latency,
             domain_engine=self.domain_engine or "gated",
         )
 

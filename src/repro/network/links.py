@@ -115,6 +115,24 @@ link_registry.register(
 )
 
 
+def _env_int(name: str, default: int) -> int:
+    """Integer environment knob with an error that names its source.
+
+    Matches the ``resolve_jobs``/``$REPRO_JOBS`` contract: garbage in a
+    ``REPRO_*`` variable must say which variable and what was expected,
+    not surface as a bare ``int()`` traceback.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid value {raw!r} (from ${name}): expected an integer"
+        ) from None
+
+
 @dataclass(frozen=True)
 class PartitionConfig:
     """How a simulation is decomposed into chiplet domains.
@@ -132,8 +150,12 @@ class PartitionConfig:
     link: str = "credit"
     link_latency: int = 0
     link_width: int = 0
-    #: Engine stepping each domain: "gated" (default) or "dense".  The
-    #: vectorized engine has no per-cycle stepping API and is rejected.
+    #: Extra cycles on the returning credit; ``None`` mirrors
+    #: ``link_latency`` (the symmetric-channel default).
+    link_credit_latency: int | None = None
+    #: Engine stepping each domain: "gated" (default), "dense", or
+    #: "vectorized" (the SoA kernel via :class:`repro.sim.vec.domain.
+    #: VecDomain`; requires numpy and a vectorizable scheme).
     domain_engine: str = "gated"
     #: Worker processes for domain stepping: int or "auto" (1 = in-process).
     workers: int | str = 1
@@ -148,18 +170,20 @@ class PartitionConfig:
             raise ValueError(f"partition dims must be (px>=1, py>=1), got {self.dims}")
         object.__setattr__(self, "dims", dims)
         engine = (self.domain_engine or "gated").strip().lower()
-        if engine not in ("gated", "dense"):
+        if engine not in ("gated", "dense", "vectorized"):
             raise ValueError(
-                f"domain_engine must be 'gated' or 'dense', got "
-                f"{self.domain_engine!r} (the vectorized engine exposes no "
-                f"per-cycle step API and cannot run inside a domain)"
+                f"domain_engine must be 'gated', 'dense', or 'vectorized', "
+                f"got {self.domain_engine!r}"
             )
         object.__setattr__(self, "domain_engine", engine)
 
     def link_config(self) -> LinkConfig:
         """The :class:`LinkConfig` for this partition's cut links."""
         return link_registry.create(
-            self.link, latency=self.link_latency, width=self.link_width
+            self.link,
+            latency=self.link_latency,
+            width=self.link_width,
+            credit_latency=self.link_credit_latency,
         )
 
     def spec(self) -> dict:
@@ -170,6 +194,7 @@ class PartitionConfig:
             "link": self.link,
             "link_latency": self.link_latency,
             "link_width": self.link_width,
+            "link_credit_latency": self.link_credit_latency,
             "domain_engine": self.domain_engine,
         }
 
@@ -179,10 +204,12 @@ class PartitionConfig:
         partitioned`` selects the engine without an explicit config).
 
         ``REPRO_PARTITION`` is the grid ("2x2", "1x1", ...); the link
-        scheme, latency, width, per-domain engine, and worker count ride
-        ``REPRO_PARTITION_LINK`` / ``REPRO_LINK_LATENCY`` /
-        ``REPRO_LINK_WIDTH`` / ``REPRO_DOMAIN_ENGINE`` /
-        ``REPRO_PARTITION_WORKERS``.
+        scheme, latency, width, credit latency, per-domain engine, and
+        worker count ride ``REPRO_PARTITION_LINK`` /
+        ``REPRO_LINK_LATENCY`` / ``REPRO_LINK_WIDTH`` /
+        ``REPRO_LINK_CREDIT_LATENCY`` / ``REPRO_DOMAIN_ENGINE`` /
+        ``REPRO_PARTITION_WORKERS``.  Malformed values raise a
+        ``ValueError`` naming the variable and the expected form.
         """
         dims_text = os.environ.get("REPRO_PARTITION", "").strip().lower()
         dims = (2, 2)
@@ -196,12 +223,26 @@ class PartitionConfig:
         workers_text = os.environ.get("REPRO_PARTITION_WORKERS", "").strip()
         workers: int | str = 1
         if workers_text:
-            workers = workers_text if workers_text == "auto" else int(workers_text)
+            if workers_text == "auto":
+                workers = "auto"
+            else:
+                try:
+                    workers = int(workers_text)
+                except ValueError:
+                    raise ValueError(
+                        f"invalid worker count {workers_text!r} (from "
+                        f"$REPRO_PARTITION_WORKERS): expected an integer or "
+                        f"'auto' (one worker per CPU core)"
+                    ) from None
+        credit_text = os.environ.get("REPRO_LINK_CREDIT_LATENCY", "").strip()
         return cls(
             dims=dims,
             link=os.environ.get("REPRO_PARTITION_LINK", "credit").strip() or "credit",
-            link_latency=int(os.environ.get("REPRO_LINK_LATENCY", "0") or 0),
-            link_width=int(os.environ.get("REPRO_LINK_WIDTH", "0") or 0),
+            link_latency=_env_int("REPRO_LINK_LATENCY", 0),
+            link_width=_env_int("REPRO_LINK_WIDTH", 0),
+            link_credit_latency=(
+                _env_int("REPRO_LINK_CREDIT_LATENCY", 0) if credit_text else None
+            ),
             domain_engine=os.environ.get("REPRO_DOMAIN_ENGINE", "gated").strip()
             or "gated",
             workers=workers,

@@ -488,6 +488,59 @@ class Network:
         """True when no flit is queued, buffered, or in flight."""
         return self.outstanding_flits() == 0 and not self._events
 
+    # --- engine-neutral introspection ----------------------------------------
+    # The partition engine and invariant checker talk to domains through
+    # these methods so an array-backed domain (repro.sim.vec.domain) can
+    # answer from its tensors while object domains answer from theirs.
+
+    def counter_snapshot(self) -> dict:
+        """Activity counters as a plain dict (overridable per engine)."""
+        return self.counters.snapshot()
+
+    def export_flow_state(self) -> dict:
+        """Flow-control snapshot (see :mod:`repro.network.state`)."""
+        from .state import export_flow_state
+
+        return export_flow_state(self)
+
+    def credit_of(self, rid: int, port: int, vc: int) -> int:
+        """Credits on router ``rid``'s output ``port`` VC ``vc``."""
+        return self.routers[rid].outputs[port].out_vcs[vc].credits
+
+    def ni_credit_of(self, terminal: int, vc: int) -> int:
+        """Credits on terminal ``terminal``'s injection-channel VC ``vc``."""
+        return self.interfaces[terminal].out_vcs[vc].credits
+
+    def occupancy_of(self, rid: int, port: int, vc: int) -> int:
+        """Buffered flits in router ``rid``'s input ``port`` VC ``vc``."""
+        return len(self.routers[rid].inputs[port][vc].queue)
+
+    def pending_event_index(self) -> tuple[dict, dict]:
+        """Pending wheel events by target, for the invariant checker.
+
+        Returns ``(arrivals, credits)``: arrivals keyed ``(router, port,
+        vc) -> count``; credits keyed structurally — ``(router, port,
+        vc)`` for router output VCs, ``("ni", terminal, vc)`` for NI
+        injection channels — so object and array domains index the same
+        way.
+        """
+        arrivals: dict[tuple, int] = {}
+        credits: dict[tuple, int] = {}
+        for events in self._events.values():
+            for ev in events:
+                kind = ev[0]
+                if kind == _ARRIVAL:
+                    key = (ev[1], ev[2], ev[3])
+                    arrivals[key] = arrivals.get(key, 0) + 1
+                elif kind == _CREDIT:
+                    sink = ev[1]
+                    if sink.owner >= 0:
+                        key = (sink.owner, sink.index, ev[2])
+                    else:
+                        key = ("ni", sink.terminal, ev[2])
+                    credits[key] = credits.get(key, 0) + 1
+        return arrivals, credits
+
     def channel_utilization(self) -> dict[tuple[int, int], float]:
         """Per-link utilization (flits carried / cycles simulated).
 

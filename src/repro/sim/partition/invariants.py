@@ -24,10 +24,6 @@ from __future__ import annotations
 
 from repro.network.links import MSG_CREDIT, MSG_FLIT
 
-#: Event kinds, mirroring :mod:`repro.network.network`.
-_ARRIVAL = 0
-_CREDIT = 1
-
 
 class PartitionInvariantError(AssertionError):
     """A conservation or credit-accounting invariant was violated."""
@@ -48,27 +44,6 @@ def check_flit_conservation(sim) -> None:
         )
 
 
-def _wheel_index(domain):
-    """Count the domain's pending arrivals and credits by target.
-
-    Returns ``(arrivals, credits)`` where ``arrivals`` maps
-    ``(router, port, vc) -> count`` and ``credits`` maps
-    ``(id(sink), vc) -> count``.
-    """
-    arrivals: dict[tuple[int, int, int], int] = {}
-    credits: dict[tuple[int, int], int] = {}
-    for events in domain._events.values():
-        for ev in events:
-            kind = ev[0]
-            if kind == _ARRIVAL:
-                key = (ev[1], ev[2], ev[3])
-                arrivals[key] = arrivals.get(key, 0) + 1
-            elif kind == _CREDIT:
-                key = (id(ev[1]), ev[2])
-                credits[key] = credits.get(key, 0) + 1
-    return arrivals, credits
-
-
 def _outbox_counts(link):
     """Pending outbox messages by (kind, vc)."""
     flits: dict[int, int] = {}
@@ -82,30 +57,42 @@ def _outbox_counts(link):
 
 
 def check_credit_accounting(sim) -> None:
-    """Closed credit loops on every wired (port, VC), boundaries included."""
+    """Closed credit loops on every wired (port, VC), boundaries included.
+
+    All state is read through the engine-neutral accessors — credits via
+    ``credit_of``/``ni_credit_of``, buffer occupancy via
+    ``occupancy_of``, pending events via ``pending_event_index`` (which
+    keys credit sinks *structurally*: ``(router, port, vc)`` for router
+    output ports, ``("ni", terminal, vc)`` for injection channels) — so
+    the same scan fences object and vectorized domains alike.
+    """
     depth = sim.config.router.buffer_depth
     num_vcs = sim.config.router.num_vcs
     rd = sim.plan.router_domain
-    indexed = [_wheel_index(dom) for dom in sim.domains]
+    indexed = [dom.pending_event_index() for dom in sim.domains]
 
     def check_pair(
         label: str,
         src_dom: int,
-        sink,
+        sink_key: tuple,
         dst_dom: int,
         dst_router: int,
         dst_port: int,
         link=None,
     ) -> None:
+        src_net = sim.domains[src_dom]
         dst_net = sim.domains[dst_dom]
         dst_arrivals, _ = indexed[dst_dom]
         _, src_credits = indexed[src_dom]
         out_flits, out_creds = _outbox_counts(link) if link is not None else ({}, {})
         for vc in range(num_vcs):
-            upstream_credits = sink.out_vcs[vc].credits
-            occupancy = len(dst_net.routers[dst_router].inputs[dst_port][vc].queue)
+            if sink_key[0] == "ni":
+                upstream_credits = src_net.ni_credit_of(sink_key[1], vc)
+            else:
+                upstream_credits = src_net.credit_of(sink_key[0], sink_key[1], vc)
+            occupancy = dst_net.occupancy_of(dst_router, dst_port, vc)
             in_flight = dst_arrivals.get((dst_router, dst_port, vc), 0)
-            returning = src_credits.get((id(sink), vc), 0)
+            returning = src_credits.get((*sink_key, vc), 0)
             boundary = out_flits.get(vc, 0) + out_creds.get(vc, 0)
             total = upstream_credits + occupancy + in_flight + returning + boundary
             if total != depth:
@@ -126,7 +113,7 @@ def check_credit_accounting(sim) -> None:
                 check_pair(
                     f"link r{router.rid}.p{out.index}->r{out.dest_router}",
                     d,
-                    out,
+                    (router.rid, out.index),
                     d,
                     out.dest_router,
                     out.dest_port,
@@ -135,7 +122,7 @@ def check_credit_accounting(sim) -> None:
             check_pair(
                 f"injection t{ni.terminal}->r{ni.router_id}",
                 d,
-                ni,
+                ("ni", ni.terminal),
                 d,
                 ni.router_id,
                 ni.local_port,
@@ -144,11 +131,10 @@ def check_credit_accounting(sim) -> None:
     for link in sim.links:
         spec = link.spec
         src_dom, dst_dom = rd[spec.src_router], rd[spec.dst_router]
-        sink = sim.domains[src_dom].routers[spec.src_router].outputs[spec.src_port]
         check_pair(
             f"cut link r{spec.src_router}.p{spec.src_port}->r{spec.dst_router}",
             src_dom,
-            sink,
+            (spec.src_router, spec.src_port),
             dst_dom,
             spec.dst_router,
             spec.dst_port,

@@ -35,8 +35,10 @@ metric.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 
 from repro.network.links import MSG_FLIT
+from repro.parallel.faults import inject_fault
 from repro.sim.stats import StatsCollector
 
 
@@ -48,6 +50,8 @@ class WindowStats(StatsCollector):
     worker ejects it, using the creation window test the shared serial
     collector implements with its pid set.
     """
+
+    window_by_creation = True
 
     def on_packet_created(self, packet) -> None:
         if self._in_window(packet.created_cycle):
@@ -62,8 +66,9 @@ class WindowStats(StatsCollector):
             self.latencies.append(cycle - packet.created_cycle)
 
 
-def _worker_main(sim, domain_ids, conn) -> None:
+def _worker_main(sim, domain_ids, conn, worker_index: int) -> None:
     """Child process: step owned domains, speak the barrier protocol."""
+    inject_fault(worker_index, 0)
     owned = set(domain_ids)
     rd = sim.plan.router_domain
     stats = WindowStats(sim.config.num_terminals)
@@ -87,7 +92,12 @@ def _worker_main(sim, domain_ids, conn) -> None:
         if src_owned or dst_owned:
             touched.append(link)
     while True:
-        msg = conn.recv()
+        try:
+            msg = conn.recv()
+        except EOFError:
+            # Coordinator died (or tore down after its own failure): the
+            # pipe's far end is gone, so exit instead of blocking forever.
+            return
         op = msg[0]
         if op == "advance":
             for _ in range(msg[1]):
@@ -118,7 +128,7 @@ def _worker_main(sim, domain_ids, conn) -> None:
                         "per_source_created": stats.per_source_created,
                     },
                     "counters": {
-                        d: sim.domains[d].counters.snapshot() for d in domain_ids
+                        d: sim.domains[d].counter_snapshot() for d in domain_ids
                     },
                     "link_flits": {
                         link.link_id: link.flits_carried
@@ -150,15 +160,40 @@ def run_partitioned_workers(sim, warmup: int, measure: int, drain_limit: int):
     rd = sim.plan.router_domain
     ctx = mp.get_context("fork")
     conns, procs = [], []
-    for group in groups:
+    for worker_index, group in enumerate(groups):
         parent, child = ctx.Pipe()
         proc = ctx.Process(
-            target=_worker_main, args=(sim, group, child), daemon=True
+            target=_worker_main, args=(sim, group, child, worker_index), daemon=True
         )
         proc.start()
         child.close()
         conns.append(parent)
         procs.append(proc)
+
+    def _dead_worker_error(w: int, cause: BaseException) -> RuntimeError:
+        proc = procs[w]
+        proc.join(timeout=1.0)
+        code = proc.exitcode
+        detail = f"exit code {code}" if code is not None else "still running"
+        return RuntimeError(
+            f"partition worker {w} (domains {groups[w]}) died mid-run "
+            f"({detail}); aborting the partitioned run"
+        )
+
+    def _send(w: int, msg) -> None:
+        try:
+            conns[w].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise _dead_worker_error(w, exc) from exc
+
+    def _recv(w: int):
+        try:
+            return conns[w].recv()
+        except (EOFError, OSError) as exc:
+            # EOFError for a clean close, ConnectionResetError (an
+            # OSError) when the worker died with data in flight.
+            raise _dead_worker_error(w, exc) from exc
+
     cycle = sim.cycle
     epoch = sim._epoch
     try:
@@ -168,9 +203,9 @@ def run_partitioned_workers(sim, warmup: int, measure: int, drain_limit: int):
             remaining = cycles
             while remaining > 0:
                 step = min(epoch, remaining)
-                for conn in conns:
-                    conn.send(("advance", step))
-                outs = [conn.recv() for conn in conns]
+                for w in range(num_workers):
+                    _send(w, ("advance", step))
+                outs = [_recv(w) for w in range(num_workers)]
                 routed = [dict() for _ in conns]
                 for out in outs:
                     for link_id, messages in out.items():
@@ -184,44 +219,59 @@ def run_partitioned_workers(sim, warmup: int, measure: int, drain_limit: int):
                                 else credit_worker
                             )
                             routed[target].setdefault(link_id, []).append(message)
-                for w, conn in enumerate(conns):
+                for w in range(num_workers):
                     if routed[w]:
-                        conn.send(("ingest", routed[w]))
+                        _send(w, ("ingest", routed[w]))
                 remaining -= step
                 cycle += step
 
         def outstanding() -> int:
-            for conn in conns:
-                conn.send(("counts",))
+            for w in range(num_workers):
+                _send(w, ("counts",))
             created = delivered = 0
-            for conn in conns:
-                c, d = conn.recv()
+            for w in range(num_workers):
+                c, d = _recv(w)
                 created += c
                 delivered += d
             return created - delivered
 
         advance(warmup)
         start = cycle
-        for conn in conns:
-            conn.send(("open_window", start, start + measure))
+        for w in range(num_workers):
+            _send(w, ("open_window", start, start + measure))
         advance(measure)
         drained_cycles = 0
         while drained_cycles < drain_limit and outstanding() > 0:
             chunk = min(epoch, drain_limit - drained_cycles)
             advance(chunk)
             drained_cycles += chunk
-        for conn in conns:
-            conn.send(("finalize",))
-        payloads = [conn.recv() for conn in conns]
-        for conn in conns:
-            conn.send(("stop",))
+        for w in range(num_workers):
+            _send(w, ("finalize",))
+        payloads = [_recv(w) for w in range(num_workers)]
     finally:
-        for proc in procs:
-            proc.join(timeout=30)
-            if proc.is_alive():
-                proc.terminate()
+        # Teardown order matters: signal every worker to exit *before*
+        # the first join.  Joining first deadlocked on failure — a worker
+        # blocked in recv() never exits, so each join burned its full
+        # timeout (30s per worker) before anything closed its pipe.
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass  # already dead or closed — that's fine, it can't hang
         for conn in conns:
             conn.close()
+        # Closed pipes wake any worker blocked in recv() (EOFError -> its
+        # main returns), so the whole pool drains within one shared
+        # deadline instead of 30s per straggler.
+        deadline = time.monotonic() + 4.0
+        for proc in procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc.is_alive():
+                proc.join(timeout=1.0)
 
     merged = StatsCollector(sim.config.num_terminals)
     merged.open_window(start, start + measure)

@@ -20,6 +20,13 @@ from repro.network.flit import Packet
 class StatsCollector:
     """Observer attached to a :class:`~repro.network.network.Network`."""
 
+    #: Whether a packet's measured-ness is keyed by its ``created_cycle``
+    #: (worker-mode :class:`~repro.sim.partition.workers.WindowStats`)
+    #: rather than this collector's pid set.  The vectorized stepper's
+    #: inlined ejection path branches on this instead of calling
+    #: ``on_packet_ejected`` per packet.
+    window_by_creation = False
+
     def __init__(self, num_terminals: int) -> None:
         self.num_terminals = num_terminals
         self.window_start = -1

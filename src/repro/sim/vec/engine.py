@@ -36,8 +36,6 @@ from __future__ import annotations
 import os
 import time
 
-import numpy as np
-
 from repro.network.config import NetworkConfig
 from repro.network.network import Network
 from repro.obs import Observability, ObservabilityConfig
@@ -46,14 +44,8 @@ from repro.sim.stats import StatsCollector
 from repro.traffic.injector import TrafficInjector
 from repro.traffic.patterns import TrafficPattern, make_pattern
 
-from .kernels import (
-    sa_input_first,
-    sa_output_first,
-    select_max_credit,
-    select_vix_dimension,
-    va_kernel,
-)
-from .state import ACTIVE, IDLE, VA_WAIT, SoAState
+from .state import SoAState
+from .stepping import VecStepper
 from .support import require_vectorizable
 
 #: Environment knob: minimum expected injected flits/cycle for the SoA
@@ -145,279 +137,21 @@ class VectorizedSimulation:
 
         s = SoAState(self.network)
         self.s = s
-        self._sa = sa_output_first if s.output_first else sa_input_first
-        rc = config.router
-        self._pipe = rc.pipeline_stages
-        self._cdel = rc.credit_delay
-        # Event ring: one slot per future cycle up to the longest latency.
-        self._ring_size = max(self._pipe, self._cdel, 1) + 1
-        self._slots = [
-            {"arr": [], "cred": [], "nicred": [], "ej": []}
-            for _ in range(self._ring_size)
-        ]
-        self._slot_n = [0] * self._ring_size
-        # Non-IDLE input VCs (the router-side has-work test for idle skip).
-        self._busy_vcs = 0
-        # Cycles executed through the array kernel (reported in counters).
-        self._kernel_cycles = 0
+        # The per-cycle phases (event ring, delivery, NI phase, kernels)
+        # live in the stepper, shared with the partitioned VecDomain.
+        self._stepper = VecStepper(self.network, s)
         self._kernel_seconds = 0.0
-
-    # --- event ring ---------------------------------------------------------
-
-    def _slot(self, when: int) -> dict:
-        return self._slots[when % self._ring_size]
-
-    def _next_event_time(self, now: int) -> int | None:
-        """Earliest future cycle with a scheduled event, or ``None``."""
-        for delta in range(1, self._ring_size):
-            if self._slot_n[(now + delta) % self._ring_size]:
-                return now + delta
-        return None
-
-    # --- per-cycle phases ---------------------------------------------------
-
-    def _deliver(self, now: int) -> None:
-        idx = now % self._ring_size
-        if not self._slot_n[idx]:
-            return
-        slot = self._slots[idx]
-        s = self.s
-        counters = self.network.counters
-
-        # Credit events carry the flat index of the upstream output VC; at
-        # most one credit per (output port, vc) per cycle, so fancy += is
-        # exact.  Releases can share a port, hence add.at for the free count.
-        for cfi, rel in slot["cred"]:
-            s.ocred1[cfi] += 1
-            if rel.any():
-                rfi = cfi[rel]
-                s.oalloc1[rfi] = False
-                np.add.at(s.nfree, rfi // s.V, 1)
-        # NI credits use the same flat (terminal, vc) convention; like router
-        # credits they are unique per (output vc, cycle), so fancy += is exact.
-        for cfi, rel in slot["nicred"]:
-            s.ni_cred1[cfi] += 1
-            if rel.any():
-                s.ni_alloc1[cfi[rel]] = False
-
-        chunks = slot["arr"]
-        if chunks:
-            if len(chunks) == 1:
-                fi, pk, sq = chunks[0]
-            else:
-                fi, pk, sq = (np.concatenate(parts) for parts in zip(*chunks))
-            # At most one arrival per (router, input port) per cycle, so the
-            # flat VC indices are distinct and fancy updates are exact.
-            occ0 = s.occ1[fi]
-            s.occ1[fi] = occ0 + 1
-            fresh = occ0 == 0  # queue was empty: this flit is head-of-line
-            s.hseq1[fi[fresh]] = sq[fresh]
-            heads = sq == 0
-            if heads.any():
-                hfi = fi[heads]
-                hpk = pk[heads]
-                hd = s.pk_dst[hpk]
-                out = s.route1[(hfi // s.PV) * s.T + hd]
-                s.pkt1[hfi] = hpk
-                s.dst1[hfi] = hd
-                s.outp1[hfi] = out
-                eject = out < s.C
-                s.st1[hfi] = np.where(eject, ACTIVE, VA_WAIT)
-                s.outv1[hfi[eject]] = 0
-                self._busy_vcs += int(heads.sum())
-            counters.buffer_writes += fi.size
-
-        stats = self.stats
-        packets = s.packets
-        # on_flit_ejected is a pure windowed count, so it batches per chunk;
-        # tails still replay per packet (latency + outstanding bookkeeping).
-        in_window = stats.window_start <= now < stats.window_end
-        for terms, pks, tails in slot["ej"]:
-            n = len(terms)
-            counters.flits_ejected += n
-            self.network._in_flight_flits -= n
-            if in_window:
-                stats.flits_ejected += n
-            tpk = pks[tails].tolist()
-            if not tpk:
-                continue
-            counters.packets_ejected += len(tpk)
-            if in_window:
-                stats.packets_ejected += len(tpk)
-            # Inlined stats.on_packet_ejected (per-packet method dispatch is
-            # measurable at saturation); the window test hoists per chunk.
-            per_src = stats.per_source_ejected
-            outstanding = stats._outstanding
-            latencies = stats.latencies
-            for pki in tpk:
-                packet = packets[pki]
-                packet.ejected_cycle = now
-                if in_window:
-                    per_src[packet.src] += 1
-                pid = packet.pid
-                if pid in outstanding:
-                    outstanding.discard(pid)
-                    latencies.append(now - packet.created_cycle)
-
-        slot["arr"].clear()
-        slot["cred"].clear()
-        slot["nicred"].clear()
-        slot["ej"].clear()
-        self._slot_n[idx] = 0
-
-    def _ni_phase(self, now: int) -> None:
-        """Vectorized ``NetworkInterface.next_flit`` across all active NIs.
-
-        NIs are mutually independent within a cycle, so allocation and
-        streaming batch over the active set (iteration order is
-        irrelevant).  The object NIs keep owning the source queues — the
-        injector's ``queue_length >= 4`` saturation check reads
-        ``len(queue) + (1 if _current_flits else 0)``, so a sentinel is
-        pushed into ``_current_flits`` while a packet streams from the SoA
-        side and cleared when its tail leaves.
-        """
-        network = self.network
-        active_nis = network._active_nis
-        if not active_nis:
-            return
-        interfaces = network.interfaces
-        s = self.s
-        V = s.V
-        terms = np.fromiter(active_nis, np.int64, len(active_nis))
-
-        # Allocation: an active NI with no packet in flight always has a
-        # queued packet (completion deactivates empty-queue NIs).  Matching
-        # the object NI, a packet is only dequeued when some output VC is
-        # unallocated *and* has credits.
-        needy = terms[s.ni_rem[terms] == 0]
-        if needy.size:
-            cols = (needy * V)[:, None] + s._arV
-            cand = ~s.ni_alloc1[cols] & (s.ni_cred1[cols] > 0)
-            has = cand.any(-1)
-            if not has.all():
-                needy = needy[has]
-                cand = cand[has]
-                cols = cols[has]
-            if needy.size:
-                pkidx = np.empty(needy.size, dtype=np.int64)
-                rems = np.empty(needy.size, dtype=np.int64)
-                for i, t in enumerate(needy.tolist()):
-                    ni = interfaces[t]
-                    packet = ni.queue.popleft()
-                    pkidx[i] = s.intern(packet)
-                    rems[i] = packet.num_flits
-                    ni._current_flits.append(None)  # queue_length sentinel
-                if (cand.sum(-1) == 1).all():
-                    choice = cand.argmax(-1)
-                elif s.policy_vix:
-                    direction = s.ni_dir1[needy * s.T + s.pk_dst[pkidx]]
-                    choice = select_vix_dimension(
-                        s, cand, s.ni_cred1[cols], direction
-                    )
-                else:
-                    choice = select_max_credit(cand, s.ni_cred1[cols])
-                s.ni_alloc1[needy * V + choice] = True
-                s.ni_vc[needy] = choice
-                s.ni_seq[needy] = 0
-                s.ni_rem[needy] = rems
-                s.ni_pk[needy] = pkidx
-
-        # Streaming: one flit per NI per cycle when the allocated VC has a
-        # credit (ejection-side credits are returned by _apply_grants).
-        vcs = s.ni_vc[terms]
-        m = (s.ni_rem[terms] > 0) & (s.ni_cred1[terms * V + vcs] > 0)
-        st = terms[m]
-        if st.size == 0:
-            return
-        svc = vcs[m]
-        s.ni_cred1[st * V + svc] -= 1
-        sq = s.ni_seq[st]
-        s.ni_seq[st] = sq + 1
-        nrem = s.ni_rem[st] - 1
-        s.ni_rem[st] = nrem
-        self._slot(now + 1)["arr"].append((s.ni_fi1[st] + svc, s.ni_pk[st], sq))
-        self._slot_n[(now + 1) % self._ring_size] += st.size
-        network._in_flight_flits += st.size
-        for t in st[nrem == 0].tolist():
-            ni = interfaces[t]
-            ni._current_flits.clear()
-            if not ni.queue:
-                active_nis.discard(t)
-
-    def _apply_grants(self, now: int, grants) -> None:
-        gfi, gout = grants
-        n = gfi.size
-        s = self.s
-        pk = s.pkt1[gfi]
-        sq = s.hseq1[gfi]
-        s.occ1[gfi] -= 1
-        s.hseq1[gfi] = sq + 1
-        tail = sq == s.pk_last[pk]
-        eject = gout < s.C
-        rp = (gfi // s.PV) * s.P  # flat (router, *) base, port added per use
-
-        move_slot = self._slot(now + self._pipe)
-        n_ej = int(eject.sum())
-        n_fwd = n - n_ej
-        if n_fwd:
-            forward = ~eject
-            ffi = gfi[forward]
-            fpo = rp[forward] + gout[forward]
-            fv = s.outv1[ffi]
-            s.ocred1[fpo * s.V + fv] -= 1
-            s.links1[fpo] += 1
-            move_slot["arr"].append(
-                (s.down_fi1[fpo] + fv, pk[forward], sq[forward])
-            )
-        if n_ej:
-            epo = gfi[eject] // s.PV * s.C + gout[eject]
-            move_slot["ej"].append((s.term1[epo], pk[eject], tail[eject]))
-        self._slot_n[(now + self._pipe) % self._ring_size] += n
-
-        credit_slot = self._slot(now + self._cdel)
-        gp = (gfi // s.V) % s.P  # input port of the granted VC
-        up = s.up_cfi1[rp + gp]
-        local = gp < s.C
-        remote = ~local & (up >= 0)
-        cidx = (now + self._cdel) % self._ring_size
-        gvc = gfi % s.V
-        n_rem = int(remote.sum())
-        if n_rem:
-            credit_slot["cred"].append((up[remote] + gvc[remote], tail[remote]))
-            self._slot_n[cidx] += n_rem
-        if local.any():
-            lterm = s.term1[(gfi[local] // s.PV) * s.C + gp[local]]
-            credit_slot["nicred"].append(
-                (lterm * s.V + gvc[local], tail[local])
-            )
-            self._slot_n[cidx] += lterm.size
-
-        n_tail = int(tail.sum())
-        if n_tail:
-            # Only ``st`` must reset: pkt/dst/outp/outv are refreshed at the
-            # next head arrival before any kernel reads them (reads are gated
-            # on VA_WAIT / ACTIVE), so stale values are never observed.
-            s.st1[gfi[tail]] = IDLE
-            self._busy_vcs -= n_tail
-
-        counters = self.network.counters
-        counters.buffer_reads += n
-        counters.xbar_traversals += n
-        counters.link_traversals += n_fwd
 
     def _step(self) -> None:
         network = self.network
         now = network.cycle
         self.injector.tick(now)
         t0 = time.perf_counter() if self._obs is not None else 0.0
-        self._deliver(now)
-        self._ni_phase(now)
-        if self._busy_vcs:
-            va_kernel(self.s)
-            grants = self._sa(self.s)
-            if grants is not None:
-                self._apply_grants(now, grants)
-        self._kernel_cycles += 1
+        stepper = self._stepper
+        stepper.deliver(now)
+        stepper.ni_phase(now)
+        stepper.allocate(now)
+        stepper.kernel_cycles += 1
         if self._obs is not None:
             self._kernel_seconds += time.perf_counter() - t0
         network.counters.cycles += 1
@@ -437,13 +171,13 @@ class VectorizedSimulation:
 
     def _maybe_skip(self, budget: int) -> int:
         network = self.network
-        if self._busy_vcs or network._active_nis:
+        if self._stepper.busy_vcs or network._active_nis:
             return 0
         now = network.cycle
         wake = self.injector.next_active_cycle(now)
         if wake is not None and wake <= now:
             return 0
-        nxt = self._next_event_time(now)
+        nxt = self._stepper.next_event_time(now)
         if nxt is not None and (wake is None or nxt < wake):
             wake = nxt
         target = now + budget if wake is None else min(wake, now + budget)
@@ -506,7 +240,7 @@ class VectorizedSimulation:
                 counts[p] += c
         stats = self.stats
         counters = self.network.counters.snapshot()
-        counters["vec_kernel_cycles"] = self._kernel_cycles
+        counters["vec_kernel_cycles"] = self._stepper.kernel_cycles
         if timer is not None:
             counters.update(timer.counter_items())
         metrics = None

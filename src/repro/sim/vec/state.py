@@ -28,6 +28,14 @@ the same power-on value (0) and rotation rule as
 :class:`~repro.core.arbiter.RoundRobinArbiter`.  Static topology facts
 (routing, lookahead, link endpoints) are precomputed once into lookup
 tables so the per-cycle kernels are pure array arithmetic.
+
+Partition domains build one ``SoAState`` per
+:class:`~repro.network.domain.DomainNetwork` over the *full* topology
+shape — unowned routers are all-IDLE rows no kernel ever activates, so
+they cost memory but no time.  The static tables depend only on
+(topology, router config) and are identical across domains; passing
+``static_from=<sibling state>`` shares them by reference instead of
+rebuilding the O(R*P*T) lookahead table per domain.
 """
 
 from __future__ import annotations
@@ -49,9 +57,37 @@ class SoAState:
     idle, every credit at ``buffer_depth``, every pointer at 0).
     """
 
-    def __init__(self, network) -> None:
-        topo = network.topology
-        config = network.config
+    #: Static (never mutated after construction) attributes, shared by
+    #: reference across same-shape states via ``static_from``.
+    _STATIC_COMMON = (
+        "R", "P", "V", "C", "T", "depth", "PV", "RP", "Pk",
+        "route_tab", "down_r", "down_p", "up_r", "up_p", "term_tab", "la_tab",
+        "output_first", "k", "gs", "policy_vix", "k_pol", "gs_pol", "sumcap",
+        "roll_va", "inc_va", "roll_va1",
+        "route1", "la1", "term1", "down_fi1", "up_cfi1",
+        "grp_mat", "_arV", "_args", "_arN", "_arNk", "_arNV",
+        "dirmap", "gof", "gtb", "_m2", "vix_bonus",
+        "ni_fi1", "ni_dir1",
+    )
+    _STATIC_OF = (
+        "roll_of1", "inc_of1", "roll_of2", "inc_of2", "roll_of1_1", "roll_of2_1",
+    )
+    _STATIC_IF = (
+        "roll_p1", "inc_p1", "roll_p2", "inc_p2", "g_base",
+        "roll_p1_1", "roll_p2_1",
+    )
+
+    def __init__(self, network, *, static_from: "SoAState | None" = None) -> None:
+        if static_from is not None:
+            extra = self._STATIC_OF if static_from.output_first else self._STATIC_IF
+            for name in self._STATIC_COMMON + extra:
+                setattr(self, name, getattr(static_from, name))
+        else:
+            self._build_static(network.topology, network.config)
+        self._build_dynamic(network.config.router)
+
+    def _build_static(self, topo, config) -> None:
+        """Topology/scheme lookup tables (pure functions of the config)."""
         rc = config.router
         R = topo.num_routers
         P = topo.radix
@@ -75,7 +111,9 @@ class SoAState:
         # Link endpoint tables.  down_* follow an output port to the
         # downstream (router, input port); up_* follow an input port back to
         # the upstream output port.  -1 marks dead edges / local ports (an
-        # NI, not a router, sits upstream of a local input port).
+        # NI, not a router, sits upstream of a local input port).  Cut links
+        # of a partition plan are included — the boundary egress mask (see
+        # stepping.VecStepper) diverts them before down_fi1 is consulted.
         self.down_r = np.full((R, P), -1, dtype=np.int64)
         self.down_p = np.full((R, P), -1, dtype=np.int64)
         self.up_r = np.full((R, P), -1, dtype=np.int64)
@@ -121,32 +159,6 @@ class SoAState:
         # Rank credits sums below candidate counts (policy key (count, sum)).
         self.sumcap = V * rc.buffer_depth + 1
 
-        # --- dynamic per-VC state --------------------------------------------
-        shape = (R, P, V)
-        self.st = np.zeros(shape, dtype=np.int64)
-        self.occ = np.zeros(shape, dtype=np.int64)
-        self.hseq = np.zeros(shape, dtype=np.int64)
-        self.pkt = np.full(shape, -1, dtype=np.int64)
-        self.dst = np.full(shape, -1, dtype=np.int64)
-        self.outp = np.full(shape, -1, dtype=np.int64)
-        self.outv = np.full(shape, -1, dtype=np.int64)
-        self.ocred = np.full(shape, rc.buffer_depth, dtype=np.int64)
-        self.oalloc = np.zeros(shape, dtype=bool)
-
-        # --- arbiter pointers -------------------------------------------------
-        # VA: one radix*V arbiter per output port (Router._va_arbiters).
-        self.va_ptr = np.zeros((R, P), dtype=np.int64)
-        if self.output_first:
-            # SA phase 1: one (P*V):1 arbiter per output port; phase 2: one
-            # P:1 arbiter per input port (k is always 1 for OF).
-            self.of_out_ptr = np.zeros((R, P), dtype=np.int64)
-            self.of_in_ptr = np.zeros((R, P), dtype=np.int64)
-        else:
-            # SA phase 1: one gs:1 arbiter per crossbar input (P*k of them);
-            # phase 2: one (P*k):1 arbiter per output port.
-            self.in_ptr = np.zeros((R, P * self.k), dtype=np.int64)
-            self.out_ptr = np.zeros((R, P), dtype=np.int64)
-
         # --- round-robin roll / increment tables ------------------------------
         # roll_*[ptr, slot] = (slot - ptr) % n and inc_*[slot] = (slot + 1) % n,
         # precomputed per arbiter width so the kernels' winner argmin and
@@ -177,31 +189,14 @@ class SoAState:
         # Kernels address every tensor through 1-D raveled views with
         # precomputed flat indices: single-array fancy indexing is several
         # times cheaper than multi-axis advanced indexing at these sizes
-        # (dispatch overhead, not element count, dominates).  All views share
-        # memory with the 3-D tensors above.
+        # (dispatch overhead, not element count, dominates).
         self.PV = P * V
         self.RP = R * P
         self.Pk = P * self.k
-        self.st1 = self.st.reshape(-1)
-        self.occ1 = self.occ.reshape(-1)
-        self.hseq1 = self.hseq.reshape(-1)
-        self.pkt1 = self.pkt.reshape(-1)
-        self.dst1 = self.dst.reshape(-1)
-        self.outp1 = self.outp.reshape(-1)
-        self.outv1 = self.outv.reshape(-1)
-        self.ocred1 = self.ocred.reshape(-1)
-        self.oalloc1 = self.oalloc.reshape(-1)
-        self.ocred2d = self.ocred.reshape(R * P, V)
-        self.oalloc2d = self.oalloc.reshape(R * P, V)
-        self.va_ptr1 = self.va_ptr.reshape(-1)
         if self.output_first:
-            self.of_out_ptr1 = self.of_out_ptr.reshape(-1)
-            self.of_in_ptr1 = self.of_in_ptr.reshape(-1)
             self.roll_of1_1 = self.roll_of1.reshape(-1)
             self.roll_of2_1 = self.roll_of2.reshape(-1)
         else:
-            self.in_ptr1 = self.in_ptr.reshape(-1)
-            self.out_ptr1 = self.out_ptr.reshape(-1)
             self.roll_p1_1 = self.roll_p1.reshape(-1)
             self.roll_p2_1 = self.roll_p2.reshape(-1)
         self.roll_va1 = self.roll_va.reshape(-1)
@@ -218,10 +213,6 @@ class SoAState:
         self.up_cfi1 = np.where(
             self.up_r >= 0, (self.up_r * P + self.up_p) * V, -1
         ).reshape(-1)
-        # Free (unallocated) output-VC count per (router, port), maintained
-        # incrementally by the VA kernel (-1 per grant) and credit release
-        # (+1) — replaces a per-cycle oalloc reduction.
-        self.nfree = np.full(R * P, V, dtype=np.int64)
         # Group-membership matrix for the vix_dimension score matmul:
         # grp_mat[v, j] = 1 iff VC v belongs to policy sub-group j.
         self.grp_mat = np.zeros((V, self.k_pol), dtype=np.int64)
@@ -254,17 +245,6 @@ class SoAState:
             self.vix_bonus[d + 1] = (gof == self.dirmap[d + 1]) * bonus
         self.gof = gof
 
-        # --- vectorized NI state ----------------------------------------------
-        # Mirrors NetworkInterface: per-terminal output VCs (credits +
-        # allocation) and the packet currently streaming onto the injection
-        # channel.  The object NIs keep owning the source queues (the
-        # injector enqueues into them); only allocation/streaming vectorize.
-        self.ni_cred1 = np.full(T * V, rc.buffer_depth, dtype=np.int64)
-        self.ni_alloc1 = np.zeros(T * V, dtype=bool)
-        self.ni_vc = np.full(T, -1, dtype=np.int64)
-        self.ni_rem = np.zeros(T, dtype=np.int64)
-        self.ni_seq = np.zeros(T, dtype=np.int64)
-        self.ni_pk = np.full(T, -1, dtype=np.int64)
         rof = [topo.router_of(t) for t in range(T)]
         # Flat flit-arrival base of each terminal's injection channel.
         self.ni_fi1 = np.array(
@@ -276,6 +256,73 @@ class SoAState:
         self.ni_dir1 = cls_arr[self.route_tab][
             np.array([r for r, _ in rof], dtype=np.int64)
         ].reshape(-1)
+
+    def _build_dynamic(self, rc) -> None:
+        """Per-run mutable state at power-on values."""
+        R, P, V = self.R, self.P, self.V
+
+        # --- dynamic per-VC state --------------------------------------------
+        shape = (R, P, V)
+        self.st = np.zeros(shape, dtype=np.int64)
+        self.occ = np.zeros(shape, dtype=np.int64)
+        self.hseq = np.zeros(shape, dtype=np.int64)
+        self.pkt = np.full(shape, -1, dtype=np.int64)
+        self.dst = np.full(shape, -1, dtype=np.int64)
+        self.outp = np.full(shape, -1, dtype=np.int64)
+        self.outv = np.full(shape, -1, dtype=np.int64)
+        self.ocred = np.full(shape, rc.buffer_depth, dtype=np.int64)
+        self.oalloc = np.zeros(shape, dtype=bool)
+
+        # --- arbiter pointers -------------------------------------------------
+        # VA: one radix*V arbiter per output port (Router._va_arbiters).
+        self.va_ptr = np.zeros((R, P), dtype=np.int64)
+        if self.output_first:
+            # SA phase 1: one (P*V):1 arbiter per output port; phase 2: one
+            # P:1 arbiter per input port (k is always 1 for OF).
+            self.of_out_ptr = np.zeros((R, P), dtype=np.int64)
+            self.of_in_ptr = np.zeros((R, P), dtype=np.int64)
+        else:
+            # SA phase 1: one gs:1 arbiter per crossbar input (P*k of them);
+            # phase 2: one (P*k):1 arbiter per output port.
+            self.in_ptr = np.zeros((R, P * self.k), dtype=np.int64)
+            self.out_ptr = np.zeros((R, P), dtype=np.int64)
+
+        # Flat views sharing memory with the tensors above.
+        self.st1 = self.st.reshape(-1)
+        self.occ1 = self.occ.reshape(-1)
+        self.hseq1 = self.hseq.reshape(-1)
+        self.pkt1 = self.pkt.reshape(-1)
+        self.dst1 = self.dst.reshape(-1)
+        self.outp1 = self.outp.reshape(-1)
+        self.outv1 = self.outv.reshape(-1)
+        self.ocred1 = self.ocred.reshape(-1)
+        self.oalloc1 = self.oalloc.reshape(-1)
+        self.ocred2d = self.ocred.reshape(R * P, V)
+        self.oalloc2d = self.oalloc.reshape(R * P, V)
+        self.va_ptr1 = self.va_ptr.reshape(-1)
+        if self.output_first:
+            self.of_out_ptr1 = self.of_out_ptr.reshape(-1)
+            self.of_in_ptr1 = self.of_in_ptr.reshape(-1)
+        else:
+            self.in_ptr1 = self.in_ptr.reshape(-1)
+            self.out_ptr1 = self.out_ptr.reshape(-1)
+        # Free (unallocated) output-VC count per (router, port), maintained
+        # incrementally by the VA kernel (-1 per grant) and credit release
+        # (+1) — replaces a per-cycle oalloc reduction.
+        self.nfree = np.full(R * P, V, dtype=np.int64)
+
+        # --- vectorized NI state ----------------------------------------------
+        # Mirrors NetworkInterface: per-terminal output VCs (credits +
+        # allocation) and the packet currently streaming onto the injection
+        # channel.  The object NIs keep owning the source queues (the
+        # injector enqueues into them); only allocation/streaming vectorize.
+        T = self.T
+        self.ni_cred1 = np.full(T * V, rc.buffer_depth, dtype=np.int64)
+        self.ni_alloc1 = np.zeros(T * V, dtype=bool)
+        self.ni_vc = np.full(T, -1, dtype=np.int64)
+        self.ni_rem = np.zeros(T, dtype=np.int64)
+        self.ni_seq = np.zeros(T, dtype=np.int64)
+        self.ni_pk = np.full(T, -1, dtype=np.int64)
 
         # Per-link flit counts, flushed into Network._link_counts at run end.
         self.links = np.zeros((R, P), dtype=np.int64)
@@ -290,18 +337,30 @@ class SoAState:
         self.pk_dst = np.zeros(cap, dtype=np.int64)
         self.pk_last = np.zeros(cap, dtype=np.int64)
 
-    def export_flow_state(self, cycle: int) -> dict:
+    def export_flow_state(
+        self,
+        cycle: int,
+        owned_routers=None,
+        owned_terminals=None,
+    ) -> dict:
         """Flow-control snapshot in the object engine's schema.
 
         Emits exactly what :func:`repro.network.state.export_flow_state`
         produces for an object network in the same dynamic state — the
         cross-engine drift guard: after identical runs the two dicts must
         compare equal, credit by credit and pointer by pointer.
+
+        ``owned_routers`` / ``owned_terminals`` restrict the snapshot to a
+        partition domain's slice: unowned ids emit ``None`` rows, matching
+        the object :class:`~repro.network.domain.DomainNetwork`'s holes.
         """
         from repro.network.state import FLOW_STATE_VERSION
 
-        routers = []
+        routers: list[dict | None] = []
         for r in range(self.R):
+            if owned_routers is not None and r not in owned_routers:
+                routers.append(None)
+                continue
             credits: list[list[int] | None] = []
             allocated: list[list[bool] | None] = []
             for p in range(self.P):
@@ -335,7 +394,9 @@ class SoAState:
                 }
             )
         interfaces = [
-            {
+            None
+            if owned_terminals is not None and t not in owned_terminals
+            else {
                 "credits": [
                     int(c) for c in self.ni_cred1[t * self.V : (t + 1) * self.V]
                 ],

@@ -172,9 +172,12 @@ class TestPartitionConfig:
         assert cfg.scheme == "grid"
         assert cfg.link == "credit"
 
-    def test_rejects_vectorized_domain_engine(self):
-        with pytest.raises(ValueError, match="vectorized"):
-            PartitionConfig(domain_engine="vectorized")
+    def test_accepts_vectorized_domain_engine(self):
+        assert PartitionConfig(domain_engine="vectorized").domain_engine == "vectorized"
+
+    def test_rejects_unknown_domain_engine(self):
+        with pytest.raises(ValueError, match="domain_engine.*'simd'"):
+            PartitionConfig(domain_engine="simd")
 
     def test_rejects_bad_dims(self):
         with pytest.raises(ValueError, match="dims"):
@@ -190,17 +193,33 @@ class TestPartitionConfig:
         cfg = PartitionConfig(link_latency=4, link_width=2).link_config()
         assert (cfg.latency, cfg.width) == (4, 2)
 
+    def test_link_config_carries_credit_latency(self):
+        cfg = PartitionConfig(link_latency=4, link_credit_latency=1).link_config()
+        assert cfg.effective_credit_latency == 1
+
+    def test_credit_latency_defaults_to_forward_latency(self):
+        cfg = PartitionConfig(link_latency=4).link_config()
+        assert cfg.effective_credit_latency == 4
+
+    def test_spec_includes_credit_latency(self):
+        a = PartitionConfig(link_latency=4)
+        b = PartitionConfig(link_latency=4, link_credit_latency=1)
+        assert a.spec() != b.spec()
+        assert b.spec()["link_credit_latency"] == 1
+
     def test_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARTITION", "4x2")
         monkeypatch.setenv("REPRO_PARTITION_LINK", "ideal")
         monkeypatch.setenv("REPRO_LINK_LATENCY", "3")
         monkeypatch.setenv("REPRO_LINK_WIDTH", "2")
+        monkeypatch.setenv("REPRO_LINK_CREDIT_LATENCY", "1")
         monkeypatch.setenv("REPRO_DOMAIN_ENGINE", "dense")
         monkeypatch.setenv("REPRO_PARTITION_WORKERS", "auto")
         cfg = PartitionConfig.from_env()
         assert cfg.dims == (4, 2)
         assert cfg.link == "ideal"
         assert (cfg.link_latency, cfg.link_width) == (3, 2)
+        assert cfg.link_credit_latency == 1
         assert cfg.domain_engine == "dense"
         assert cfg.workers == "auto"
 
@@ -210,14 +229,34 @@ class TestPartitionConfig:
             "REPRO_PARTITION_LINK",
             "REPRO_LINK_LATENCY",
             "REPRO_LINK_WIDTH",
+            "REPRO_LINK_CREDIT_LATENCY",
             "REPRO_DOMAIN_ENGINE",
             "REPRO_PARTITION_WORKERS",
         ):
             monkeypatch.delenv(var, raising=False)
         cfg = PartitionConfig.from_env()
         assert cfg == PartitionConfig()
+        assert cfg.link_credit_latency is None
 
     def test_from_env_rejects_malformed_grid(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARTITION", "2by2")
         with pytest.raises(ValueError, match="REPRO_PARTITION"):
+            PartitionConfig.from_env()
+
+    @pytest.mark.parametrize(
+        "var",
+        ["REPRO_LINK_LATENCY", "REPRO_LINK_WIDTH", "REPRO_LINK_CREDIT_LATENCY"],
+    )
+    def test_from_env_names_bad_integer_var(self, var, monkeypatch):
+        """Malformed numbers name the offending variable, not a bare
+        int() traceback (the $REPRO_JOBS error-contract precedent)."""
+        monkeypatch.setenv(var, "fast")
+        with pytest.raises(ValueError, match=rf"\${var}.*integer"):
+            PartitionConfig.from_env()
+
+    def test_from_env_names_bad_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARTITION_WORKERS", "many")
+        with pytest.raises(
+            ValueError, match=r"\$REPRO_PARTITION_WORKERS.*integer or 'auto'"
+        ):
             PartitionConfig.from_env()

@@ -11,9 +11,13 @@ The contract under test (ISSUE 9 tentpole):
 * **worker processes are an execution choice, not a model choice**: a
   multi-domain run must produce the identical result at any worker
   count, including saturation runs with no drain phase;
-* per-domain engine selection composes (gated vs dense domains agree),
-  and the vectorized engine — which has no per-cycle stepping API — is
-  rejected up front.
+* per-domain engine selection composes: gated vs dense domains agree,
+  and (ISSUE 10 tentpole) **vectorized domains** — SoA-kernel stepping
+  behind the same SimDomain contract — are byte-identical to the
+  monolithic vectorized engine at 1x1 and report-identical to gated
+  domains on every supported allocator, at any worker count; schemes
+  the SoA kernel cannot express fail loudly naming the object-engine
+  fallbacks.
 """
 
 from __future__ import annotations
@@ -180,9 +184,9 @@ class TestEngineSelection:
         )
         assert res.counters["partition_domains"] == 4
 
-    def test_vectorized_domain_engine_rejected(self):
-        with pytest.raises(ValueError, match="vectorized"):
-            _partition((2, 2), domain_engine="vectorized")
+    def test_unknown_domain_engine_rejected(self):
+        with pytest.raises(ValueError, match="gated.*dense.*vectorized|domain_engine"):
+            _partition((2, 2), domain_engine="simd")
 
     def test_engine_env_partitioned(self, monkeypatch):
         """REPRO_ENGINE=partitioned resolves the grid from REPRO_PARTITION."""
@@ -193,3 +197,108 @@ class TestEngineSelection:
             cfg, injection_rate=0.1, seed=1, warmup=50, measure=100, drain_limit=200
         )
         assert res.counters["partition_domains"] == 4
+
+
+class TestVectorizedDomains:
+    """ISSUE 10: SoA-kernel domains behind the SimDomain contract."""
+
+    @pytest.fixture(autouse=True)
+    def _numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_1x1_identical_to_monolithic_vectorized(self):
+        from repro.sim.vec.engine import VectorizedSimulation
+
+        cfg = _config("vix")
+        kwargs = dict(injection_rate=0.1, seed=1)
+        mono = VectorizedSimulation(cfg, **kwargs)
+        part = PartitionedSimulation(
+            cfg,
+            partition=_partition((1, 1), domain_engine="vectorized"),
+            **kwargs,
+        )
+        r1 = mono.run(**WINDOWS)
+        r2 = part.run(**WINDOWS)
+        assert dataclasses.asdict(r2) == dataclasses.asdict(r1)
+        assert part.flow_state() == mono.flow_state()
+
+    @pytest.mark.parametrize(
+        "allocator", ["input_first", "output_first", "vix", "ideal_vix"]
+    )
+    def test_2x2_matches_gated_domains(self, allocator):
+        cfg = _config(allocator)
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        gated = run_simulation(
+            cfg,
+            partition=_partition((2, 2), link_latency=4, domain_engine="gated"),
+            **kwargs,
+        )
+        vec = run_simulation(
+            cfg,
+            partition=_partition((2, 2), link_latency=4, domain_engine="vectorized"),
+            **kwargs,
+        )
+        assert _comparable(gated) == _comparable(vec)
+
+    def test_2x2_flow_state_matches_gated_domains(self):
+        cfg = _config("vix")
+        sims = {}
+        for de in ("gated", "vectorized"):
+            sim = PartitionedSimulation(
+                cfg,
+                partition=_partition((2, 2), link_latency=2, domain_engine=de),
+                injection_rate=0.1,
+                seed=1,
+            )
+            sim.run(warmup=50, measure=150, drain_limit=0)
+            sims[de] = sim
+        assert sims["vectorized"].flow_state() == sims["gated"].flow_state()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_match_serial(self, workers):
+        cfg = _config()
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        serial = run_simulation(
+            cfg,
+            partition=_partition((2, 2), link_latency=4, domain_engine="vectorized"),
+            **kwargs,
+        )
+        parallel = run_simulation(
+            cfg,
+            partition=_partition(
+                (2, 2), link_latency=4, domain_engine="vectorized", workers=workers
+            ),
+            **kwargs,
+        )
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_asymmetric_credit_latency_matches_gated(self):
+        cfg = _config()
+        kwargs = dict(injection_rate=0.1, seed=1, **WINDOWS)
+        results = [
+            run_simulation(
+                cfg,
+                partition=_partition(
+                    (2, 2),
+                    link_latency=3,
+                    link_credit_latency=1,
+                    domain_engine=de,
+                ),
+                **kwargs,
+            )
+            for de in ("gated", "vectorized")
+        ]
+        assert _comparable(results[0]) == _comparable(results[1])
+
+    def test_unsupported_scheme_fails_loudly(self):
+        """Non-vectorizable allocators must name the object fallbacks."""
+        from repro.registry import UnknownSchemeError
+
+        cfg = _config("packet_chaining")
+        with pytest.raises(UnknownSchemeError, match="dense.*gated|gated.*dense"):
+            PartitionedSimulation(
+                cfg,
+                partition=_partition((2, 2), domain_engine="vectorized"),
+                injection_rate=0.1,
+                seed=1,
+            )

@@ -64,6 +64,45 @@ class TestInvariantsHold:
         check_flit_conservation(sim)
         check_credit_accounting(sim)
 
+    def test_with_asymmetric_credit_latency(self):
+        """Slow forward path, fast credit return: the loop stays closed."""
+        sim = _sim(link_latency=3, link_credit_latency=1)
+        sim.on_cycle = lambda s: s.cycle % 5 or check_invariants(s)
+        sim.run(warmup=50, measure=200, drain_limit=300)
+        check_invariants(sim)
+
+    def test_with_slow_credit_return(self):
+        """Credit latency above the forward latency (the worst case for
+        an over-release bug: credits linger on the wire longest)."""
+        sim = _sim(link_latency=1, link_credit_latency=6, link_width=2)
+        sim.on_cycle = lambda s: s.cycle % 5 or check_invariants(s)
+        sim.run(warmup=50, measure=200, drain_limit=300)
+        check_invariants(sim)
+
+    def test_vectorized_domains_throughout_a_run(self):
+        pytest.importorskip("numpy")
+        sim = _sim(link_latency=2, link_width=2, domain_engine="vectorized")
+        checked = 0
+
+        def hook(s):
+            nonlocal checked
+            if s.cycle % 7 == 0:
+                check_invariants(s)
+                checked += 1
+
+        sim.on_cycle = hook
+        result = sim.run(warmup=100, measure=300, drain_limit=400)
+        check_invariants(sim)
+        assert checked > 0
+        assert result.packets_ejected > 0
+
+    def test_vectorized_domains_asymmetric_credit_latency(self):
+        pytest.importorskip("numpy")
+        sim = _sim(link_latency=3, link_credit_latency=1, domain_engine="vectorized")
+        sim.on_cycle = lambda s: s.cycle % 5 or check_invariants(s)
+        sim.run(warmup=50, measure=200, drain_limit=300)
+        check_invariants(sim)
+
 
 class TestViolationsDetected:
     """The checkers must actually fail when the books are cooked."""

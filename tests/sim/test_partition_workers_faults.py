@@ -1,0 +1,107 @@
+"""Worker-pool failure handling for partitioned runs.
+
+The coordinator must fail *fast and loud* when a worker process dies
+mid-run: a RuntimeError naming the dead worker (and its exit code, when
+it has one) within seconds — not the pre-fix behaviour, where teardown
+joined each worker with a 30-second timeout *before* closing its pipe,
+so every surviving worker blocked in ``recv()`` burned the full timeout
+and a crashed 4-worker run took two minutes to report anything.
+
+Faults are injected with the same ``REPRO_FAULTS`` knob the parallel
+sweep runner uses (``kind@worker_index``), evaluated once at worker
+startup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.network.config import NetworkConfig, RouterConfig
+from repro.network.links import PartitionConfig
+from repro.sim.partition import PartitionedSimulation
+
+#: Generous wall-clock bound for a crashed run to surface its error.
+#: The pre-fix hang was >= 30s per surviving worker; anything close to
+#: that means the teardown ordering regressed.
+FAIL_FAST_SECONDS = 5.0
+
+
+def _sim(workers: int, domain_engine: str = "gated") -> PartitionedSimulation:
+    cfg = NetworkConfig(
+        topology="mesh",
+        num_terminals=64,
+        router=RouterConfig(num_vcs=4, allocator="input_first"),
+    )
+    partition = PartitionConfig(
+        dims=(2, 2), link_latency=2, workers=workers, domain_engine=domain_engine
+    )
+    return PartitionedSimulation(cfg, partition=partition, injection_rate=0.1, seed=1)
+
+
+def _run(sim):
+    return sim.run(warmup=100, measure=300, drain_limit=400)
+
+
+def _assert_no_orphans():
+    deadline = time.monotonic() + 2.0
+    while mp.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert mp.active_children() == []
+
+
+class TestWorkerCrashFailsFast:
+    def test_worker_exit_raises_named_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "exit@1")
+        sim = _sim(workers=2)
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"worker 1.*exit code 86"):
+            _run(sim)
+        assert time.monotonic() - t0 < FAIL_FAST_SECONDS
+        _assert_no_orphans()
+
+    def test_worker_exception_raises_named_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@0")
+        sim = _sim(workers=2)
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"worker 0"):
+            _run(sim)
+        assert time.monotonic() - t0 < FAIL_FAST_SECONDS
+        _assert_no_orphans()
+
+    def test_crash_with_four_workers_still_fast(self, monkeypatch):
+        """Teardown is one shared deadline, not a per-worker timeout."""
+        monkeypatch.setenv("REPRO_FAULTS", "exit@2")
+        sim = _sim(workers=4)
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"worker 2"):
+            _run(sim)
+        assert time.monotonic() - t0 < FAIL_FAST_SECONDS
+        _assert_no_orphans()
+
+    def test_vectorized_domains_crash_handling(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv("REPRO_FAULTS", "exit@1")
+        sim = _sim(workers=2, domain_engine="vectorized")
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"worker 1.*exit code 86"):
+            _run(sim)
+        assert time.monotonic() - t0 < FAIL_FAST_SECONDS
+        _assert_no_orphans()
+
+    def test_error_names_owned_domains(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "exit@1")
+        sim = _sim(workers=2)
+        with pytest.raises(RuntimeError, match=r"domains \[2, 3\]"):
+            _run(sim)
+        _assert_no_orphans()
+
+
+class TestCleanRunsUnaffected:
+    def test_no_faults_env_runs_normally(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        result = _run(_sim(workers=2))
+        assert result.packets_ejected > 0
+        _assert_no_orphans()
